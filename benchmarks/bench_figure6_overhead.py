@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 6 (normalized overhead of LDX).
+
+The paper's headline: LDX's overhead is single-digit percent (geo-mean
+4.45%/4.7%, arith 5.7%/6.08%) while LIBDFT is ~6x and DualEx three
+orders of magnitude.  The shape assertions below encode exactly that.
+"""
+
+import pytest
+
+from repro.eval.figure6 import render_figure6, run_figure6
+from repro.eval.reporting import arithmetic_mean, geometric_mean
+
+
+@pytest.mark.paper
+def test_figure6_ldx_overhead(benchmark):
+    """LDX's two bars (same-input and mutated-input runs)."""
+    rows = benchmark.pedantic(
+        run_figure6, kwargs={"with_heavy_baselines": False}, rounds=1, iterations=1
+    )
+    print()
+    print(render_figure6(rows))
+    coupled_geo = geometric_mean([row.ldx_coupled for row in rows]) - 1.0
+    mutated_geo = geometric_mean([row.ldx_mutated for row in rows]) - 1.0
+    # Paper shape: single-digit-percent mean overheads.
+    assert 0.0 < coupled_geo < 0.15
+    assert 0.0 < mutated_geo < 0.25
+
+
+@pytest.mark.paper
+def test_figure6_baseline_contrast(benchmark):
+    """LIBDFT several-x; TaintGrind worse; DualEx orders of magnitude."""
+    rows = benchmark.pedantic(
+        run_figure6,
+        kwargs={"with_heavy_baselines": True, "names": ["bzip2", "hmmer", "sjeng"]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure6(rows))
+    libdft = arithmetic_mean([row.libdft for row in rows])
+    taintgrind = arithmetic_mean([row.taintgrind for row in rows])
+    dualex = arithmetic_mean([row.dualex for row in rows])
+    ldx = arithmetic_mean([row.ldx_mutated for row in rows])
+    assert libdft > 3.0  # several-x slowdown
+    assert taintgrind > libdft  # Valgrind heavier than PIN
+    assert dualex > 100.0  # orders of magnitude
+    assert ldx < 1.5  # LDX nowhere near the taint tools

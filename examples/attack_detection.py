@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Attack detection over the vulnerable-program set.
+
+The paper's second application: mutate untrusted inputs and check for
+causality at function return addresses (buffer overflows) and at
+memory-management parameters (integer overflows).  Each workload ships
+an attack input; LDX flags the smashed state as causally dependent on
+the untrusted source.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.core import run_dual
+from repro.workloads import workloads_by_category
+
+
+def main() -> None:
+    print(f"{'program':10} {'CVE model':28} {'verdict':8} sink kinds")
+    for workload in workloads_by_category("vuln"):
+        result = run_dual(
+            workload.instrumented, workload.build_world(1), workload.config()
+        )
+        kinds = sorted({d.kind for d in result.report.detections})
+        sinks = sorted(
+            {
+                str(d.master_args[0]) if d.master_args else d.syscall
+                for d in result.report.detections
+            }
+        )
+        verdict = "ATTACK" if result.report.causality_detected else "clean"
+        print(f"{workload.name:10} {workload.modeled_after:28} {verdict:8} {kinds}")
+        for detection in result.report.detections:
+            print(
+                f"    {detection.syscall}@{detection.where}: "
+                f"master={detection.master_args} slave={detection.slave_args}"
+            )
+        assert result.report.causality_detected, workload.name
+    print("\nAll six modelled CVEs detected via input-to-critical-state causality.")
+
+
+if __name__ == "__main__":
+    main()

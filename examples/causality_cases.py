@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Figure 1's four causality cases, run through LDX and the taint tools.
+
+(a) data dependence          -> strong CC: everyone detects it
+(b) control dependence       -> strong CC: LDX detects, taint misses
+(c) weak control dependence  -> weak CC:   LDX stays silent (correctly)
+(d) missing update           -> strong CC missed even by data+control
+                                 dependence tracking; LDX detects it
+
+Run:  python examples/causality_cases.py
+"""
+
+from repro.baselines.taint import run_taint
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+CASES = {
+    "(a) data dependence": (
+        """
+        fn main() {
+          var fd = open("/secret", "r");
+          var x = parse_int(read(fd, 8));
+          close(fd);
+          var y = x * 2 + 1;          // y = f(x): one-to-one
+          var s = socket();
+          connect(s, "sink", 1);
+          send(s, y);
+        }
+        """,
+        "7",
+    ),
+    "(b) strong control dependence": (
+        """
+        fn main() {
+          var fd = open("/secret", "r");
+          var x = parse_int(read(fd, 8));
+          close(fd);
+          var s = 0;
+          if (x == 7) { s = 10; } else { s = 20; }   // s determined by x
+          var sock = socket();
+          connect(sock, "sink", 1);
+          send(sock, s);
+        }
+        """,
+        "7",
+    ),
+    "(c) weak control dependence": (
+        """
+        fn main() {
+          var fd = open("/secret", "r");
+          var s = parse_int(read(fd, 8));
+          close(fd);
+          var x = 0;
+          if (s > 0) { x = 1; }      // many s values -> same x
+          var sock = socket();
+          connect(sock, "sink", 1);
+          send(sock, x);
+        }
+        """,
+        "50",
+    ),
+    "(d) missing update": (
+        """
+        fn main() {
+          var fd = open("/secret", "r");
+          var s = parse_int(read(fd, 8));
+          close(fd);
+          var x = 0;
+          if (s == 10) { } else { x = 1; }   // absence of update leaks s
+          var sock = socket();
+          connect(sock, "sink", 1);
+          send(sock, x);
+        }
+        """,
+        "10",
+    ),
+}
+
+
+def build_world(secret: str) -> World:
+    world = World(seed=1)
+    world.fs.add_file("/secret", secret)
+    world.network.register("sink", 1, lambda request: "")
+    return world
+
+
+def main() -> None:
+    config = LdxConfig(
+        sources=SourceSpec(file_paths={"/secret"}),
+        sinks=SinkSpec.network_out(),
+    )
+    print(f"{'case':34} {'LDX':>6} {'TaintGrind':>11} {'LIBDFT':>7}")
+    for name, (source, secret) in CASES.items():
+        module = compile_source(source)
+        ldx = run_dual(instrument_module(module), build_world(secret), config)
+        taintgrind = run_taint(module, build_world(secret), config, "taintgrind")
+        libdft = run_taint(module, build_world(secret), config, "libdft")
+        print(
+            f"{name:34} "
+            f"{'LEAK' if ldx.report.causality_detected else '-':>6} "
+            f"{'LEAK' if taintgrind.tainted_sinks else '-':>11} "
+            f"{'LEAK' if libdft.tainted_sinks else '-':>7}"
+        )
+    print(
+        "\nNote (c): the off-by-one mutation 50->51 keeps the predicate "
+        "outcome, so LDX correctly reports no *strong* causality where "
+        "control-dependence tainting would cry wolf."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Concurrent dual execution (Table 4 in miniature).
+
+Runs each concurrent workload a handful of times with different
+schedule seeds and shows how LDX's lock-order sharing keeps the
+tainted-sink counts stable while low-level races wobble the
+syscall-difference counts.
+
+Run:  python examples/concurrency_inspection.py
+"""
+
+from repro.core import run_dual
+from repro.workloads import workloads_by_category
+
+RUNS = 10
+
+
+def main() -> None:
+    print(f"{'program':8} {'syscall diffs':>20} {'tainted sinks':>20}")
+    for workload in workloads_by_category("concurrency"):
+        diffs = []
+        sinks = []
+        for run in range(RUNS):
+            result = run_dual(
+                workload.instrumented,
+                workload.build_world(1),
+                workload.config(),
+                master_seed=2 * run + 1,
+                slave_seed=2 * run + 2,
+            )
+            diffs.append(result.report.syscall_diffs)
+            sinks.append(result.report.tainted_sinks)
+        print(
+            f"{workload.name:8} "
+            f"{f'{min(diffs)}..{max(diffs)}':>20} "
+            f"{f'{min(sinks)}..{max(sinks)}':>20}"
+        )
+    print(
+        f"\n({RUNS} seeded runs each; stable sink counts despite divergent "
+        "schedules = the Section 7 concurrency control at work)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Extension demo: the file-metadata covert channel.
+
+The paper's limitations section: "information can be disclosed through
+... file metadata (e.g., last accessed time). We will leave it to our
+future work."  This reproduction ships that future work as an offline
+filesystem-differencing pass over the two executions' final states:
+content and existence divergences, plus (opt-in) metadata divergences.
+
+Run:  python examples/covert_channel.py
+"""
+
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+# The marker file's *content* never changes; whether it gets rewritten
+# (bumping its mtime) encodes one bit of the secret.
+PROGRAM = """
+fn main() {
+  var fd = open("/secret", "r");
+  var x = parse_int(read(fd, 8));
+  close(fd);
+  sleep(500);
+  if (x % 2 == 1) {
+    var f = open("/shared/marker.txt", "w");
+    write(f, "constant contents");
+    close(f);
+  }
+  print("done");
+}
+"""
+
+
+def main() -> None:
+    world = World(seed=1)
+    world.fs.add_file("/secret", "7")
+    world.fs.add_file("/shared/marker.txt", "constant contents")
+    config = LdxConfig(
+        sources=SourceSpec(file_paths={"/secret"}),
+        sinks=SinkSpec.network_out(),  # no network output at all
+    )
+    result = run_dual(instrument_module(compile_source(PROGRAM)), world, config)
+
+    print("online sink comparison:", result.report.summary())
+    print("content differencing:", result.fs_divergences())
+    print("with metadata differencing:")
+    for divergence in result.fs_divergences(include_metadata=True):
+        print(f"  {divergence.kind} {divergence.path}: "
+              f"master mtime={divergence.master} slave mtime={divergence.slave}")
+
+    assert not result.report.causality_detected  # the channel is covert
+    assert result.fs_divergences(include_metadata=True), "covert channel missed!"
+    print("\nThe secret's parity leaks through the marker file's mtime — "
+          "invisible to sink comparison, caught by metadata differencing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: detect an information leak with LDX.
+
+This is the paper's running example (Fig. 2/3): a payroll program reads
+an employee's title; the raise it reports to a remote site depends on
+the title through *control* dependence only — classic dynamic taint
+tools miss it, LDX's counterfactual dual execution catches it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+PAYROLL = """
+fn SRaise(file) {
+  var f = open(file, "r");
+  var rate = parse_int(read(f, 8));
+  close(f);
+  return rate;
+}
+
+fn MRaise(age, salary) {
+  var r = SRaise("/etc/mcontract");
+  if (age > 5 and salary > 100) {
+    var s = open("/var/seniors.txt", "a");
+    write(s, "senior manager\\n");
+    close(s);
+  }
+  return r + 5;
+}
+
+fn main() {
+  var name = str_strip(read_line(0));
+  var title = str_strip(read_line(0));
+  var raise = 0;
+  if (title == "STAFF") {
+    raise = SRaise("/etc/contract");
+  } else {
+    raise = MRaise(7, 150);
+  }
+  var sock = socket();
+  connect(sock, "hq.example", 443);
+  send(sock, name);
+  send(sock, raise);
+}
+"""
+
+
+def build_world() -> World:
+    world = World(seed=1)
+    world.stdin = "alice\nSTAFF\n"
+    world.fs.add_file("/etc/contract", "3")
+    world.fs.add_file("/etc/mcontract", "9")
+    world.fs.add_file("/var/seniors.txt", "")
+    world.network.register("hq.example", 443, lambda request: "")
+    return world
+
+
+def title_mutation(value):
+    """Perturb the secret: STAFF -> MANAGER (the paper's example)."""
+    if isinstance(value, str) and "STAFF" in value:
+        return value.replace("STAFF", "MANAGER")
+    return value
+
+
+def main() -> None:
+    # 1. Compile and instrument (the LLVM pass of the paper, here on
+    #    the MiniC IR).
+    module = compile_source(PAYROLL)
+    instrumented = instrument_module(module)
+    stats = instrumented.static_stats()
+    print(f"instrumented {stats['instrumented_sites']} sites "
+          f"({stats['instrumented_pct']}% of {stats['total_instructions']} instrs), "
+          f"max static counter {stats['max_static_counter']}")
+
+    # 2. Configure: the secret is on stdin; sinks are outgoing sends.
+    config = LdxConfig(
+        sources=SourceSpec(stdin=True, mutators={"stdin": title_mutation}),
+        sinks=SinkSpec.network_out(),
+    )
+
+    # 3. Dual-execute.
+    result = run_dual(instrumented, build_world(), config)
+
+    # 4. Inspect.
+    print()
+    print(result.report.summary())
+    for detection in result.report.detections:
+        print(f"  {detection.kind}: {detection.syscall} "
+              f"master={detection.master_args} slave={detection.slave_args}")
+    print()
+    print(f"master time {result.master.time:.0f}, "
+          f"slave time {result.slave.time:.0f}, "
+          f"dual (2 CPUs) {result.dual_time:.0f} virtual units")
+    assert result.report.causality_detected, "the raise should leak the title!"
+    print("\nLeak detected: the raise value is causally dependent on the title.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Reproduction of *LDX: Causality Inference by Lightweight Dual
+Execution* (Kwon et al., ASPLOS 2016).
+
+Top-level convenience API::
+
+    import repro
+
+    module = repro.compile_source(minic_text)
+    instrumented = repro.instrument_module(module)
+    config = repro.LdxConfig(
+        sources=repro.SourceSpec(file_paths={"/etc/secret"}),
+        sinks=repro.SinkSpec.network_out(),
+    )
+    result = repro.run_dual(instrumented, world, config)
+
+Subpackages: :mod:`repro.lang` (MiniC front end), :mod:`repro.ir`,
+:mod:`repro.cfg`, :mod:`repro.instrument` (the paper's algorithms),
+:mod:`repro.vos` (virtual OS), :mod:`repro.interp` (execution machine),
+:mod:`repro.core` (the LDX engine), :mod:`repro.baselines`,
+:mod:`repro.workloads` and :mod:`repro.eval`.
+"""
+
+from repro.baselines.native import RunResult, run_native
+from repro.core import (
+    CausalityReport,
+    Detection,
+    DualResult,
+    LdxConfig,
+    LdxEngine,
+    SinkSpec,
+    SourceSpec,
+    run_dual,
+)
+from repro.instrument import InstrumentedModule, instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunResult",
+    "run_native",
+    "CausalityReport",
+    "Detection",
+    "DualResult",
+    "LdxConfig",
+    "LdxEngine",
+    "SinkSpec",
+    "SourceSpec",
+    "run_dual",
+    "InstrumentedModule",
+    "instrument_module",
+    "compile_source",
+    "World",
+    "__version__",
+]

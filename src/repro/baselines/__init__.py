@@ -1,0 +1,16 @@
+"""Baselines: native execution, dynamic taint tools, TightLip, DualEx."""
+
+from repro.baselines.dualex import DualExResult, run_dualex
+from repro.baselines.native import RunResult, run_native
+from repro.baselines.taint import run_taint
+from repro.baselines.tightlip import TightLipResult, run_tightlip
+
+__all__ = [
+    "DualExResult",
+    "run_dualex",
+    "RunResult",
+    "run_native",
+    "run_taint",
+    "TightLipResult",
+    "run_tightlip",
+]

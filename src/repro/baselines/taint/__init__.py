@@ -1,0 +1,19 @@
+"""Dynamic-taint baselines: LIBDFT and TaintGrind models."""
+
+from repro.baselines.taint.runner import TaintResult, TaintRunner, run_taint
+from repro.baselines.taint.tracker import (
+    LIBDFT_POLICY,
+    TAINTGRIND_POLICY,
+    TaintPolicy,
+    TaintTracker,
+)
+
+__all__ = [
+    "TaintResult",
+    "TaintRunner",
+    "run_taint",
+    "LIBDFT_POLICY",
+    "TAINTGRIND_POLICY",
+    "TaintPolicy",
+    "TaintTracker",
+]

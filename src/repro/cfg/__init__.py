@@ -1,0 +1,19 @@
+"""CFG analyses: graphs, dominators, natural loops and the call graph."""
+
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.dominators import compute_dominators, dominates, immediate_dominators
+from repro.cfg.graph import Digraph, function_digraph
+from repro.cfg.loops import Loop, find_back_edges, find_loops, loops_in_nesting_order
+
+__all__ = [
+    "CallGraph",
+    "compute_dominators",
+    "dominates",
+    "immediate_dominators",
+    "Digraph",
+    "function_digraph",
+    "Loop",
+    "find_back_edges",
+    "find_loops",
+    "loops_in_nesting_order",
+]

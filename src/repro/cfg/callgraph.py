@@ -1,0 +1,130 @@
+"""Call-graph construction and analysis over an IR module.
+
+Algorithm 1 instruments functions in reverse topological order of the
+call graph so callee counter totals (``FCNT``) exist before callers use
+them.  Recursive cycles make ``FCNT`` undefined; LDX handles calls
+inside call-graph cycles like indirect calls (fresh counter scope), so
+this module also computes strongly connected components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.function import IRModule
+
+
+class CallGraph:
+    """Direct-call graph plus recursion/indirect-call metadata."""
+
+    def __init__(self, module: IRModule) -> None:
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {name: set() for name in module.functions}
+        self.callers: Dict[str, Set[str]] = {name: set() for name in module.functions}
+        self.indirect_sites: Dict[str, List[int]] = {name: [] for name in module.functions}
+        self.direct_sites: Dict[str, List[Tuple[int, str]]] = {
+            name: [] for name in module.functions
+        }
+        self._build()
+        self.sccs = self._tarjan_sccs()
+        self._scc_of: Dict[str, int] = {}
+        for index, component in enumerate(self.sccs):
+            for name in component:
+                self._scc_of[name] = index
+        self.recursive_functions = self._find_recursive()
+
+    def _build(self) -> None:
+        for name, function in self.module.functions.items():
+            for index, instr in enumerate(function.instrs):
+                if isinstance(instr, ins.CallDirect):
+                    self.callees[name].add(instr.func)
+                    self.callers[instr.func].add(name)
+                    self.direct_sites[name].append((index, instr.func))
+                elif isinstance(instr, ins.CallIndirect):
+                    self.indirect_sites[name].append(index)
+
+    def _tarjan_sccs(self) -> List[List[str]]:
+        """Tarjan's SCC algorithm (iterative) over function names."""
+        index_counter = [0]
+        indices: Dict[str, int] = {}
+        lowlinks: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[List[str]] = []
+
+        for root in self.module.functions:
+            if root in indices:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    indices[node] = index_counter[0]
+                    lowlinks[node] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = sorted(self.callees[node])
+                advanced = False
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in indices:
+                        work[-1] = (node, child_index)
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[child])
+                if advanced:
+                    continue
+                work[-1] = (node, child_index)
+                if child_index >= len(children):
+                    work.pop()
+                    if lowlinks[node] == indices[node]:
+                        component: List[str] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            component.append(member)
+                            if member == node:
+                                break
+                        result.append(sorted(component))
+                    if work:
+                        parent = work[-1][0]
+                        lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+        return result
+
+    def _find_recursive(self) -> Set[str]:
+        """Functions inside a call-graph cycle (incl. self recursion)."""
+        recursive: Set[str] = set()
+        for component in self.sccs:
+            if len(component) > 1:
+                recursive.update(component)
+            else:
+                only = component[0]
+                if only in self.callees[only]:
+                    recursive.add(only)
+        return recursive
+
+    def in_same_cycle(self, caller: str, callee: str) -> bool:
+        """True when caller and callee share a call-graph cycle."""
+        if caller not in self._scc_of or callee not in self._scc_of:
+            return False
+        if self._scc_of[caller] != self._scc_of[callee]:
+            return False
+        return caller in self.recursive_functions
+
+    def reverse_topological_order(self) -> List[str]:
+        """Functions ordered so callees precede callers.
+
+        Within a cycle (SCC) the order is arbitrary; calls inside cycles
+        use counter scopes instead of FCNT, so any order works.  Tarjan
+        emits SCCs in reverse topological order of the condensation
+        already, which is exactly what Algorithm 1 wants.
+        """
+        order: List[str] = []
+        for component in self.sccs:
+            order.extend(component)
+        return order

@@ -1,0 +1,73 @@
+"""Dominator computation (iterative data-flow formulation).
+
+Function CFGs here are instruction-granular and small, so the classic
+iterate-until-fixpoint set algorithm is plenty fast and trivially
+correct — the property tests exercise it against a brute-force check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cfg.graph import Digraph
+
+
+def compute_dominators(graph: Digraph, entry: int) -> Dict[int, Set[int]]:
+    """Return a map node -> set of its dominators (including itself).
+
+    Unreachable nodes get an empty dominator set and are ignored by loop
+    detection.
+    """
+    reachable = graph.reachable_from(entry)
+    dominators: Dict[int, Set[int]] = {}
+    for node in graph.nodes:
+        if node not in reachable:
+            dominators[node] = set()
+        elif node == entry:
+            dominators[node] = {entry}
+        else:
+            dominators[node] = set(reachable)
+
+    order = [node for node in sorted(reachable)]
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            pred_sets = [
+                dominators[pred]
+                for pred in graph.preds(node)
+                if pred in reachable
+            ]
+            if pred_sets:
+                new_set = set.intersection(*pred_sets)
+            else:
+                new_set = set()
+            new_set = new_set | {node}
+            if new_set != dominators[node]:
+                dominators[node] = new_set
+                changed = True
+    return dominators
+
+
+def dominates(dominators: Dict[int, Set[int]], a: int, b: int) -> bool:
+    """True when node *a* dominates node *b*."""
+    return a in dominators.get(b, ())
+
+
+def immediate_dominators(graph: Digraph, entry: int) -> Dict[int, int]:
+    """Map each reachable node (except entry) to its immediate dominator."""
+    dominators = compute_dominators(graph, entry)
+    idom: Dict[int, int] = {}
+    for node, doms in dominators.items():
+        if not doms or node == entry:
+            continue
+        strict: List[int] = [d for d in doms if d != node]
+        # The immediate dominator is the strict dominator dominated by
+        # all other strict dominators.
+        for candidate in strict:
+            if all(dominates(dominators, other, candidate) for other in strict):
+                idom[node] = candidate
+                break
+    return idom

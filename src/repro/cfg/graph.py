@@ -1,0 +1,111 @@
+"""A small directed-graph helper over integer nodes.
+
+Used by the instrumentation pipeline to run Algorithm 1/3 on a
+*transformed* view of a function CFG (back edges removed, dummy edges
+added) without mutating the IR itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import InstrumentationError
+
+
+class Digraph:
+    """Mutable digraph with parallel-edge-free adjacency."""
+
+    def __init__(self, nodes: Iterable[int] = ()) -> None:
+        self._succs: Dict[int, List[int]] = {}
+        self._preds: Dict[int, List[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: int) -> None:
+        if node not in self._succs:
+            self._succs[node] = []
+            self._preds[node] = []
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self._succs[src]:
+            self._succs[src].append(dst)
+            self._preds[dst].append(src)
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        if src in self._succs and dst in self._succs[src]:
+            self._succs[src].remove(dst)
+            self._preds[dst].remove(src)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return src in self._succs and dst in self._succs[src]
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[int]:
+        return list(self._succs)
+
+    def succs(self, node: int) -> List[int]:
+        return list(self._succs.get(node, ()))
+
+    def preds(self, node: int) -> List[int]:
+        return list(self._preds.get(node, ()))
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(src, dst) for src, dsts in self._succs.items() for dst in dsts]
+
+    def reachable_from(self, start: int) -> Set[int]:
+        """All nodes reachable from *start* (including it)."""
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succs.get(node, ()))
+        return seen
+
+    def topological_order(self, restrict_to: Set[int] = None) -> List[int]:
+        """Kahn topological order; raises if the graph has a cycle.
+
+        When *restrict_to* is given, only those nodes (and edges between
+        them) participate.
+        """
+        nodes = set(self._succs) if restrict_to is None else set(restrict_to)
+        indegree: Dict[int, int] = {node: 0 for node in nodes}
+        for src in nodes:
+            for dst in self._succs.get(src, ()):
+                if dst in nodes:
+                    indegree[dst] += 1
+        ready = sorted(node for node, deg in indegree.items() if deg == 0)
+        order: List[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for dst in self._succs.get(node, ()):
+                if dst in nodes:
+                    indegree[dst] -= 1
+                    if indegree[dst] == 0:
+                        ready.append(dst)
+        if len(order) != len(nodes):
+            raise InstrumentationError("graph has a cycle; expected acyclic")
+        return order
+
+    def copy(self) -> "Digraph":
+        clone = Digraph(self._succs)
+        for src, dst in self.edges():
+            clone.add_edge(src, dst)
+        return clone
+
+
+def function_digraph(function) -> Digraph:
+    """Build a Digraph view of an :class:`repro.ir.function.IRFunction`."""
+    graph = Digraph(range(len(function.instrs)))
+    for src, dst in function.edges():
+        graph.add_edge(src, dst)
+    return graph

@@ -1,0 +1,97 @@
+"""Natural-loop detection.
+
+Algorithm 3 of the paper needs, per function: the back edges
+(``t -> h`` with ``h`` dominating ``t``), each loop's body, and each
+loop's exit edges (body node -> node outside the body).  Loops sharing
+a head are merged, matching the classic natural-loop definition and the
+single-loophead structure the lowering guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.cfg.dominators import compute_dominators, dominates
+from repro.cfg.graph import Digraph
+
+
+class Loop:
+    """One natural loop: head, latch nodes, body set and exit edges."""
+
+    def __init__(self, head: int) -> None:
+        self.head = head
+        self.latches: List[int] = []
+        self.body: Set[int] = {head}
+        # (src inside loop, dst outside loop) pairs.
+        self.exit_edges: List[Tuple[int, int]] = []
+        # Heads of loops strictly inside this one.
+        self.inner_heads: List[int] = []
+
+    @property
+    def back_edges(self) -> List[Tuple[int, int]]:
+        return [(latch, self.head) for latch in self.latches]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Loop head={self.head} latches={self.latches} "
+            f"|body|={len(self.body)} exits={self.exit_edges}>"
+        )
+
+
+def find_back_edges(graph: Digraph, entry: int) -> List[Tuple[int, int]]:
+    """All edges t->h where h dominates t (and both are reachable)."""
+    dominators = compute_dominators(graph, entry)
+    reachable = graph.reachable_from(entry)
+    result: List[Tuple[int, int]] = []
+    for src, dst in graph.edges():
+        if src in reachable and dst in reachable and dominates(dominators, dst, src):
+            result.append((src, dst))
+    return sorted(result)
+
+
+def _natural_loop_body(graph: Digraph, latch: int, head: int) -> Set[int]:
+    """Body of the natural loop of back edge latch->head."""
+    body: Set[int] = {head, latch}
+    stack = [latch]
+    while stack:
+        node = stack.pop()
+        if node == head:
+            continue
+        for pred in graph.preds(node):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def find_loops(graph: Digraph, entry: int) -> Dict[int, Loop]:
+    """Detect all natural loops; returns a map head -> Loop.
+
+    Loops with the same head are merged.  Exit edges and nesting links
+    are populated.
+    """
+    loops: Dict[int, Loop] = {}
+    for latch, head in find_back_edges(graph, entry):
+        loop = loops.setdefault(head, Loop(head))
+        loop.latches.append(latch)
+        loop.body |= _natural_loop_body(graph, latch, head)
+
+    for loop in loops.values():
+        for node in sorted(loop.body):
+            for succ in graph.succs(node):
+                if succ not in loop.body:
+                    loop.exit_edges.append((node, succ))
+        loop.exit_edges.sort()
+
+    heads = sorted(loops)
+    for head in heads:
+        for other in heads:
+            if other != head and head in loops[other].body:
+                # this loop's head is inside `other` -> nested
+                loops[other].inner_heads.append(head)
+    return loops
+
+
+def loops_in_nesting_order(loops: Dict[int, Loop]) -> List[Loop]:
+    """Loops ordered innermost-first (by body size, ties by head)."""
+    return sorted(loops.values(), key=lambda loop: (len(loop.body), loop.head))

@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro leak program.mc --secret-file /etc/secret [options]
+    python -m repro run  program.mc [--stdin TEXT] [--file PATH=CONTENT ...]
+    python -m repro eval [--table4-runs N]
+
+``leak`` dual-executes a MiniC program with LDX and reports causality;
+``run`` executes it natively; ``eval`` regenerates the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.baselines.native import run_native
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def _build_world(args) -> World:
+    world = World(seed=args.seed)
+    world.stdin = args.stdin or ""
+    for spec in args.file or []:
+        if "=" not in spec:
+            raise SystemExit(f"--file expects PATH=CONTENT, got {spec!r}")
+        path, content = spec.split("=", 1)
+        world.fs.add_file(path, content.replace("\\n", "\n"))
+    for spec in args.endpoint or []:
+        if "=" not in spec:
+            raise SystemExit(f"--endpoint expects HOST:PORT=REPLY, got {spec!r}")
+        address, reply = spec.split("=", 1)
+        host, port = address.rsplit(":", 1)
+        world.network.register(host, int(port), lambda req, reply=reply: reply)
+    return world
+
+
+def _add_world_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="path to a MiniC source file")
+    parser.add_argument("--stdin", default="", help="stdin content")
+    parser.add_argument(
+        "--file",
+        action="append",
+        metavar="PATH=CONTENT",
+        help="add a virtual file (repeatable; \\n escapes allowed)",
+    )
+    parser.add_argument(
+        "--endpoint",
+        action="append",
+        metavar="HOST:PORT=REPLY",
+        help="register a network endpoint returning REPLY (repeatable)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="world seed")
+
+
+def _cmd_run(args) -> int:
+    source = open(args.program).read()
+    result = run_native(compile_source(source), _build_world(args))
+    sys.stdout.write(result.stdout)
+    if result.exit_code:
+        print(f"\n[exit code {result.exit_code}]")
+    return 0
+
+
+def _cmd_leak(args) -> int:
+    source = open(args.program).read()
+    instrumented = instrument_module(compile_source(source))
+    sources = SourceSpec(
+        file_paths=set(args.secret_file or []),
+        stdin=args.secret_stdin,
+        network=set(args.secret_endpoint or []),
+        env_names=set(args.secret_env or []),
+        labels=set(args.secret_label or []),
+    )
+    if sources.count == 0:
+        raise SystemExit("specify at least one source (--secret-file, ...)")
+    sinks = (
+        SinkSpec.network_out() if args.sinks == "network" else SinkSpec.file_out()
+    )
+    result = run_dual(instrumented, _build_world(args), LdxConfig(sources, sinks))
+    print(result.report.summary())
+    for detection in result.report.detections:
+        print(
+            f"  {detection.kind}: {detection.syscall} at {detection.where} "
+            f"master={detection.master_args} slave={detection.slave_args}"
+        )
+    return 1 if result.report.causality_detected else 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.eval.runner import run_all
+
+    print(run_all(table4_runs=args.table4_runs))
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LDX causality inference (ASPLOS 2016 reproduction)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="execute a MiniC program natively")
+    _add_world_options(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    leak_parser = commands.add_parser(
+        "leak", help="dual-execute with LDX and report causality"
+    )
+    _add_world_options(leak_parser)
+    leak_parser.add_argument("--secret-file", action="append", metavar="PATH")
+    leak_parser.add_argument("--secret-stdin", action="store_true")
+    leak_parser.add_argument("--secret-endpoint", action="append", metavar="HOST:PORT")
+    leak_parser.add_argument("--secret-env", action="append", metavar="NAME")
+    leak_parser.add_argument("--secret-label", action="append", metavar="LABEL")
+    leak_parser.add_argument(
+        "--sinks", choices=("network", "file"), default="network"
+    )
+    leak_parser.set_defaults(handler=_cmd_leak)
+
+    eval_parser = commands.add_parser("eval", help="regenerate the paper's tables")
+    eval_parser.add_argument("--table4-runs", type=int, default=100)
+    eval_parser.set_defaults(handler=_cmd_eval)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""LDX core: the lightweight dual-execution causality inference engine.
+
+Typical use::
+
+    from repro import ldx
+    module = ldx.compile_source(program_text)
+    instrumented = ldx.instrument_module(module)
+    config = ldx.LdxConfig(
+        sources=ldx.SourceSpec(file_paths={"/etc/secret"}),
+        sinks=ldx.SinkSpec.network_out(),
+    )
+    result = ldx.run_dual(instrumented, world, config)
+    result.report.causality_detected
+"""
+
+from repro.core.channel import OutcomeQueue, SyscallRecord, counter_geq, counter_less
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.core.engine import LdxEngine, run_dual
+from repro.core.mutation import (
+    RandomMutation,
+    STRATEGIES,
+    bit_flip,
+    off_by_minus_one,
+    off_by_one,
+    zeroing,
+)
+from repro.core.report import (
+    SINK_ARGS_DIFFER,
+    SINK_DIFFERENT_SYSCALL,
+    SINK_MISSING_IN_SLAVE,
+    SINK_ONLY_IN_SLAVE,
+    CausalityReport,
+    Detection,
+    DualResult,
+    FsDivergence,
+)
+
+__all__ = [
+    "OutcomeQueue",
+    "SyscallRecord",
+    "counter_geq",
+    "counter_less",
+    "LdxConfig",
+    "SinkSpec",
+    "SourceSpec",
+    "LdxEngine",
+    "run_dual",
+    "RandomMutation",
+    "STRATEGIES",
+    "bit_flip",
+    "off_by_minus_one",
+    "off_by_one",
+    "zeroing",
+    "CausalityReport",
+    "Detection",
+    "DualResult",
+    "SINK_ARGS_DIFFER",
+    "SINK_DIFFERENT_SYSCALL",
+    "SINK_MISSING_IN_SLAVE",
+    "SINK_ONLY_IN_SLAVE",
+]

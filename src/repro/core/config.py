@@ -1,0 +1,133 @@
+"""Source and sink configuration for causality inference.
+
+The paper: "LDX has a predefined configuration of sources (e.g., socket
+receives) and sinks (e.g., file writes).  The user can also choose to
+annotate the sources and sinks in the code."  Both styles are supported:
+category-based defaults and explicit annotations (``source_read`` /
+``sink_observe`` intrinsics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.interp.events import SyscallEvent
+from repro.vos.kernel import Kernel
+
+# A mutator takes the original source value and returns the perturbed one.
+Mutator = Callable[[object], object]
+
+
+class SourceSpec:
+    """What to mutate in the slave execution."""
+
+    def __init__(
+        self,
+        file_paths: Iterable[str] = (),
+        stdin: bool = False,
+        network: Iterable[str] = (),
+        env_names: Iterable[str] = (),
+        labels: Iterable[str] = (),
+        mutators: Optional[Dict[str, Mutator]] = None,
+    ) -> None:
+        self.file_paths: Set[str] = set(file_paths)
+        self.stdin = stdin
+        self.network: Set[str] = set(network)  # "host:port" addresses
+        self.env_names: Set[str] = set(env_names)
+        self.labels: Set[str] = set(labels)
+        # Optional per-resource custom mutators, keyed by resource id
+        # (e.g. "file:/etc/conf" or "annot:secret").
+        self.mutators: Dict[str, Mutator] = dict(mutators or {})
+
+    def matches(self, event: SyscallEvent, kernel: Kernel) -> Optional[str]:
+        """Return the matched resource id when *event* reads a source."""
+        name = event.name
+        resource = kernel.resource_of(name, event.args)
+        if name in ("read", "read_line"):
+            if resource == "stdin" and self.stdin:
+                return resource
+            if resource is not None and resource.startswith("file:"):
+                if resource[len("file:") :] in self.file_paths:
+                    return resource
+        elif name == "recv":
+            if resource is not None and resource[len("conn:") :] in self.network:
+                return resource
+        elif name == "getenv":
+            if event.args and event.args[0] in self.env_names:
+                return resource
+        elif name == "source_read":
+            if event.args and str(event.args[0]) in self.labels:
+                return resource
+        return None
+
+    def mutator_for(self, resource: str) -> Optional[Mutator]:
+        return self.mutators.get(resource)
+
+    @property
+    def count(self) -> int:
+        return (
+            len(self.file_paths)
+            + (1 if self.stdin else 0)
+            + len(self.network)
+            + len(self.env_names)
+            + len(self.labels)
+        )
+
+
+class SinkSpec:
+    """Which events are sinks (compared across executions)."""
+
+    def __init__(
+        self,
+        syscall_names: Iterable[str] = ("send",),
+        labels: Optional[Iterable[str]] = None,
+        malloc_sinks: bool = False,
+    ) -> None:
+        self.syscall_names: FrozenSet[str] = frozenset(syscall_names)
+        # None = every sink_observe is a sink; else only listed labels.
+        self.labels: Optional[Set[str]] = None if labels is None else set(labels)
+        self.malloc_sinks = malloc_sinks
+
+    def matches(self, event: SyscallEvent) -> bool:
+        name = event.name
+        if name in self.syscall_names:
+            return True
+        if name == "sink_observe":
+            if self.labels is None:
+                return True
+            return bool(event.args) and str(event.args[0]) in self.labels
+        if name == "malloc":
+            return self.malloc_sinks
+        return False
+
+    @classmethod
+    def network_out(cls) -> "SinkSpec":
+        """Default for networked programs: outgoing network syscalls."""
+        return cls(syscall_names=("send",))
+
+    @classmethod
+    def file_out(cls) -> "SinkSpec":
+        """Default for local programs: local file outputs."""
+        return cls(syscall_names=("write", "print"))
+
+    @classmethod
+    def attack_detection(cls) -> "SinkSpec":
+        """Vulnerable-program set: function returns (annotated) and
+        memory-management parameters."""
+        return cls(syscall_names=(), labels=None, malloc_sinks=True)
+
+
+class LdxConfig:
+    """Complete configuration of one causality-inference run."""
+
+    def __init__(
+        self,
+        sources: SourceSpec,
+        sinks: SinkSpec,
+        mutation: Optional[Mutator] = None,
+    ) -> None:
+        from repro.core.mutation import off_by_one  # cycle-free local import
+
+        self.sources = sources
+        self.sinks = sinks
+        self.mutation: Mutator = mutation if mutation is not None else off_by_one

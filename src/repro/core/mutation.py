@@ -1,0 +1,149 @@
+"""Input mutation strategies (paper Section 8, "Input Mutation").
+
+LDX's default is *off-by-one*: the smallest perturbation that, per the
+paper's technical report, must expose any strong (one-to-one)
+counterfactual causality.  Alternative strategies are provided for the
+mutation-strategy study benchmark.
+
+Mutations avoid "magic values or structure related values": on strings
+the first *alphanumeric* character is perturbed, leaving punctuation,
+separators and framing intact.
+"""
+
+from __future__ import annotations
+
+from repro.vos.clock import DeterministicRng
+
+
+def _shift_char(ch: str, delta: int) -> str:
+    """Shift a character within its class (digit, lower, upper)."""
+    if ch.isdigit():
+        return chr((ord(ch) - ord("0") + delta) % 10 + ord("0"))
+    if ch.islower():
+        return chr((ord(ch) - ord("a") + delta) % 26 + ord("a"))
+    if ch.isupper():
+        return chr((ord(ch) - ord("A") + delta) % 26 + ord("A"))
+    return ch
+
+
+def _mutate_string(text: str, delta: int) -> str:
+    for index, ch in enumerate(text):
+        if ch.isalnum():
+            return text[:index] + _shift_char(ch, delta) + text[index + 1 :]
+    return text  # nothing mutable: framing-only data
+
+
+def off_by_one(value):
+    """The default mutation: +1 on the first data element."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, str):
+        return _mutate_string(value, 1)
+    if isinstance(value, list):
+        if not value:
+            return value
+        return [off_by_one(value[0])] + value[1:]
+    return value
+
+
+def off_by_minus_one(value):
+    """-1 variant (mutation-strategy study)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value - 1
+    if isinstance(value, str):
+        return _mutate_string(value, -1)
+    if isinstance(value, list):
+        if not value:
+            return value
+        return [off_by_minus_one(value[0])] + value[1:]
+    return value
+
+
+def zeroing(value):
+    """Replace data with a zero-like value of the same shape."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return 0
+    if isinstance(value, str):
+        return "".join("0" if ch.isalnum() else ch for ch in value)
+    if isinstance(value, list):
+        return [zeroing(item) for item in value]
+    return value
+
+
+def bit_flip(value):
+    """Flip the low bit of the first data element."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, str):
+        for index, ch in enumerate(value):
+            if ch.isalnum():
+                flipped = chr(ord(ch) ^ 1)
+                if not flipped.isalnum():
+                    flipped = _shift_char(ch, 1)
+                return value[:index] + flipped + value[index + 1 :]
+        return value
+    if isinstance(value, list):
+        if not value:
+            return value
+        return [bit_flip(value[0])] + value[1:]
+    return value
+
+
+class RandomMutation:
+    """Random replacement of the first data element (seeded)."""
+
+    def __init__(self, seed: int = 1234) -> None:
+        self._rng = DeterministicRng(seed)
+
+    def __call__(self, value):
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            return self._rng.next_int(1 << 30)
+        if isinstance(value, str):
+            for index, ch in enumerate(value):
+                if ch.isalnum():
+                    replacement = chr(ord("a") + self._rng.next_int(26))
+                    if replacement == ch:
+                        replacement = _shift_char(ch, 1)
+                    return value[:index] + replacement + value[index + 1 :]
+            return value
+        if isinstance(value, list):
+            if not value:
+                return value
+            return [self(value[0])] + value[1:]
+        return value
+
+
+def global_off_by_one(value):
+    """Shift every data character (all sources perturbed everywhere).
+
+    Used by the Table 3 comparison: detecting *which sinks depend on
+    the sources at all* calls for a perturbation that reaches every
+    data byte, mirroring the paper's mutate-all-specified-sources
+    setup."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, str):
+        return "".join(_shift_char(ch, 1) for ch in value)
+    if isinstance(value, list):
+        return [global_off_by_one(item) for item in value]
+    return value
+
+
+STRATEGIES = {
+    "off_by_one": off_by_one,
+    "off_by_minus_one": off_by_minus_one,
+    "zeroing": zeroing,
+    "bit_flip": bit_flip,
+}

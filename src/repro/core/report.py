@@ -1,0 +1,166 @@
+"""Causality detection records and the dual-execution result."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+# Detection kinds, mirroring the cases in Algorithm 2's discussion:
+SINK_MISSING_IN_SLAVE = "sink-missing-in-slave"  # case 1
+SINK_DIFFERENT_SYSCALL = "sink-different-syscall"  # case 2
+SINK_ARGS_DIFFER = "sink-args-differ"  # case 3
+SINK_ONLY_IN_SLAVE = "sink-only-in-slave"  # symmetric to case 1
+
+
+class Detection:
+    """One causality detection at a sink."""
+
+    __slots__ = ("kind", "counter", "syscall", "master_args", "slave_args", "where")
+
+    def __init__(
+        self,
+        kind: str,
+        counter,
+        syscall: str,
+        master_args: Optional[tuple],
+        slave_args: Optional[tuple],
+        where: str,
+    ) -> None:
+        self.kind = kind
+        self.counter = counter
+        self.syscall = syscall
+        self.master_args = master_args
+        self.slave_args = slave_args
+        self.where = where
+
+    def __repr__(self) -> str:
+        return f"<Detection {self.kind} {self.syscall}@{self.counter} in {self.where}>"
+
+
+class CausalityReport:
+    """Everything observed during one dual execution."""
+
+    def __init__(self) -> None:
+        self.detections: List[Detection] = []
+        # Misaligned non-sink syscalls (Table 2's "# of syscall diffs").
+        self.syscall_diffs = 0
+        # Sink events observed in the master (Table 3's "total sinks").
+        self.sinks_total = 0
+        self.mutated_source_reads = 0
+        self.tainted_resources: List[str] = []
+        self.tainted_locks = 0
+        self.stall_breaks = 0
+        # (role, message) for executions that died on a runtime error.
+        self.crashes: List[Tuple[str, str]] = []
+
+    @property
+    def causality_detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def sequence_diffs(self) -> int:
+        """All syscall-sequence divergences, including sink events that
+        exist in only one execution (Table 2's diff counting)."""
+        sequence_kinds = (
+            SINK_MISSING_IN_SLAVE,
+            SINK_ONLY_IN_SLAVE,
+            SINK_DIFFERENT_SYSCALL,
+        )
+        divergent_sinks = sum(
+            1 for d in self.detections if d.kind in sequence_kinds
+        )
+        return self.syscall_diffs + divergent_sinks
+
+    @property
+    def tainted_sinks(self) -> int:
+        """Number of sink events with cross-execution differences."""
+        return len(self.detections)
+
+    def add(self, detection: Detection) -> None:
+        self.detections.append(detection)
+
+    def summary(self) -> str:
+        verdict = "CAUSALITY" if self.causality_detected else "no causality"
+        return (
+            f"{verdict}: {self.tainted_sinks}/{self.sinks_total} sinks differ, "
+            f"{self.syscall_diffs} syscall diffs, "
+            f"{len(self.tainted_resources)} tainted resources"
+        )
+
+
+class FsDivergence:
+    """A filesystem-state difference found by offline differencing."""
+
+    __slots__ = ("path", "kind", "master", "slave")
+
+    def __init__(self, path: str, kind: str, master, slave) -> None:
+        self.path = path
+        self.kind = kind  # "content" | "metadata" | "only-in-master" | "only-in-slave"
+        self.master = master
+        self.slave = slave
+
+    def __repr__(self) -> str:
+        return f"<FsDivergence {self.kind} {self.path}>"
+
+
+class DualResult:
+    """Outcome of a complete LDX dual execution."""
+
+    def __init__(self, master, slave, report: CausalityReport) -> None:
+        self.master = master  # Machine
+        self.slave = slave  # Machine
+        self.report = report
+
+    @property
+    def dual_time(self) -> float:
+        """Wall time with master and slave on separate CPUs."""
+        return max(self.master.time, self.slave.time)
+
+    @property
+    def master_stdout(self) -> str:
+        return "".join(self.master.kernel.stdout)
+
+    @property
+    def slave_stdout(self) -> str:
+        return "".join(self.slave.kernel.stdout)
+
+    def sink_pairs(self) -> List[Tuple[Optional[tuple], Optional[tuple]]]:
+        """(master args, slave args) for each detection."""
+        return [(d.master_args, d.slave_args) for d in self.report.detections]
+
+    def fs_divergences(self, include_metadata: bool = False) -> List[FsDivergence]:
+        """Offline filesystem differencing — an *extension* beyond the
+        paper's online sink comparison.
+
+        The paper's limitations section notes that leaks through file
+        metadata (e.g. modification times) are future work; with
+        ``include_metadata=True`` this reports exactly those, alongside
+        content and existence divergences between the two executions'
+        final filesystem states.
+        """
+        master_fs = self.master.kernel.world.fs
+        slave_fs = self.slave.kernel.world.fs
+        divergences: List[FsDivergence] = []
+        master_paths = set(master_fs.paths())
+        slave_paths = set(slave_fs.paths())
+        for path in sorted(master_paths - slave_paths):
+            divergences.append(
+                FsDivergence(path, "only-in-master", master_fs.file(path).content, None)
+            )
+        for path in sorted(slave_paths - master_paths):
+            divergences.append(
+                FsDivergence(path, "only-in-slave", None, slave_fs.file(path).content)
+            )
+        for path in sorted(master_paths & slave_paths):
+            master_file = master_fs.file(path)
+            slave_file = slave_fs.file(path)
+            if master_file.content != slave_file.content:
+                divergences.append(
+                    FsDivergence(
+                        path, "content", master_file.content, slave_file.content
+                    )
+                )
+            elif include_metadata and master_file.mtime != slave_file.mtime:
+                divergences.append(
+                    FsDivergence(path, "metadata", master_file.mtime, slave_file.mtime)
+                )
+        return divergences

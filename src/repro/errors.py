@@ -1,0 +1,99 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Front-end errors
+carry source positions; runtime errors carry the executing function and
+instruction index when available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SourceLocation:
+    """A (line, column) position inside a MiniC source text."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class LexerError(ReproError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"lex error at {location}: {message}")
+        self.location = location
+
+
+class ParseError(ReproError):
+    """Raised when the parser meets an unexpected token."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"parse error at {location}: {message}")
+        self.location = location
+
+
+class SemanticError(ReproError):
+    """Raised by static checks: unknown names, arity mismatches, bad breaks."""
+
+    def __init__(self, message: str, location: SourceLocation = None) -> None:
+        where = f" at {location}" if location is not None else ""
+        super().__init__(f"semantic error{where}: {message}")
+        self.location = location
+
+
+class LoweringError(ReproError):
+    """Raised when the AST-to-IR lowering meets an unsupported construct."""
+
+
+class InterpreterError(ReproError):
+    """Raised for runtime failures inside the MiniC interpreter."""
+
+    def __init__(self, message: str, function: str = None, index: int = None) -> None:
+        where = ""
+        if function is not None:
+            where = f" in {function}"
+            if index is not None:
+                where += f"@{index}"
+        super().__init__(f"runtime error{where}: {message}")
+        self.function = function
+        self.index = index
+
+
+class SyscallError(ReproError):
+    """Raised by the virtual OS for failing syscalls (bad fd, missing file)."""
+
+    def __init__(self, errno: str, message: str) -> None:
+        super().__init__(f"{errno}: {message}")
+        self.errno = errno
+
+
+class InstrumentationError(ReproError):
+    """Raised when counter instrumentation cannot process a CFG."""
+
+
+class DualExecutionError(ReproError):
+    """Raised by the LDX engine for unrecoverable coupling failures."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition is inconsistent or unknown."""

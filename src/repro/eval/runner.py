@@ -1,0 +1,35 @@
+"""Run the complete evaluation and produce an EXPERIMENTS-style report."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.eval.figure6 import render_figure6, run_figure6
+from repro.eval.mutation_study import render_mutation_study, run_mutation_study
+from repro.eval.table1 import render_table1, run_table1
+from repro.eval.table2 import render_table2, run_table2
+from repro.eval.table3 import render_table3, run_table3
+from repro.eval.table4 import render_table4, run_table4
+
+
+def run_all(table4_runs: int = 100, verbose: bool = False) -> str:
+    """Run every experiment; return the combined plain-text report."""
+    sections: List[str] = []
+
+    def add(text: str) -> None:
+        sections.append(text)
+        if verbose:
+            print(text)
+            print()
+
+    add(render_table1(run_table1()))
+    add(render_figure6(run_figure6()))
+    add(render_table2(run_table2()))
+    add(render_table3(run_table3()))
+    add(render_table4(run_table4(runs=table4_runs), table4_runs))
+    add(render_mutation_study(run_mutation_study()))
+    return "\n\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run_all(verbose=False))

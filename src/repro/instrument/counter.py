@@ -1,0 +1,65 @@
+"""Algorithm 1 — basic counter computation on an acyclic CFG.
+
+Given an acyclic graph view of a function, compute for every node the
+maximum number of syscalls along any path from the entry, and derive the
+edge deltas that make the runtime counter equal that maximum along
+*every* path (the compensation that re-synchronizes divergent paths at
+join points).
+
+Following the paper: a syscall node's ``+1`` lands on its incoming
+edges; a direct call to an instrumented function contributes the
+callee's total (``FCNT``) *after* the incoming edges are instrumented,
+because the increments physically happen inside the callee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.cfg.graph import Digraph
+
+Edge = Tuple[int, int]
+
+
+class CounterSolution:
+    """Result of Algorithm 1 on one acyclic graph."""
+
+    def __init__(self) -> None:
+        # Counter value when *arriving* at a node (after its syscall +1,
+        # before its call increment).
+        self.pre: Dict[int, int] = {}
+        # Counter value after the node completes (incl. call increment).
+        self.post: Dict[int, int] = {}
+        # Edge -> delta to add when traversing it (only non-zero ones).
+        self.edge_delta: Dict[Edge, int] = {}
+
+
+def compute_counters(
+    graph: Digraph,
+    entry: int,
+    is_syscall_node: Callable[[int], bool],
+    call_increment: Callable[[int], int],
+) -> CounterSolution:
+    """Run Algorithm 1 over an acyclic *graph*.
+
+    ``is_syscall_node(n)`` — True when node *n* performs a syscall.
+    ``call_increment(n)`` — FCNT of the callee for direct calls to
+    instrumented functions, else 0.
+
+    Only nodes reachable from *entry* participate; unreachable nodes get
+    no counter values and their edges no deltas (they never execute).
+    """
+    solution = CounterSolution()
+    reachable = graph.reachable_from(entry)
+    order = graph.topological_order(restrict_to=reachable)
+    for node in order:
+        preds = [p for p in graph.preds(node) if p in reachable]
+        base = max((solution.post[p] for p in preds), default=0)
+        pre = base + (1 if is_syscall_node(node) else 0)
+        solution.pre[node] = pre
+        for pred in preds:
+            delta = pre - solution.post[pred]
+            if delta != 0:
+                solution.edge_delta[(pred, node)] = delta
+        solution.post[node] = pre + call_increment(node)
+    return solution

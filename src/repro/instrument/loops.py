@@ -1,0 +1,172 @@
+"""Algorithm 3 — counter instrumentation in the presence of loops.
+
+The transformation (paper, Section 5):
+
+1. remove every back edge ``t -> h``;
+2. for loops whose body can increment the counter (they contain a
+   syscall or a call that may reach one), also remove their exit edges
+   ``s -> d`` and insert dummy edges ``latch -> d`` so the exit node's
+   static counter reflects one full iteration;
+3. run Algorithm 1 on the now-acyclic graph;
+4. instrument back edges of counter-relevant loops with a barrier
+   (``sync()``) plus a counter reset to the loop-head value, and exit
+   edges with the compensation ``cnt += cnt[d] - cnt[s]``.
+
+Loops that cannot reach a syscall get no barrier and no actions — the
+paper's "we only need to instrument loops that include syscalls".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.cfg.graph import Digraph, function_digraph
+from repro.cfg.loops import Loop, find_loops
+from repro.instrument.counter import CounterSolution, compute_counters
+from repro.instrument.plan import CounterAdd, FunctionPlan, LoopExit, LoopSync
+from repro.ir import instructions as ins
+from repro.ir.function import IRFunction
+
+Edge = Tuple[int, int]
+
+
+class LoopTransform:
+    """The acyclic view of a function CFG plus what was removed/added."""
+
+    def __init__(self) -> None:
+        self.graph: Digraph = Digraph()
+        self.removed_back_edges: List[Tuple[Edge, Loop]] = []
+        self.removed_exit_edges: List[Tuple[Edge, Loop]] = []
+        self.dummy_edges: Set[Edge] = set()
+        self.barrier_loops: Set[int] = set()
+        self.loops: Dict[int, Loop] = {}
+
+
+def _loop_can_increment(
+    loop: Loop,
+    function: IRFunction,
+    may_reach_syscall: Callable[[str], bool],
+) -> bool:
+    """True when executing the loop body may change the counter or
+    perform a syscall (directly or through calls)."""
+    for index in loop.body:
+        instr = function.instrs[index]
+        if isinstance(instr, ins.Syscall):
+            return True
+        if isinstance(instr, ins.CallIndirect):
+            return True  # unknown target: conservatively yes
+        if isinstance(instr, ins.CallDirect) and may_reach_syscall(instr.func):
+            return True
+    return False
+
+
+def build_loop_transform(
+    function: IRFunction,
+    may_reach_syscall: Callable[[str], bool],
+) -> LoopTransform:
+    """Build the acyclic transformed graph for one function."""
+    transform = LoopTransform()
+    graph = function_digraph(function)
+    loops = find_loops(graph, function.entry)
+    transform.loops = loops
+
+    trans = graph.copy()
+    for head in sorted(loops):
+        loop = loops[head]
+        barrier = _loop_can_increment(loop, function, may_reach_syscall)
+        if barrier:
+            transform.barrier_loops.add(head)
+        for back_edge in loop.back_edges:
+            trans.remove_edge(*back_edge)
+            transform.removed_back_edges.append((back_edge, loop))
+        if not barrier:
+            continue
+        for exit_edge in loop.exit_edges:
+            src, dst = exit_edge
+            if trans.has_edge(src, dst):
+                trans.remove_edge(src, dst)
+            transform.removed_exit_edges.append((exit_edge, loop))
+            for latch in loop.latches:
+                if not graph.has_edge(latch, dst):
+                    trans.add_edge(latch, dst)
+                    transform.dummy_edges.add((latch, dst))
+    transform.graph = trans
+    return transform
+
+
+def plan_function(
+    function: IRFunction,
+    fcnt: Dict[str, int],
+    recursive_functions: Set[str],
+    may_reach_syscall: Callable[[str], bool],
+) -> FunctionPlan:
+    """Produce the full instrumentation plan for one function.
+
+    ``fcnt`` holds the totals of already-instrumented callees
+    (Algorithm 1 processes the call graph in reverse topological order,
+    so every non-recursive callee of this function is present).
+    """
+    plan = FunctionPlan(function.name)
+    transform = build_loop_transform(function, may_reach_syscall)
+    plan.loop_heads = set(transform.loops)
+    plan.barrier_loops = set(transform.barrier_loops)
+
+    # Scoped call sites: indirect calls and calls to recursive functions
+    # open a fresh counter scope (Section 6; recursion per Section 5).
+    for index, instr in enumerate(function.instrs):
+        if isinstance(instr, ins.CallIndirect):
+            plan.scoped_calls.add(index)
+        elif isinstance(instr, ins.CallDirect) and instr.func in recursive_functions:
+            plan.scoped_calls.add(index)
+
+    def is_syscall_node(node: int) -> bool:
+        return isinstance(function.instrs[node], ins.Syscall)
+
+    def call_increment(node: int) -> int:
+        instr = function.instrs[node]
+        if isinstance(instr, ins.CallDirect) and node not in plan.scoped_calls:
+            return fcnt.get(instr.func, 0)
+        return 0
+
+    solution = compute_counters(
+        transform.graph, function.entry, is_syscall_node, call_increment
+    )
+    plan.counter_at = dict(solution.pre)
+    plan.counter_after = dict(solution.post)
+    plan.fcnt = solution.post.get(function.exit, 0)
+
+    _emit_actions(plan, transform, solution)
+    return plan
+
+
+def _emit_actions(
+    plan: FunctionPlan, transform: LoopTransform, solution: CounterSolution
+) -> None:
+    # Plain compensations on surviving real edges (skip pure-dummy edges:
+    # they exist only to make exit-node counters computable).
+    for edge, delta in solution.edge_delta.items():
+        if edge in transform.dummy_edges:
+            continue
+        plan.add_action(edge, CounterAdd(delta))
+
+    # Back edges: barrier + reset for counter-relevant loops.
+    for (latch, head), loop in transform.removed_back_edges:
+        if head not in transform.barrier_loops:
+            continue
+        if head not in solution.post or latch not in solution.post:
+            continue  # unreachable loop
+        reset_to = solution.post[head]
+        plan.add_action((latch, head), LoopSync(head, reset_to))
+        delta = reset_to - solution.post[latch]
+        if delta != 0:
+            plan.add_action((latch, head), CounterAdd(delta))
+
+    # Exit edges: close the iteration bookkeeping and raise the counter
+    # to the after-loop value.
+    for (src, dst), loop in transform.removed_exit_edges:
+        if src not in solution.post or dst not in solution.pre:
+            continue
+        plan.add_action((src, dst), LoopExit(loop.head))
+        delta = solution.pre[dst] - solution.post[src]
+        if delta != 0:
+            plan.add_action((src, dst), CounterAdd(delta))

@@ -1,0 +1,165 @@
+"""Instrumentation plan data structures.
+
+LDX's compiler pass attaches counter updates to CFG edges.  Our
+interpreter executes the unmodified IR but consults a *plan* on every
+control transfer: the plan maps edges to actions, and call sites to
+counter-scope behaviour.  This keeps the IR unchanged (the same module
+runs natively, under taint, or under LDX) while being semantically the
+same as rewriting edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+class EdgeAction:
+    """Base class for actions executed when control crosses an edge."""
+
+    __slots__ = ()
+
+
+class CounterAdd(EdgeAction):
+    """``cnt += delta`` — Algorithm 1's edge compensation."""
+
+    __slots__ = ("delta",)
+
+    def __init__(self, delta: int) -> None:
+        self.delta = delta
+
+    def __repr__(self) -> str:
+        sign = "+" if self.delta >= 0 else ""
+        return f"cnt {sign}{self.delta}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CounterAdd) and self.delta == other.delta
+
+
+class LoopSync(EdgeAction):
+    """Back-edge barrier: ``sync(); cnt = reset_to`` (Algorithm 3).
+
+    ``head`` identifies the loop (its head node index) so runtime queue
+    pruning can discard per-iteration syscall outcomes; ``reset_to`` is
+    the static counter value at the loop head.
+    """
+
+    __slots__ = ("head", "reset_to")
+
+    def __init__(self, head: int, reset_to: int) -> None:
+        self.head = head
+        self.reset_to = reset_to
+
+    def __repr__(self) -> str:
+        return f"sync(loop@{self.head}); cnt = {self.reset_to}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LoopSync)
+            and self.head == other.head
+            and self.reset_to == other.reset_to
+        )
+
+
+class LoopExit(EdgeAction):
+    """Marks leaving a barrier loop; closes its iteration bookkeeping.
+
+    The runtime keeps a per-thread stack of (loop, iteration-count)
+    records so back-edge barriers can rendezvous on the *same iteration*
+    of the *same loop*; this action pops the record when the loop is
+    left through any exit edge.
+    """
+
+    __slots__ = ("head",)
+
+    def __init__(self, head: int) -> None:
+        self.head = head
+
+    def __repr__(self) -> str:
+        return f"exit(loop@{self.head})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LoopExit) and self.head == other.head
+
+
+class FunctionPlan:
+    """Instrumentation of one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # Edge -> ordered action list (barrier first, then counter math).
+        self.actions: Dict[Edge, List[EdgeAction]] = {}
+        # Call-site instruction indices that open a fresh counter scope
+        # (indirect calls + calls to recursive functions).
+        self.scoped_calls: Set[int] = set()
+        # Static counter value on arrival at each node (after its syscall
+        # +1, before its call increment).
+        self.counter_at: Dict[int, int] = {}
+        # Static counter value after each node (Algorithm 1's cnt[]).
+        self.counter_after: Dict[int, int] = {}
+        # Total counter increment of the function (FCNT).
+        self.fcnt: int = 0
+        # Loops that received back-edge barriers, by head node.
+        self.barrier_loops: Set[int] = set()
+        # Loops considered at all (with back edges), by head node.
+        self.loop_heads: Set[int] = set()
+
+    def actions_for(self, src: int, dst: int) -> Optional[List[EdgeAction]]:
+        """Actions on edge src->dst, or None."""
+        return self.actions.get((src, dst))
+
+    def add_action(self, edge: Edge, action: EdgeAction) -> None:
+        self.actions.setdefault(edge, []).append(action)
+
+    @property
+    def instrumented_edge_count(self) -> int:
+        return len(self.actions)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FunctionPlan {self.name} edges={len(self.actions)} "
+            f"fcnt={self.fcnt} scoped={len(self.scoped_calls)}>"
+        )
+
+
+class ModulePlan:
+    """Instrumentation of a whole module plus static statistics."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionPlan] = {}
+        # FCNT per non-recursive function (Algorithm 1's FCNT table).
+        self.fcnt: Dict[str, int] = {}
+        self.recursive_functions: Set[str] = set()
+        self.may_reach_syscall: Set[str] = set()
+
+    def plan_for(self, name: str) -> FunctionPlan:
+        return self.functions[name]
+
+    # -- static statistics for Table 1 ----------------------------------------
+
+    @property
+    def instrumented_instruction_count(self) -> int:
+        """Number of inserted counter-update/barrier sites."""
+        return sum(
+            len(actions)
+            for plan in self.functions.values()
+            for actions in plan.actions.values()
+        )
+
+    @property
+    def instrumented_loop_count(self) -> int:
+        return sum(len(plan.barrier_loops) for plan in self.functions.values())
+
+    @property
+    def scoped_call_count(self) -> int:
+        return sum(len(plan.scoped_calls) for plan in self.functions.values())
+
+    @property
+    def max_static_counter(self) -> int:
+        """Largest static counter value anywhere (paper's "Max Cnt.")."""
+        best = 0
+        for plan in self.functions.values():
+            if plan.counter_after:
+                best = max(best, max(plan.counter_after.values()))
+        return best

@@ -1,0 +1,19 @@
+"""The MiniC interpreter: machine, events, builtins and cost model."""
+
+from repro.interp.costs import DEFAULT_COSTS, CostModel
+from repro.interp.events import BarrierEvent, Event, SyscallEvent
+from repro.interp.machine import Machine, MachineStats, ThreadState
+from repro.interp.resolve import resolve_event_locally, resolve_syscall_locally
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "CostModel",
+    "BarrierEvent",
+    "Event",
+    "SyscallEvent",
+    "Machine",
+    "MachineStats",
+    "ThreadState",
+    "resolve_event_locally",
+    "resolve_syscall_locally",
+]

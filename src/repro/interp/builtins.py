@@ -1,0 +1,356 @@
+"""Implementations of the pure MiniC builtins.
+
+Each builtin receives already-evaluated argument values and returns a
+MiniC value.  Arity and type errors raise InterpreterError — static
+checks cannot validate intrinsic arity, so the runtime does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import InterpreterError
+from repro.ir.instructions import FuncRef
+from repro.ir.ops import stringify
+from repro.lang.intrinsics import PURE_BUILTINS
+
+_I32_MASK = 0xFFFFFFFF
+
+
+def _to_i32(value: int) -> int:
+    value &= _I32_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _need(args, count, name):
+    if len(args) != count:
+        raise InterpreterError(f"{name}() expects {count} args, got {len(args)}")
+
+
+def _need_str(value, name):
+    if not isinstance(value, str):
+        raise InterpreterError(f"{name}() expects a string")
+    return value
+
+
+def _need_list(value, name):
+    if not isinstance(value, list):
+        raise InterpreterError(f"{name}() expects a list")
+    return value
+
+
+def _need_int(value, name):
+    if isinstance(value, bool):
+        return int(value)
+    if not isinstance(value, int):
+        raise InterpreterError(f"{name}() expects an int")
+    return value
+
+
+def _builtin_len(args):
+    _need(args, 1, "len")
+    value = args[0]
+    if isinstance(value, (str, list)):
+        return len(value)
+    raise InterpreterError("len() expects a string or list")
+
+
+def _builtin_min(args):
+    _need(args, 2, "min")
+    return min(_need_int(args[0], "min"), _need_int(args[1], "min"))
+
+
+def _builtin_max(args):
+    _need(args, 2, "max")
+    return max(_need_int(args[0], "max"), _need_int(args[1], "max"))
+
+
+def _builtin_abs(args):
+    _need(args, 1, "abs")
+    return abs(_need_int(args[0], "abs"))
+
+
+def _builtin_hash32(args):
+    _need(args, 1, "hash32")
+    # FNV-1a over the stringified value; deterministic across runs.
+    state = 2166136261
+    for ch in stringify(args[0]):
+        state ^= ord(ch)
+        state = (state * 16777619) & _I32_MASK
+    return state & 0x7FFFFFFF
+
+
+def _builtin_to_str(args):
+    _need(args, 1, "to_str")
+    return stringify(args[0])
+
+
+def _builtin_parse_int(args):
+    _need(args, 1, "parse_int")
+    text = args[0]
+    if isinstance(text, int) and not isinstance(text, bool):
+        return text
+    if not isinstance(text, str):
+        return None
+    text = text.strip()
+    negative = text.startswith("-")
+    digits = text[1:] if negative else text
+    if not digits.isdigit():
+        return None
+    value = int(digits)
+    return -value if negative else value
+
+
+def _builtin_ord(args):
+    _need(args, 1, "ord")
+    text = _need_str(args[0], "ord")
+    if len(text) != 1:
+        raise InterpreterError("ord() expects a 1-char string")
+    return ord(text)
+
+
+def _builtin_chr(args):
+    _need(args, 1, "chr")
+    value = _need_int(args[0], "chr")
+    if not (0 <= value < 0x110000):
+        raise InterpreterError("chr() out of range")
+    return chr(value)
+
+
+def _builtin_substr(args):
+    _need(args, 3, "substr")
+    text = _need_str(args[0], "substr")
+    start = _need_int(args[1], "substr")
+    end = _need_int(args[2], "substr")
+    start = max(0, start)
+    end = max(start, min(end, len(text)))
+    return text[start:end]
+
+
+def _builtin_str_find(args):
+    _need(args, 2, "str_find")
+    return _need_str(args[0], "str_find").find(_need_str(args[1], "str_find"))
+
+
+def _builtin_str_split(args):
+    _need(args, 2, "str_split")
+    text = _need_str(args[0], "str_split")
+    sep = _need_str(args[1], "str_split")
+    if sep == "":
+        return list(text)
+    return text.split(sep)
+
+
+def _builtin_str_join(args):
+    _need(args, 2, "str_join")
+    items = _need_list(args[0], "str_join")
+    sep = _need_str(args[1], "str_join")
+    return sep.join(stringify(item) for item in items)
+
+
+def _builtin_str_upper(args):
+    _need(args, 1, "str_upper")
+    return _need_str(args[0], "str_upper").upper()
+
+
+def _builtin_str_lower(args):
+    _need(args, 1, "str_lower")
+    return _need_str(args[0], "str_lower").lower()
+
+
+def _builtin_str_replace(args):
+    _need(args, 3, "str_replace")
+    return _need_str(args[0], "str_replace").replace(
+        _need_str(args[1], "str_replace"), _need_str(args[2], "str_replace")
+    )
+
+
+def _builtin_str_repeat(args):
+    _need(args, 2, "str_repeat")
+    count = _need_int(args[1], "str_repeat")
+    if count < 0:
+        raise InterpreterError("str_repeat() negative count")
+    return _need_str(args[0], "str_repeat") * count
+
+
+def _builtin_starts_with(args):
+    _need(args, 2, "starts_with")
+    return _need_str(args[0], "starts_with").startswith(
+        _need_str(args[1], "starts_with")
+    )
+
+
+def _builtin_ends_with(args):
+    _need(args, 2, "ends_with")
+    return _need_str(args[0], "ends_with").endswith(_need_str(args[1], "ends_with"))
+
+
+def _builtin_str_strip(args):
+    _need(args, 1, "str_strip")
+    return _need_str(args[0], "str_strip").strip()
+
+
+def _builtin_push(args):
+    _need(args, 2, "push")
+    items = _need_list(args[0], "push")
+    items.append(args[1])
+    return items
+
+
+def _builtin_pop(args):
+    _need(args, 1, "pop")
+    items = _need_list(args[0], "pop")
+    if not items:
+        raise InterpreterError("pop() from empty list")
+    return items.pop()
+
+
+def _builtin_list_new(args):
+    _need(args, 2, "list_new")
+    count = _need_int(args[0], "list_new")
+    if count < 0:
+        raise InterpreterError("list_new() negative size")
+    return [args[1]] * count
+
+
+def _builtin_list_fill(args):
+    _need(args, 2, "list_fill")
+    items = _need_list(args[0], "list_fill")
+    for index in range(len(items)):
+        items[index] = args[1]
+    return items
+
+
+def _builtin_sort(args):
+    _need(args, 1, "sort")
+    items = _need_list(args[0], "sort")
+    try:
+        return sorted(items)
+    except TypeError:
+        raise InterpreterError("sort() needs comparable elements")
+
+
+def _builtin_contains(args):
+    _need(args, 2, "contains")
+    haystack = args[0]
+    if isinstance(haystack, str):
+        return _need_str(args[1], "contains") in haystack
+    if isinstance(haystack, list):
+        return args[1] in haystack
+    raise InterpreterError("contains() expects a string or list")
+
+
+def _builtin_index_of(args):
+    _need(args, 2, "index_of")
+    items = _need_list(args[0], "index_of")
+    try:
+        return items.index(args[1])
+    except ValueError:
+        return -1
+
+
+def _builtin_slice(args):
+    _need(args, 3, "slice")
+    items = _need_list(args[0], "slice")
+    start = max(0, _need_int(args[1], "slice"))
+    end = max(start, min(_need_int(args[2], "slice"), len(items)))
+    return items[start:end]
+
+
+def _builtin_concat(args):
+    _need(args, 2, "concat")
+    return _need_list(args[0], "concat") + _need_list(args[1], "concat")
+
+
+def _builtin_reverse(args):
+    _need(args, 1, "reverse")
+    value = args[0]
+    if isinstance(value, str):
+        return value[::-1]
+    if isinstance(value, list):
+        return value[::-1]
+    raise InterpreterError("reverse() expects a string or list")
+
+
+def _builtin_i32_add(args):
+    _need(args, 2, "i32_add")
+    return _to_i32(_need_int(args[0], "i32_add") + _need_int(args[1], "i32_add"))
+
+
+def _builtin_i32_mul(args):
+    _need(args, 2, "i32_mul")
+    return _to_i32(_need_int(args[0], "i32_mul") * _need_int(args[1], "i32_mul"))
+
+
+def _builtin_i32_sub(args):
+    _need(args, 2, "i32_sub")
+    return _to_i32(_need_int(args[0], "i32_sub") - _need_int(args[1], "i32_sub"))
+
+
+def _builtin_is_nil(args):
+    _need(args, 1, "is_nil")
+    return args[0] is None
+
+
+def _builtin_is_str(args):
+    _need(args, 1, "is_str")
+    return isinstance(args[0], str)
+
+
+def _builtin_is_int(args):
+    _need(args, 1, "is_int")
+    return isinstance(args[0], int) and not isinstance(args[0], bool)
+
+
+def _builtin_is_list(args):
+    _need(args, 1, "is_list")
+    return isinstance(args[0], list)
+
+
+def _builtin_type_of(args):
+    _need(args, 1, "type_of")
+    value = args[0]
+    if value is None:
+        return "nil"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, list):
+        return "list"
+    if isinstance(value, FuncRef):
+        return "fn"
+    raise InterpreterError(f"unknown value type {type(value).__name__}")
+
+
+BUILTINS: Dict[str, Callable[[List[object]], object]] = {
+    name[len("_builtin_") :]: func
+    for name, func in list(globals().items())
+    if name.startswith("_builtin_")
+}
+
+# Builtins whose first argument is mutated in place; taint baselines
+# need this to propagate taint into the container.
+MUTATING_BUILTINS = frozenset({"push", "list_fill"})
+
+
+def call_builtin(name: str, args: List[object]):
+    """Invoke a pure builtin by name."""
+    handler = BUILTINS.get(name)
+    if handler is None:
+        raise InterpreterError(f"unknown builtin {name!r}")
+    return handler(args)
+
+
+def _validate_coverage() -> None:
+    missing = PURE_BUILTINS - set(BUILTINS)
+    extra = set(BUILTINS) - PURE_BUILTINS
+    if missing or extra:
+        raise AssertionError(
+            f"builtin registry mismatch: missing={sorted(missing)} extra={sorted(extra)}"
+        )
+
+
+_validate_coverage()

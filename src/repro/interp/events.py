@@ -1,0 +1,96 @@
+"""Events surfaced by an executing machine to its driver.
+
+A machine (one program execution) never touches its environment
+directly — it *yields* events.  The driver (native runner, LDX engine,
+a baseline) resolves each event and resumes the machine.  This is the
+interpreter-level analogue of the paper's syscall interception wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Event:
+    """Base class for machine events."""
+
+    __slots__ = ("machine", "thread_id", "function", "index", "counter")
+
+    def __init__(
+        self,
+        machine,
+        thread_id: int,
+        function: str,
+        index: int,
+        counter: Tuple[int, ...],
+    ) -> None:
+        self.machine = machine
+        self.thread_id = thread_id
+        self.function = function
+        self.index = index
+        # Snapshot of the thread's counter stack at the event.
+        self.counter = counter
+
+
+class SyscallEvent(Event):
+    """The thread is at a syscall; the driver must supply its result."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(
+        self,
+        machine,
+        thread_id: int,
+        function: str,
+        index: int,
+        counter: Tuple[int, ...],
+        name: str,
+        args: tuple,
+    ) -> None:
+        super().__init__(machine, thread_id, function, index, counter)
+        self.name = name
+        self.args = args
+
+    def __repr__(self) -> str:
+        return (
+            f"<Syscall {self.name}{self.args} cnt={self.counter} "
+            f"at {self.function}@{self.index} t{self.thread_id}>"
+        )
+
+
+class BarrierEvent(Event):
+    """The thread reached a loop back-edge barrier (Algorithm 3 sync()).
+
+    ``iteration`` is the 1-based count of back-edge crossings of this
+    loop activation; two executions align barrier crossings with equal
+    (function, loop_head, iteration).
+    """
+
+    __slots__ = ("loop_head", "reset_to", "iteration")
+
+    def __init__(
+        self,
+        machine,
+        thread_id: int,
+        function: str,
+        index: int,
+        counter: Tuple[int, ...],
+        loop_head: int,
+        reset_to: int,
+        iteration: int = 0,
+    ) -> None:
+        super().__init__(machine, thread_id, function, index, counter)
+        self.loop_head = loop_head
+        self.reset_to = reset_to
+        self.iteration = iteration
+
+    @property
+    def loop_key(self) -> Tuple[str, int, int]:
+        """Identity of this barrier crossing across executions."""
+        return (self.function, self.loop_head, self.iteration)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Barrier loop@{self.loop_head}#{self.iteration} cnt={self.counter} "
+            f"in {self.function} t{self.thread_id}>"
+        )

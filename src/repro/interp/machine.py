@@ -1,0 +1,714 @@
+"""The MiniC execution machine.
+
+One :class:`Machine` is one program execution (the paper's master *or*
+slave).  It interprets the IR instruction by instruction, maintains the
+per-thread LDX counter stacks, applies the instrumentation plan's edge
+actions on control transfers, and *yields* events (syscalls, loop
+barriers) to whatever driver owns it.
+
+The machine is driver-agnostic: the native runner resolves events
+locally; the LDX engine couples two machines; the taint baselines hook
+every instruction.  Nothing in here knows about dual execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import InterpreterError
+from repro.instrument.plan import (
+    CounterAdd,
+    FunctionPlan,
+    LoopExit,
+    LoopSync,
+    ModulePlan,
+)
+from repro.interp.builtins import call_builtin
+from repro.interp.costs import DEFAULT_COSTS, CostModel
+from repro.interp.events import BarrierEvent, Event, SyscallEvent
+from repro.ir import instructions as ins
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.ops import apply_binop, apply_unop, truthy
+from repro.vos.clock import DeterministicRng
+from repro.vos.kernel import Kernel
+
+# Thread statuses.
+RUNNABLE = "runnable"
+WAIT_SYSCALL = "wait-syscall"
+WAIT_BARRIER = "wait-barrier"
+WAIT_JOIN = "wait-join"
+WAIT_MUTEX = "wait-mutex"
+DONE = "done"
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "plan", "index", "locals", "return_dst", "scoped")
+
+    def __init__(
+        self,
+        function: IRFunction,
+        plan: Optional[FunctionPlan],
+        return_dst: Optional[str],
+        scoped: bool,
+    ) -> None:
+        self.function = function
+        self.plan = plan
+        self.index = function.entry
+        self.locals: Dict[str, object] = {}
+        self.return_dst = return_dst
+        self.scoped = scoped
+
+
+class ThreadState:
+    """One thread: frames, counter stack, virtual clock, status."""
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.frames: List[Frame] = []
+        self.counter_stack: List[int] = [0]
+        self.clock = 0.0
+        self.status = RUNNABLE
+        self.result: object = None
+        # Set while a syscall awaits its result.
+        self.pending_event: Optional[Event] = None
+        # (dst, remaining_actions) while a barrier splits an edge.
+        self.pending_transition: Optional[Tuple[int, List[object]]] = None
+        # tid this thread waits to join.
+        self.join_target: Optional[int] = None
+        self.waiting_mutex: Optional[int] = None
+        # Active barrier-loop records: [frame_depth, function, head, count].
+        # Back-edge crossings bump `count`; loop exits pop the record —
+        # this is what lets two executions rendezvous on the same
+        # iteration of the same loop.
+        self.loop_stack: List[List[object]] = []
+
+    @property
+    def counter(self) -> Tuple[int, ...]:
+        return tuple(self.counter_stack)
+
+    @property
+    def done(self) -> bool:
+        return self.status == DONE
+
+
+class MachineStats:
+    """Runtime statistics (feeds Table 1's dynamic columns)."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.edge_actions = 0
+        self.syscalls = 0
+        self.barriers = 0
+        self.counter_samples: List[int] = []
+        self.max_stack_depth = 1
+
+    @property
+    def avg_counter(self) -> float:
+        if not self.counter_samples:
+            return 0.0
+        return sum(self.counter_samples) / len(self.counter_samples)
+
+    @property
+    def max_counter(self) -> int:
+        return max(self.counter_samples, default=0)
+
+
+class Machine:
+    """One program execution over a kernel, surfacing events."""
+
+    def __init__(
+        self,
+        module: IRModule,
+        kernel: Kernel,
+        plan: Optional[ModulePlan] = None,
+        costs: CostModel = None,
+        name: str = "exec",
+        schedule_seed: int = 0,
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        self.module = module
+        self.kernel = kernel
+        self.plan = plan
+        self.costs = costs or DEFAULT_COSTS
+        self.name = name
+        self.globals: Dict[str, object] = dict(module.global_values)
+        self.threads: List[ThreadState] = []
+        self.stats = MachineStats()
+        self.finished = False
+        self.exit_code: Optional[int] = None
+        self.max_instructions = max_instructions
+        # Mutex id -> owner tid (None when free) and FIFO wait queues.
+        self._mutex_owner: Dict[int, Optional[int]] = {}
+        self._mutex_queue: Dict[int, List[int]] = {}
+        # Scheduling jitter source — models racy thread interleavings.
+        self._sched_rng = DeterministicRng(schedule_seed * 7919 + 17)
+        # Optional per-instruction hook: hook(thread, frame, instr).
+        # Used by the taint and DualEx baselines.
+        self.instr_hook: Optional[Callable[[ThreadState, Frame, ins.Instr], None]] = None
+        # Events raised while servicing a driver call (e.g. a barrier on
+        # the edge just past a completed syscall); drained first.
+        self._deferred_events: List[Event] = []
+        # Optional callback fired on every successful lock acquisition:
+        # lock_hook(mutex_id, tid).  The LDX engine uses it to record
+        # (master) and track (slave) lock acquisition order.
+        self.lock_hook: Optional[Callable[[int, int], None]] = None
+        # Optional frame-boundary hooks for analyses that mirror the
+        # call stack (taint tracking, execution indexing):
+        #   call_hook(thread, caller_frame, callee_frame, instr)
+        #   return_hook(thread, popped_frame, caller_frame, dst, value)
+        self.call_hook = None
+        self.return_hook = None
+        self._spawn_main()
+
+    # -- setup -------------------------------------------------------------------
+
+    def _plan_for(self, function_name: str) -> Optional[FunctionPlan]:
+        if self.plan is None:
+            return None
+        return self.plan.functions.get(function_name)
+
+    def _spawn_main(self) -> None:
+        main = self.module.function("main")
+        thread = ThreadState(0)
+        thread.frames.append(Frame(main, self._plan_for("main"), None, False))
+        self.threads.append(thread)
+
+    # -- public driving API ---------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """The machine's virtual time = max over its threads."""
+        return max((thread.clock for thread in self.threads), default=0.0)
+
+    def runnable_threads(self) -> List[ThreadState]:
+        return [t for t in self.threads if t.status == RUNNABLE]
+
+    def has_pending_work(self) -> bool:
+        """True when next_event() can make progress without the driver."""
+        if self.finished:
+            return False
+        if self._deferred_events or self.runnable_threads():
+            return True
+        # All threads done: one more next_event() call flips `finished`.
+        if all(thread.done for thread in self.threads):
+            return True
+        # A joiner whose target finished resumes without the driver.
+        for thread in self.threads:
+            if thread.status == WAIT_JOIN and self.threads[thread.join_target].done:
+                return True
+        return False
+
+    def next_event(self) -> Optional[Event]:
+        """Advance until the next event.
+
+        Returns None when execution finished *or* when every live
+        thread is blocked on the driver (check ``finished`` to tell the
+        two apart).  Raises InterpreterError on internal deadlock (all
+        threads blocked on machine-internal conditions).
+        """
+        while not self.finished:
+            self._wake_joiners()
+            if self._deferred_events:
+                return self._deferred_events.pop(0)
+            runnable = self.runnable_threads()
+            if not runnable:
+                if all(t.done for t in self.threads):
+                    self.finished = True
+                    return None
+                blocked_externally = [
+                    t
+                    for t in self.threads
+                    if t.status in (WAIT_SYSCALL, WAIT_BARRIER)
+                ]
+                if blocked_externally:
+                    # The driver owes us a resolution; yield control.
+                    return None
+                raise InterpreterError(f"{self.name}: thread deadlock")
+            thread = self._pick_thread(runnable)
+            event = self._run_thread(thread)
+            if event is not None:
+                return event
+        return None
+
+    def _pick_thread(self, runnable: List[ThreadState]) -> ThreadState:
+        """Discrete-event choice: least virtual time first; ties broken
+        by seeded jitter (the source of racy interleavings)."""
+        least = min(t.clock for t in runnable)
+        candidates = [t for t in runnable if t.clock <= least + 1e-9]
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self._sched_rng.next_int(len(candidates))]
+
+    def complete_syscall(self, event: SyscallEvent, value: object) -> None:
+        """Deliver a syscall result and resume the thread."""
+        thread = self.threads[event.thread_id]
+        if thread.pending_event is not event:
+            raise InterpreterError(f"{self.name}: stale syscall completion")
+        frame = thread.frames[-1]
+        instr = frame.function.instrs[frame.index]
+        self._write(thread, frame, instr.dst, value)
+        thread.pending_event = None
+        thread.status = RUNNABLE
+        deferred = self._advance(thread, frame, frame.index, self._single_successor(frame))
+        if deferred is not None:
+            self._deferred_events.append(deferred)
+
+    def complete_barrier(self, event: BarrierEvent) -> None:
+        """Release a thread blocked at a loop back-edge barrier."""
+        thread = self.threads[event.thread_id]
+        if thread.pending_event is not event:
+            raise InterpreterError(f"{self.name}: stale barrier completion")
+        thread.pending_event = None
+        thread.status = RUNNABLE
+
+    def terminate(self, code: int = 0) -> None:
+        """End the whole process (exit syscall or fatal error)."""
+        for thread in self.threads:
+            thread.status = DONE
+        self.exit_code = code
+        self.finished = True
+
+    def charge(self, thread_id: int, amount: float) -> None:
+        """Add cost to a thread's clock (drivers charge syscall costs)."""
+        self.threads[thread_id].clock += amount
+
+    def syscall_cost(self) -> float:
+        """One syscall's latency, with seeded jitter (+/-15%).
+
+        Real syscall latencies vary; the jitter perturbs thread
+        interleavings the same way OS scheduling noise does — the
+        run-to-run nondeterminism Table 4 studies.
+        """
+        jitter = 0.85 + 0.3 * (self._sched_rng.next_int(1000) / 1000.0)
+        return self.costs.syscall * jitter
+
+    def jitter_units(self, scale: float = 6.0) -> float:
+        """A small seeded latency perturbation (0..scale units)."""
+        return scale * (self._sched_rng.next_int(1000) / 1000.0)
+
+    def wait_until(self, thread_id: int, time: float) -> None:
+        """Model a spin-wait: the thread's clock jumps to *time*."""
+        thread = self.threads[thread_id]
+        if time > thread.clock:
+            thread.clock = time
+
+    # -- thread services (called by drivers to resolve thread syscalls) -------------
+
+    def spawn_thread(self, func_ref, arg) -> int:
+        """Create a new thread running func_ref(arg); returns its tid."""
+        if not isinstance(func_ref, ins.FuncRef):
+            raise InterpreterError("thread_spawn() needs a function reference")
+        function = self.module.function(func_ref.name)
+        if len(function.params) != 1:
+            raise InterpreterError("thread entry function must take 1 parameter")
+        thread = ThreadState(len(self.threads))
+        frame = Frame(function, self._plan_for(function.name), None, False)
+        frame.locals[function.params[0]] = arg
+        thread.frames.append(frame)
+        # The child starts at the spawner's current virtual time.
+        spawner_clock = max((t.clock for t in self.threads), default=0.0)
+        thread.clock = spawner_clock
+        self.threads.append(thread)
+        return thread.tid
+
+    def join_thread(self, thread: ThreadState, target_tid) -> bool:
+        """Try to join; True when completed immediately (result stored
+        by the caller), False when the thread must wait."""
+        if not isinstance(target_tid, int) or not (0 <= target_tid < len(self.threads)):
+            raise InterpreterError(f"thread_join() of unknown tid {target_tid!r}")
+        target = self.threads[target_tid]
+        if target.done:
+            return True
+        thread.status = WAIT_JOIN
+        thread.join_target = target_tid
+        return False
+
+    def mutex_create(self) -> int:
+        mutex_id = self.kernel.new_mutex_id()
+        self._mutex_owner[mutex_id] = None
+        self._mutex_queue[mutex_id] = []
+        return mutex_id
+
+    def mutex_lock(self, thread: ThreadState, mutex_id) -> bool:
+        """Try to acquire; True on success, False when queued."""
+        if mutex_id not in self._mutex_owner:
+            raise InterpreterError(f"mutex_lock() of unknown mutex {mutex_id!r}")
+        if self._mutex_owner[mutex_id] is None:
+            self._mutex_owner[mutex_id] = thread.tid
+            if self.lock_hook is not None:
+                self.lock_hook(mutex_id, thread.tid)
+            return True
+        thread.status = WAIT_MUTEX
+        thread.waiting_mutex = mutex_id
+        self._mutex_queue[mutex_id].append(thread.tid)
+        return False
+
+    def mutex_unlock(self, thread: ThreadState, mutex_id) -> bool:
+        """Release; wakes the first waiter.  False on bogus unlock."""
+        if self._mutex_owner.get(mutex_id) != thread.tid:
+            return False
+        queue = self._mutex_queue[mutex_id]
+        if queue:
+            next_tid = queue.pop(0)
+            waiter = self.threads[next_tid]
+            self._mutex_owner[mutex_id] = next_tid
+            if self.lock_hook is not None:
+                self.lock_hook(mutex_id, next_tid)
+            waiter.status = WAIT_SYSCALL  # its lock syscall now completes
+            self._finish_lock_acquisition(waiter)
+        else:
+            self._mutex_owner[mutex_id] = None
+        return True
+
+    def mutex_holder(self, mutex_id: int) -> Optional[int]:
+        return self._mutex_owner.get(mutex_id)
+
+    def _finish_lock_acquisition(self, thread: ThreadState) -> None:
+        """A queued mutex_lock finally succeeded — deliver its result."""
+        event = thread.pending_event
+        if isinstance(event, SyscallEvent) and event.name == "mutex_lock":
+            thread.waiting_mutex = None
+            self.complete_syscall(event, 0)
+
+    def _wake_joiners(self) -> None:
+        for thread in self.threads:
+            if thread.status == WAIT_JOIN:
+                target = self.threads[thread.join_target]
+                if target.done:
+                    event = thread.pending_event
+                    thread.join_target = None
+                    self.complete_syscall(event, target.result)
+
+    # -- interpretation ----------------------------------------------------------------
+
+    def _run_thread(self, thread: ThreadState) -> Optional[Event]:
+        """Run one thread until it produces an event, blocks or ends."""
+        costs = self.costs
+        while thread.status == RUNNABLE:
+            if thread.pending_transition is not None:
+                event = self._resume_transition(thread)
+                if event is not None:
+                    return event
+                continue
+            frame = thread.frames[-1]
+            instr = frame.function.instrs[frame.index]
+            self.stats.instructions += 1
+            if self.stats.instructions > self.max_instructions:
+                raise InterpreterError(
+                    f"{self.name}: instruction budget exceeded "
+                    f"({self.max_instructions})"
+                )
+            thread.clock += costs.instruction
+            if self.instr_hook is not None:
+                self.instr_hook(thread, frame, instr)
+            event = self._execute(thread, frame, instr)
+            if event is not None:
+                return event
+        return None
+
+    def _execute(
+        self, thread: ThreadState, frame: Frame, instr: ins.Instr
+    ) -> Optional[Event]:
+        kind = type(instr)
+        if kind is ins.Const:
+            self._write(thread, frame, instr.dst, instr.value)
+        elif kind is ins.Move:
+            self._write(thread, frame, instr.dst, self._read(thread, frame, instr.src))
+        elif kind is ins.Binop:
+            self._write(
+                thread,
+                frame,
+                instr.dst,
+                apply_binop(
+                    instr.op,
+                    self._read(thread, frame, instr.left),
+                    self._read(thread, frame, instr.right),
+                ),
+            )
+        elif kind is ins.Unop:
+            self._write(
+                thread,
+                frame,
+                instr.dst,
+                apply_unop(instr.op, self._read(thread, frame, instr.operand)),
+            )
+        elif kind is ins.LoadIndex:
+            self._write(
+                thread,
+                frame,
+                instr.dst,
+                self._load_index(thread, frame, instr),
+            )
+        elif kind is ins.StoreIndex:
+            self._store_index(thread, frame, instr)
+        elif kind is ins.NewList:
+            self._write(
+                thread,
+                frame,
+                instr.dst,
+                [self._read(thread, frame, item) for item in instr.items],
+            )
+        elif kind is ins.CallBuiltin:
+            args = [self._read(thread, frame, arg) for arg in instr.args]
+            self._write(thread, frame, instr.dst, call_builtin(instr.name, args))
+        elif kind is ins.CallDirect:
+            return self._enter_call(
+                thread, frame, instr, self.module.function(instr.func)
+            )
+        elif kind is ins.CallIndirect:
+            target = self._read(thread, frame, instr.callee)
+            if not isinstance(target, ins.FuncRef):
+                raise InterpreterError(
+                    f"indirect call through non-function {target!r}",
+                    frame.function.name,
+                    frame.index,
+                )
+            function = self.module.function(target.name)
+            if len(function.params) != len(instr.args):
+                raise InterpreterError(
+                    f"{target.name}() expects {len(function.params)} args",
+                    frame.function.name,
+                    frame.index,
+                )
+            return self._enter_call(thread, frame, instr, function)
+        elif kind is ins.Syscall:
+            return self._raise_syscall(thread, frame, instr)
+        elif kind is ins.Jump:
+            return self._advance(thread, frame, frame.index, instr.target)
+        elif kind is ins.CJump:
+            taken = truthy(self._read(thread, frame, instr.cond))
+            target = instr.true_target if taken else instr.false_target
+            return self._advance(thread, frame, frame.index, target)
+        elif kind is ins.Ret:
+            return self._return(thread, frame, instr)
+        elif kind is ins.Nop:
+            pass
+        else:  # pragma: no cover
+            raise InterpreterError(f"unknown instruction {instr!r}")
+        return self._advance(thread, frame, frame.index, frame.index + 1)
+
+    # -- value access --------------------------------------------------------------------
+
+    def _read(self, thread: ThreadState, frame: Frame, name: str):
+        if name in frame.locals:
+            return frame.locals[name]
+        if name in self.globals:
+            return self.globals[name]
+        # Hoisted-but-unassigned locals read as nil (C-like semantics
+        # with zero-initialized storage).
+        return None
+
+    def _write(self, thread: ThreadState, frame: Frame, name: str, value) -> None:
+        if name in self.globals and name not in frame.locals:
+            self.globals[name] = value
+        else:
+            frame.locals[name] = value
+
+    def _load_index(self, thread: ThreadState, frame: Frame, instr: ins.LoadIndex):
+        base = self._read(thread, frame, instr.base)
+        index = self._read(thread, frame, instr.index)
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise InterpreterError(
+                "index must be an int", frame.function.name, frame.index
+            )
+        if isinstance(base, str):
+            if 0 <= index < len(base):
+                return base[index]
+            raise InterpreterError(
+                f"string index {index} out of range", frame.function.name, frame.index
+            )
+        if isinstance(base, list):
+            if 0 <= index < len(base):
+                return base[index]
+            raise InterpreterError(
+                f"list index {index} out of range", frame.function.name, frame.index
+            )
+        raise InterpreterError(
+            "indexing a non-indexable value", frame.function.name, frame.index
+        )
+
+    def _store_index(self, thread: ThreadState, frame: Frame, instr: ins.StoreIndex) -> None:
+        base = self._read(thread, frame, instr.base)
+        index = self._read(thread, frame, instr.index)
+        value = self._read(thread, frame, instr.src)
+        if not isinstance(base, list):
+            raise InterpreterError(
+                "store into a non-list", frame.function.name, frame.index
+            )
+        if not isinstance(index, int) or not (0 <= index < len(base)):
+            raise InterpreterError(
+                f"list store index {index!r} out of range",
+                frame.function.name,
+                frame.index,
+            )
+        base[index] = value
+
+    # -- control transfer -------------------------------------------------------------------
+
+    def _single_successor(self, frame: Frame) -> int:
+        succs = frame.function.successors(frame.index)
+        if len(succs) != 1:  # pragma: no cover - callers guarantee this
+            raise InterpreterError("expected a unique successor")
+        return succs[0]
+
+    def _advance(
+        self, thread: ThreadState, frame: Frame, src: int, dst: int
+    ) -> Optional[Event]:
+        """Cross the edge src->dst, applying instrumentation actions."""
+        actions = frame.plan.actions_for(src, dst) if frame.plan is not None else None
+        if actions:
+            return self._apply_actions(thread, frame, dst, list(actions))
+        frame.index = dst
+        return None
+
+    def _apply_actions(
+        self,
+        thread: ThreadState,
+        frame: Frame,
+        dst: int,
+        actions: List[object],
+    ) -> Optional[Event]:
+        costs = self.costs
+        while actions:
+            action = actions.pop(0)
+            if isinstance(action, CounterAdd):
+                thread.counter_stack[-1] += action.delta
+                thread.clock += costs.edge_action
+                self.stats.edge_actions += 1
+            elif isinstance(action, LoopExit):
+                self._pop_loop_record(thread, frame, action.head)
+            elif isinstance(action, LoopSync):
+                thread.clock += costs.barrier
+                self.stats.barriers += 1
+                iteration = self._bump_loop_record(thread, frame, action.head)
+                event = BarrierEvent(
+                    self,
+                    thread.tid,
+                    frame.function.name,
+                    frame.index,
+                    thread.counter,
+                    action.head,
+                    action.reset_to,
+                    iteration,
+                )
+                thread.status = WAIT_BARRIER
+                thread.pending_event = event
+                thread.pending_transition = (dst, actions)
+                return event
+            else:  # pragma: no cover
+                raise InterpreterError(f"unknown edge action {action!r}")
+        frame.index = dst
+        thread.pending_transition = None
+        return None
+
+    def _bump_loop_record(self, thread: ThreadState, frame: Frame, head: int) -> int:
+        """Count a back-edge crossing; returns the 1-based iteration."""
+        depth = len(thread.frames)
+        if thread.loop_stack:
+            record = thread.loop_stack[-1]
+            if record[0] == depth and record[1] == frame.function.name and record[2] == head:
+                record[3] += 1
+                return record[3]
+        thread.loop_stack.append([depth, frame.function.name, head, 1])
+        return 1
+
+    def _pop_loop_record(self, thread: ThreadState, frame: Frame, head: int) -> None:
+        """Close a loop activation (and any nested ones above it)."""
+        depth = len(thread.frames)
+        for position in range(len(thread.loop_stack) - 1, -1, -1):
+            record = thread.loop_stack[position]
+            if record[0] == depth and record[1] == frame.function.name and record[2] == head:
+                del thread.loop_stack[position:]
+                return
+
+    def _resume_transition(self, thread: ThreadState) -> Optional[Event]:
+        dst, actions = thread.pending_transition
+        thread.pending_transition = None
+        frame = thread.frames[-1]
+        return self._apply_actions(thread, frame, dst, actions)
+
+    # -- calls and returns ----------------------------------------------------------------------
+
+    def _enter_call(
+        self,
+        thread: ThreadState,
+        frame: Frame,
+        instr,
+        function: IRFunction,
+    ) -> Optional[Event]:
+        scoped = False
+        if frame.plan is not None and frame.index in frame.plan.scoped_calls:
+            scoped = True
+        args = [self._read(thread, frame, arg) for arg in instr.args]
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                f"{function.name}() expects {len(function.params)} args",
+                frame.function.name,
+                frame.index,
+            )
+        callee = Frame(function, self._plan_for(function.name), instr.dst, scoped)
+        for param, value in zip(function.params, args):
+            callee.locals[param] = value
+        if scoped:
+            # Section 6: save the counter, start a fresh scope at 0.
+            thread.counter_stack.append(0)
+            self.stats.max_stack_depth = max(
+                self.stats.max_stack_depth, len(thread.counter_stack)
+            )
+        thread.frames.append(callee)
+        if self.call_hook is not None:
+            self.call_hook(thread, frame, callee, instr)
+        return None
+
+    def _return(self, thread: ThreadState, frame: Frame, instr: ins.Ret) -> Optional[Event]:
+        value = self._read(thread, frame, instr.src) if instr.src is not None else None
+        # Apply the ret -> exit edge actions (loop-exit compensations).
+        event = self._advance(thread, frame, frame.index, frame.function.exit)
+        if event is not None:
+            # A barrier can never sit on a ret edge (rets are loop exits,
+            # not back edges) — guard anyway.
+            raise InterpreterError("barrier on a return edge")
+        if frame.scoped:
+            thread.counter_stack.pop()
+        # Drop loop records of the frame being popped (loops exited by
+        # returning are already closed by their exit-edge LoopExit, but
+        # guard against non-instrumented exits).
+        depth = len(thread.frames)
+        thread.loop_stack = [r for r in thread.loop_stack if r[0] < depth]
+        thread.frames.pop()
+        if not thread.frames:
+            thread.result = value
+            thread.status = DONE
+            return None
+        caller = thread.frames[-1]
+        call_instr = caller.function.instrs[caller.index]
+        self._write(thread, caller, call_instr.dst, value)
+        if self.return_hook is not None:
+            self.return_hook(thread, frame, caller, call_instr.dst, value)
+        return self._advance(thread, caller, caller.index, caller.index + 1)
+
+    # -- syscalls ------------------------------------------------------------------------------------
+
+    def _raise_syscall(
+        self, thread: ThreadState, frame: Frame, instr: ins.Syscall
+    ) -> SyscallEvent:
+        args = tuple(self._read(thread, frame, arg) for arg in instr.args)
+        self.stats.syscalls += 1
+        self.stats.counter_samples.append(thread.counter_stack[-1])
+        self.stats.max_stack_depth = max(
+            self.stats.max_stack_depth, len(thread.counter_stack)
+        )
+        event = SyscallEvent(
+            self,
+            thread.tid,
+            frame.function.name,
+            frame.index,
+            thread.counter,
+            instr.name,
+            args,
+        )
+        thread.status = WAIT_SYSCALL
+        thread.pending_event = event
+        return event

@@ -1,0 +1,66 @@
+"""Local (single-execution) event resolution.
+
+Resolves machine events against the machine's own kernel and thread
+services — the behaviour of an uncoupled execution.  Used by the native
+runner and the baselines directly, and by the LDX engine whenever a
+syscall must execute independently (path differences, tainted
+resources, always-independent syscalls).
+"""
+
+from __future__ import annotations
+
+from repro.interp.events import BarrierEvent, SyscallEvent
+from repro.interp.machine import Machine
+from repro.vos.kernel import ProgramExit
+from repro.vos.syscalls import THREAD_SYSCALLS
+
+
+def resolve_syscall_locally(machine: Machine, event: SyscallEvent) -> None:
+    """Execute one syscall on the machine's own kernel/thread services."""
+    thread = machine.threads[event.thread_id]
+    if event.name in THREAD_SYSCALLS:
+        machine.charge(event.thread_id, machine.costs.thread_op + machine.jitter_units())
+        _resolve_thread_syscall(machine, event)
+        return
+    machine.charge(event.thread_id, machine.syscall_cost())
+    try:
+        value = machine.kernel.execute(event.name, event.args)
+    except ProgramExit as program_exit:
+        machine.terminate(program_exit.code)
+        return
+    machine.complete_syscall(event, value)
+
+
+def _resolve_thread_syscall(machine: Machine, event: SyscallEvent) -> None:
+    thread = machine.threads[event.thread_id]
+    name = event.name
+    args = event.args
+    if name == "thread_spawn":
+        tid = machine.spawn_thread(args[0], args[1] if len(args) > 1 else None)
+        machine.complete_syscall(event, tid)
+    elif name == "thread_join":
+        if machine.join_thread(thread, args[0]):
+            machine.complete_syscall(event, machine.threads[args[0]].result)
+        # else: blocked; Machine._wake_joiners completes it later.
+    elif name == "mutex_create":
+        machine.complete_syscall(event, machine.mutex_create())
+    elif name == "mutex_lock":
+        if machine.mutex_lock(thread, args[0]):
+            machine.complete_syscall(event, 0)
+        # else: queued; mutex_unlock completes it later.
+    elif name == "mutex_unlock":
+        ok = machine.mutex_unlock(thread, args[0])
+        machine.complete_syscall(event, 0 if ok else -1)
+    else:  # pragma: no cover - THREAD_SYSCALLS is exhaustive
+        raise AssertionError(f"unhandled thread syscall {name}")
+
+
+def resolve_event_locally(machine: Machine, event) -> None:
+    """Resolve any event type for an uncoupled execution."""
+    if isinstance(event, SyscallEvent):
+        resolve_syscall_locally(machine, event)
+    elif isinstance(event, BarrierEvent):
+        # No peer: barriers are free passes.
+        machine.complete_barrier(event)
+    else:  # pragma: no cover
+        raise AssertionError(f"unknown event {event!r}")

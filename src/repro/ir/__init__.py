@@ -1,0 +1,16 @@
+"""MiniC IR: instruction set, function containers and AST lowering."""
+
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import FuncRef
+from repro.ir.lowering import compile_source, lower_program
+from repro.ir.printer import format_function, format_module
+
+__all__ = [
+    "IRFunction",
+    "IRModule",
+    "FuncRef",
+    "compile_source",
+    "lower_program",
+    "format_function",
+    "format_module",
+]

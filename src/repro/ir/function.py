@@ -1,0 +1,128 @@
+"""IR function and module containers.
+
+An :class:`IRFunction` is a flat instruction array with implicit
+fallthrough edges and explicit jump edges.  Index 0 is the entry node (a
+``nop entry``), and the last index is the unique exit node (``nop
+exit``); every ``ret`` transfers to the exit node.  The unique exit
+makes Algorithm 1's ``FCNT[F] = cnt[exit]`` well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import LoweringError
+from repro.ir import instructions as ins
+
+
+class IRFunction:
+    """One lowered MiniC function."""
+
+    def __init__(self, name: str, params: List[str]) -> None:
+        self.name = name
+        self.params = params
+        self.instrs: List[ins.Instr] = []
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, instr: ins.Instr) -> int:
+        """Append an instruction; return its index."""
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def seal(self) -> None:
+        """Validate structural invariants after lowering."""
+        if not self.instrs:
+            raise LoweringError(f"{self.name}: empty function body")
+        exit_instr = self.instrs[-1]
+        if not (isinstance(exit_instr, ins.Nop) and exit_instr.note == "exit"):
+            raise LoweringError(f"{self.name}: last instruction must be the exit nop")
+        last = len(self.instrs) - 1
+        for index, instr in enumerate(self.instrs):
+            for succ in self.successors(index):
+                if not (0 <= succ < len(self.instrs)):
+                    raise LoweringError(
+                        f"{self.name}: @{index} {instr!r} targets invalid @{succ}"
+                    )
+            if index == last:
+                continue
+            if index == last - 1 and not instr.is_terminator():
+                # The instruction just before exit may fall through into it.
+                continue
+
+    # -- graph views ----------------------------------------------------------
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    @property
+    def exit(self) -> int:
+        return len(self.instrs) - 1
+
+    def successors(self, index: int) -> Tuple[int, ...]:
+        """Control-flow successors of the instruction at *index*."""
+        instr = self.instrs[index]
+        if isinstance(instr, ins.Jump):
+            return (instr.target,)
+        if isinstance(instr, ins.CJump):
+            if instr.true_target == instr.false_target:
+                return (instr.true_target,)
+            return (instr.true_target, instr.false_target)
+        if isinstance(instr, ins.Ret):
+            return (self.exit,)
+        if index == self.exit:
+            return ()
+        return (index + 1,)
+
+    def predecessor_map(self) -> Dict[int, List[int]]:
+        """Map each index to the list of its predecessors."""
+        preds: Dict[int, List[int]] = {i: [] for i in range(len(self.instrs))}
+        for index in range(len(self.instrs)):
+            for succ in self.successors(index):
+                preds[succ].append(index)
+        return preds
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """All control-flow edges as (src, dst) pairs."""
+        for index in range(len(self.instrs)):
+            for succ in self.successors(index):
+                yield (index, succ)
+
+    def syscall_indices(self) -> List[int]:
+        """Indices of all Syscall instructions."""
+        return [
+            i for i, instr in enumerate(self.instrs) if isinstance(instr, ins.Syscall)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"<IRFunction {self.name}({', '.join(self.params)}) {len(self)} instrs>"
+
+
+class IRModule:
+    """A lowered program: functions plus evaluated global initial values."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, IRFunction] = {}
+        self.global_values: Dict[str, object] = {}
+        self.source_lines = 0
+
+    def add_function(self, function: IRFunction) -> None:
+        if function.name in self.functions:
+            raise LoweringError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+
+    def function(self, name: str) -> IRFunction:
+        if name not in self.functions:
+            raise LoweringError(f"unknown function {name!r}")
+        return self.functions[name]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(f) for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return f"<IRModule {len(self.functions)} functions, {self.total_instructions} instrs>"

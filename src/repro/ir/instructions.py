@@ -1,0 +1,350 @@
+"""Instruction set of the MiniC IR.
+
+The IR is a flat, instruction-granular CFG: every instruction is a CFG
+node and control-flow edges connect instruction indices.  This mirrors
+the granularity LDX's instrumentation algorithms assume ("each node"
+in Algorithm 1) and lets counter updates attach to individual edges.
+
+Operands are virtual-register names (strings).  User variables keep
+their source names; compiler temporaries are named ``.t<N>`` (the dot
+makes collisions with user names impossible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class FuncRef:
+    """A first-class reference to a declared MiniC function.
+
+    Produced when a function name is used as a value; consumed by
+    indirect calls.  Two references to the same function compare equal.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<fn {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FuncRef) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("FuncRef", self.name))
+
+
+class Instr:
+    """Base instruction.  ``line`` is the MiniC source line (or 0)."""
+
+    __slots__ = ("line",)
+
+    opname = "instr"
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+    def defs(self) -> Optional[str]:
+        """Register written by this instruction, if any."""
+        return None
+
+    def uses(self) -> Tuple[str, ...]:
+        """Registers read by this instruction."""
+        return ()
+
+    def is_terminator(self) -> bool:
+        """True for instructions that do not fall through."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"<{self.opname}>"
+
+
+class Const(Instr):
+    __slots__ = ("dst", "value")
+    opname = "const"
+
+    def __init__(self, dst: str, value, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.value = value
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = const {self.value!r}"
+
+
+class Move(Instr):
+    __slots__ = ("dst", "src")
+    opname = "move"
+
+    def __init__(self, dst: str, src: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.src = src
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+class Binop(Instr):
+    __slots__ = ("dst", "op", "left", "right")
+    opname = "binop"
+
+    def __init__(self, dst: str, op: str, left: str, right: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.left} {self.op} {self.right}"
+
+
+class Unop(Instr):
+    __slots__ = ("dst", "op", "operand")
+    opname = "unop"
+
+    def __init__(self, dst: str, op: str, operand: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.op = op
+        self.operand = operand
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op} {self.operand}"
+
+
+class LoadIndex(Instr):
+    __slots__ = ("dst", "base", "index")
+    opname = "loadindex"
+
+    def __init__(self, dst: str, base: str, index: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.base = base
+        self.index = index
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.base, self.index)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.base}[{self.index}]"
+
+
+class StoreIndex(Instr):
+    __slots__ = ("base", "index", "src")
+    opname = "storeindex"
+
+    def __init__(self, base: str, index: str, src: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.base = base
+        self.index = index
+        self.src = src
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.base, self.index, self.src)
+
+    def __repr__(self) -> str:
+        return f"{self.base}[{self.index}] = {self.src}"
+
+
+class NewList(Instr):
+    __slots__ = ("dst", "items")
+    opname = "newlist"
+
+    def __init__(self, dst: str, items: List[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.items = items
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return tuple(self.items)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = [{', '.join(self.items)}]"
+
+
+class CallDirect(Instr):
+    """Call to a statically known user function."""
+
+    __slots__ = ("dst", "func", "args")
+    opname = "call"
+
+    def __init__(self, dst: str, func: str, args: List[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.func = func
+        self.args = args
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = call {self.func}({', '.join(self.args)})"
+
+
+class CallIndirect(Instr):
+    """Call through a function value; target unknown at compile time."""
+
+    __slots__ = ("dst", "callee", "args")
+    opname = "icall"
+
+    def __init__(self, dst: str, callee: str, args: List[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.callee = callee
+        self.args = args
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.callee,) + tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = icall {self.callee}({', '.join(self.args)})"
+
+
+class CallBuiltin(Instr):
+    """Call to a pure intrinsic; never reaches the virtual OS."""
+
+    __slots__ = ("dst", "name", "args")
+    opname = "builtin"
+
+    def __init__(self, dst: str, name: str, args: List[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.name = name
+        self.args = args
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = builtin {self.name}({', '.join(self.args)})"
+
+
+class Syscall(Instr):
+    """A syscall builtin — the unit of LDX counter alignment."""
+
+    __slots__ = ("dst", "name", "args")
+    opname = "syscall"
+
+    def __init__(self, dst: str, name: str, args: List[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.name = name
+        self.args = args
+
+    def defs(self) -> Optional[str]:
+        return self.dst
+
+    def uses(self) -> Tuple[str, ...]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = syscall {self.name}({', '.join(self.args)})"
+
+
+class Jump(Instr):
+    __slots__ = ("target",)
+    opname = "jump"
+
+    def __init__(self, target: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.target = target
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"jump @{self.target}"
+
+
+class CJump(Instr):
+    __slots__ = ("cond", "true_target", "false_target")
+    opname = "cjump"
+
+    def __init__(self, cond: str, true_target: int, false_target: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.true_target = true_target
+        self.false_target = false_target
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.cond,)
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"cjump {self.cond} ? @{self.true_target} : @{self.false_target}"
+
+
+class Ret(Instr):
+    __slots__ = ("src",)
+    opname = "ret"
+
+    def __init__(self, src: Optional[str], line: int = 0) -> None:
+        super().__init__(line)
+        self.src = src
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.src,) if self.src is not None else ()
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ret {self.src}" if self.src is not None else "ret"
+
+
+class Nop(Instr):
+    """Structural node: function entry/exit markers and join points."""
+
+    __slots__ = ("note",)
+    opname = "nop"
+
+    def __init__(self, note: str = "", line: int = 0) -> None:
+        super().__init__(line)
+        self.note = note
+
+    def __repr__(self) -> str:
+        return f"nop {self.note}".rstrip()

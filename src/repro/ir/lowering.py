@@ -1,0 +1,332 @@
+"""AST-to-IR lowering.
+
+Produces one flat instruction array per function with explicit jumps.
+Structural properties established here (and relied on by the CFG and
+instrumentation phases):
+
+* index 0 is a ``nop entry`` node, the last index is the unique
+  ``nop exit`` node;
+* every loop has a single head node (``nop loophead``) that is the
+  target of its back edges, and a single join node (``nop loopjoin``)
+  just past the loop;
+* ``ret`` instructions transfer to the exit node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import LoweringError
+from repro.ir import instructions as ins
+from repro.ir import ops
+from repro.ir.function import IRFunction, IRModule
+from repro.lang import ast_nodes as ast
+from repro.lang.intrinsics import PURE_BUILTINS, SYSCALL_BUILTINS
+from repro.lang.parser import parse
+from repro.lang.semantics import ProgramInfo, check_program
+
+
+def lower_program(program: ast.Program, info: ProgramInfo) -> IRModule:
+    """Lower a checked AST into an IR module."""
+    module = IRModule()
+    for decl in program.globals:
+        module.global_values[decl.name] = _eval_const(decl.initializer)
+    for function in program.functions:
+        module.add_function(_FunctionLowerer(function, info).lower())
+    return module
+
+
+def compile_source(source: str, require_main: bool = True) -> IRModule:
+    """Parse, check and lower MiniC source text in one step."""
+    program = parse(source)
+    info = check_program(program, require_main=require_main)
+    module = lower_program(program, info)
+    module.source_lines = source.count("\n") + 1
+    return module
+
+
+def _eval_const(expr: ast.Expr):
+    """Evaluate a constant global initializer (validated by semantics)."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.StringLiteral):
+        return expr.value
+    if isinstance(expr, ast.BoolLiteral):
+        return expr.value
+    if isinstance(expr, ast.NilLiteral):
+        return None
+    if isinstance(expr, ast.ListLiteral):
+        return [_eval_const(item) for item in expr.items]
+    if isinstance(expr, ast.Unary):
+        return ops.apply_unop(expr.op, _eval_const(expr.operand))
+    if isinstance(expr, ast.Binary):
+        return ops.apply_binop(expr.op, _eval_const(expr.left), _eval_const(expr.right))
+    raise LoweringError("non-constant global initializer")
+
+
+class _LoopContext:
+    """Jump bookkeeping for one lexical loop."""
+
+    def __init__(self, head: int) -> None:
+        self.head = head
+        self.continue_target: Optional[int] = None  # patched for 'for' loops
+        self.break_jumps: List[int] = []
+        self.continue_jumps: List[int] = []
+
+
+class _FunctionLowerer:
+    """Lowers a single function declaration."""
+
+    def __init__(self, function: ast.FunctionDecl, info: ProgramInfo) -> None:
+        self._ast = function
+        self._info = info
+        self._fn = IRFunction(function.name, list(function.params))
+        self._temp_count = 0
+        self._loops: List[_LoopContext] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _temp(self) -> str:
+        name = f".t{self._temp_count}"
+        self._temp_count += 1
+        return name
+
+    def _emit(self, instr: ins.Instr) -> int:
+        return self._fn.append(instr)
+
+    def _next_index(self) -> int:
+        return len(self._fn.instrs)
+
+    def lower(self) -> IRFunction:
+        self._emit(ins.Nop("entry", self._ast.location.line))
+        self._lower_block(self._ast.body)
+        # Implicit 'return nil' when execution can fall off the end.
+        last = self._fn.instrs[-1]
+        if not last.is_terminator():
+            self._emit(ins.Ret(None))
+        self._emit(ins.Nop("exit"))
+        self._fn.seal()
+        return self._fn
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            value = self._lower_expr(stmt.initializer)
+            self._emit(ins.Move(stmt.name, value, stmt.location.line))
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            context = self._loops[-1]
+            context.break_jumps.append(self._emit(ins.Jump(-1, stmt.location.line)))
+        elif isinstance(stmt, ast.Continue):
+            context = self._loops[-1]
+            context.continue_jumps.append(self._emit(ins.Jump(-1, stmt.location.line)))
+        elif isinstance(stmt, ast.Return):
+            src = self._lower_expr(stmt.value) if stmt.value is not None else None
+            self._emit(ins.Ret(src, stmt.location.line))
+        else:  # pragma: no cover
+            raise LoweringError(f"unknown statement {type(stmt).__name__}")
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        if isinstance(stmt.target, ast.VarRef):
+            value = self._lower_expr(stmt.value)
+            self._emit(ins.Move(stmt.target.name, value, stmt.location.line))
+        elif isinstance(stmt.target, ast.Index):
+            base = self._lower_expr(stmt.target.base)
+            index = self._lower_expr(stmt.target.index)
+            value = self._lower_expr(stmt.value)
+            self._emit(ins.StoreIndex(base, index, value, stmt.location.line))
+        else:  # pragma: no cover
+            raise LoweringError("invalid assignment target")
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self._lower_expr(stmt.condition)
+        cjump_at = self._emit(ins.CJump(cond, -1, -1, stmt.location.line))
+        then_start = self._next_index()
+        self._lower_stmt(stmt.then_block)
+        if stmt.else_block is not None:
+            skip_else_at = self._emit(ins.Jump(-1))
+            else_start = self._next_index()
+            self._lower_stmt(stmt.else_block)
+            join = self._emit(ins.Nop("join"))
+            self._fn.instrs[cjump_at].true_target = then_start
+            self._fn.instrs[cjump_at].false_target = else_start
+            self._fn.instrs[skip_else_at].target = join
+        else:
+            join = self._emit(ins.Nop("join"))
+            self._fn.instrs[cjump_at].true_target = then_start
+            self._fn.instrs[cjump_at].false_target = join
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        head = self._emit(ins.Nop("loophead", stmt.location.line))
+        context = _LoopContext(head)
+        context.continue_target = head
+        self._loops.append(context)
+        cond = self._lower_expr(stmt.condition)
+        cjump_at = self._emit(ins.CJump(cond, -1, -1, stmt.location.line))
+        body_start = self._next_index()
+        self._lower_stmt(stmt.body)
+        self._emit(ins.Jump(head))  # the back edge
+        join = self._emit(ins.Nop("loopjoin"))
+        self._fn.instrs[cjump_at].true_target = body_start
+        self._fn.instrs[cjump_at].false_target = join
+        self._loops.pop()
+        self._patch_loop_jumps(context, break_target=join)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = self._emit(ins.Nop("loophead", stmt.location.line))
+        context = _LoopContext(head)
+        self._loops.append(context)
+        if stmt.condition is not None:
+            cond = self._lower_expr(stmt.condition)
+            cjump_at = self._emit(ins.CJump(cond, -1, -1, stmt.location.line))
+        else:
+            cjump_at = None
+        body_start = self._next_index()
+        self._lower_stmt(stmt.body)
+        step_start = self._next_index()
+        context.continue_target = step_start
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self._emit(ins.Jump(head))  # the back edge
+        join = self._emit(ins.Nop("loopjoin"))
+        if cjump_at is not None:
+            self._fn.instrs[cjump_at].true_target = body_start
+            self._fn.instrs[cjump_at].false_target = join
+        self._loops.pop()
+        self._patch_loop_jumps(context, break_target=join)
+
+    def _patch_loop_jumps(self, context: _LoopContext, break_target: int) -> None:
+        for index in context.break_jumps:
+            self._fn.instrs[index].target = break_target
+        target = context.continue_target
+        if target is None:  # pragma: no cover - always set by callers
+            target = context.head
+        for index in context.continue_jumps:
+            self._fn.instrs[index].target = target
+
+    # -- expressions ---------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> str:
+        line = expr.location.line if hasattr(expr, "location") else 0
+        if isinstance(expr, ast.IntLiteral):
+            dst = self._temp()
+            self._emit(ins.Const(dst, expr.value, line))
+            return dst
+        if isinstance(expr, ast.StringLiteral):
+            dst = self._temp()
+            self._emit(ins.Const(dst, expr.value, line))
+            return dst
+        if isinstance(expr, ast.BoolLiteral):
+            dst = self._temp()
+            self._emit(ins.Const(dst, expr.value, line))
+            return dst
+        if isinstance(expr, ast.NilLiteral):
+            dst = self._temp()
+            self._emit(ins.Const(dst, None, line))
+            return dst
+        if isinstance(expr, ast.ListLiteral):
+            items = [self._lower_expr(item) for item in expr.items]
+            dst = self._temp()
+            self._emit(ins.NewList(dst, items, line))
+            return dst
+        if isinstance(expr, ast.VarRef):
+            return self._lower_var_ref(expr)
+        if isinstance(expr, ast.Index):
+            base = self._lower_expr(expr.base)
+            index = self._lower_expr(expr.index)
+            dst = self._temp()
+            self._emit(ins.LoadIndex(dst, base, index, line))
+            return dst
+        if isinstance(expr, ast.Unary):
+            operand = self._lower_expr(expr.operand)
+            dst = self._temp()
+            self._emit(ins.Unop(dst, expr.op, operand, line))
+            return dst
+        if isinstance(expr, ast.Binary):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            dst = self._temp()
+            self._emit(ins.Binop(dst, expr.op, left, right, line))
+            return dst
+        if isinstance(expr, ast.Logical):
+            return self._lower_logical(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        raise LoweringError(f"unknown expression {type(expr).__name__}")
+
+    def _lower_var_ref(self, expr: ast.VarRef) -> str:
+        if expr.name in self._info.function_arity:
+            # A function name used as a value: materialize a FuncRef.
+            dst = self._temp()
+            self._emit(ins.Const(dst, ins.FuncRef(expr.name), expr.location.line))
+            return dst
+        return expr.name
+
+    def _lower_logical(self, expr: ast.Logical) -> str:
+        """Short-circuit and/or via control flow into a result temp."""
+        line = expr.location.line
+        dst = self._temp()
+        left = self._lower_expr(expr.left)
+        self._emit(ins.Move(dst, left, line))
+        cjump_at = self._emit(ins.CJump(dst, -1, -1, line))
+        rhs_start = self._next_index()
+        right = self._lower_expr(expr.right)
+        self._emit(ins.Move(dst, right, line))
+        join = self._emit(ins.Nop("join"))
+        if expr.op == "and":
+            self._fn.instrs[cjump_at].true_target = rhs_start
+            self._fn.instrs[cjump_at].false_target = join
+        else:  # or
+            self._fn.instrs[cjump_at].true_target = join
+            self._fn.instrs[cjump_at].false_target = rhs_start
+        return dst
+
+    def _lower_call(self, expr: ast.Call) -> str:
+        line = expr.location.line
+        args = [self._lower_expr(arg) for arg in expr.args]
+        dst = self._temp()
+        callee = expr.callee
+        if isinstance(callee, ast.VarRef):
+            name = callee.name
+            is_variable = (
+                name in self._info.global_names
+                or name in self._info.locals_by_function.get(self._ast.name, set())
+                or name in self._ast.params
+            )
+            # locals_by_function may not include this function yet (it is
+            # populated during checking); fall back on declaration order:
+            # semantics guarantees names resolve, so if the name is not a
+            # function or intrinsic it must be a variable.
+            if not is_variable:
+                if name in self._info.function_arity:
+                    self._emit(ins.CallDirect(dst, name, args, line))
+                    return dst
+                if name in PURE_BUILTINS:
+                    self._emit(ins.CallBuiltin(dst, name, args, line))
+                    return dst
+                if name in SYSCALL_BUILTINS:
+                    self._emit(ins.Syscall(dst, name, args, line))
+                    return dst
+            self._emit(ins.CallIndirect(dst, name, args, line))
+            return dst
+        callee_reg = self._lower_expr(callee)
+        self._emit(ins.CallIndirect(dst, callee_reg, args, line))
+        return dst

@@ -1,0 +1,133 @@
+"""Operator semantics for MiniC values.
+
+MiniC values map onto Python values: ``int``, ``bool``, ``str``,
+``list``, ``None`` (nil) and :class:`repro.ir.instructions.FuncRef`.
+This module is the single definition of what every operator does; the
+interpreter, the constant evaluator in the lowering phase, and the
+taint baselines all call into it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InterpreterError
+from repro.ir.instructions import FuncRef
+
+
+def truthy(value) -> bool:
+    """MiniC truthiness: nil, 0, false, "" and [] are false."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, (str, list)):
+        return len(value) > 0
+    if isinstance(value, FuncRef):
+        return True
+    raise InterpreterError(f"no truth value for {type(value).__name__}")
+
+
+def _require_int(value, op: str) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise InterpreterError(f"operator {op!r} needs an int, got {type(value).__name__}")
+
+
+def apply_binop(op: str, left, right):
+    """Evaluate ``left op right`` with MiniC semantics."""
+    if op == "+":
+        if isinstance(left, str) or isinstance(right, str):
+            # String concatenation stringifies the other side, which the
+            # workload programs rely on for message building.
+            return _stringify(left) + _stringify(right)
+        if isinstance(left, list) and isinstance(right, list):
+            return left + right
+        return _require_int(left, op) + _require_int(right, op)
+    if op == "-":
+        return _require_int(left, op) - _require_int(right, op)
+    if op == "*":
+        if isinstance(left, str) and isinstance(right, int):
+            return left * right
+        return _require_int(left, op) * _require_int(right, op)
+    if op == "/":
+        divisor = _require_int(right, op)
+        if divisor == 0:
+            raise InterpreterError("division by zero")
+        # C-style truncating division.
+        return int(_require_int(left, op) / divisor)
+    if op == "%":
+        divisor = _require_int(right, op)
+        if divisor == 0:
+            raise InterpreterError("modulo by zero")
+        dividend = _require_int(left, op)
+        result = abs(dividend) % abs(divisor)
+        return result if dividend >= 0 else -result
+    if op == "==":
+        return _equals(left, right)
+    if op == "!=":
+        return not _equals(left, right)
+    if op in ("<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    raise InterpreterError(f"unknown binary operator {op!r}")
+
+
+def apply_unop(op: str, operand):
+    """Evaluate a unary operator with MiniC semantics."""
+    if op == "-":
+        return -_require_int(operand, op)
+    if op == "not":
+        return not truthy(operand)
+    raise InterpreterError(f"unknown unary operator {op!r}")
+
+
+def _stringify(value) -> str:
+    if value is None:
+        return "nil"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, list):
+        return "[" + ",".join(_stringify(v) for v in value) + "]"
+    if isinstance(value, FuncRef):
+        return f"<fn {value.name}>"
+    raise InterpreterError(f"cannot stringify {type(value).__name__}")
+
+
+def stringify(value) -> str:
+    """Public stringification used by to_str and string concatenation."""
+    return _stringify(value)
+
+
+def _equals(left, right) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        # bool compares equal to its int value, as in C.
+        if isinstance(left, (bool, int)) and isinstance(right, (bool, int)):
+            return int(left) == int(right)
+    if type(left) is not type(right):
+        if left is None or right is None:
+            return left is right
+        if isinstance(left, int) and isinstance(right, int):
+            return left == right
+        return False
+    return left == right
+
+
+def _compare(op: str, left, right) -> bool:
+    if isinstance(left, str) and isinstance(right, str):
+        pass  # lexicographic
+    else:
+        left = _require_int(left, op)
+        right = _require_int(right, op)
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right

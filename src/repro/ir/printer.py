@@ -1,0 +1,29 @@
+"""Human-readable dumps of IR functions and modules (for debugging and
+for golden tests on the lowering phase)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import IRFunction, IRModule
+
+
+def format_function(function: IRFunction) -> str:
+    """Render one function as numbered instructions."""
+    lines: List[str] = [f"fn {function.name}({', '.join(function.params)}):"]
+    for index, instr in enumerate(function.instrs):
+        lines.append(f"  @{index:<4} {instr!r}")
+    return "\n".join(lines)
+
+
+def format_module(module: IRModule) -> str:
+    """Render a whole module."""
+    parts: List[str] = []
+    if module.global_values:
+        for name, value in sorted(module.global_values.items()):
+            parts.append(f"global {name} = {value!r}")
+        parts.append("")
+    for name in sorted(module.functions):
+        parts.append(format_function(module.functions[name]))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

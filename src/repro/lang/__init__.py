@@ -1,0 +1,20 @@
+"""MiniC front end: lexer, parser, AST and static checks.
+
+MiniC is the C-like source language of this reproduction.  The paper
+instruments C programs through LLVM; we instrument MiniC programs
+through their CFG-based IR (see :mod:`repro.ir` and
+:mod:`repro.instrument`).
+"""
+
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse
+from repro.lang.semantics import ProgramInfo, check_program
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "ProgramInfo",
+    "check_program",
+]

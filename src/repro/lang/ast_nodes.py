@@ -1,0 +1,275 @@
+"""AST node classes for MiniC.
+
+The AST is deliberately small: expressions, statements, function
+declarations and a program node.  Nodes keep their source location so
+later phases can report useful errors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SourceLocation
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: SourceLocation) -> None:
+        self.location = location
+
+
+# -- expressions -----------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.value = value
+
+
+class StringLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.value = value
+
+
+class BoolLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.value = value
+
+
+class NilLiteral(Expr):
+    __slots__ = ()
+
+
+class ListLiteral(Expr):
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[Expr], location: SourceLocation) -> None:
+        super().__init__(location)
+        self.items = items
+
+
+class VarRef(Expr):
+    """A reference to a variable, parameter or function name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.name = name
+
+
+class Index(Expr):
+    """``base[index]`` subscripting."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+
+class Unary(Expr):
+    """Unary ``-``, ``!``/``not``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """Arithmetic and comparison operators (non short-circuit)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Logical(Expr):
+    """Short-circuit ``and`` / ``or`` — lowered to control flow."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Call(Expr):
+    """A call ``callee(args...)``.
+
+    The callee is an expression; when it is a ``VarRef`` naming a
+    declared function the call is direct, otherwise it is an indirect
+    call through a function value.
+    """
+
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: Expr, args: List[Expr], location: SourceLocation) -> None:
+        super().__init__(location)
+        self.callee = callee
+        self.args = args
+
+
+# -- statements ------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class VarDecl(Stmt):
+    __slots__ = ("name", "initializer")
+
+    def __init__(self, name: str, initializer: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.name = name
+        self.initializer = initializer
+
+
+class Assign(Stmt):
+    """``target = value`` where target is a name or an index expression."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Expr, value: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.expr = expr
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: List[Stmt], location: SourceLocation) -> None:
+        super().__init__(location)
+        self.statements = statements
+
+
+class If(Stmt):
+    __slots__ = ("condition", "then_block", "else_block")
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_block: Block,
+        else_block: Optional[Stmt],
+        location: SourceLocation,
+    ) -> None:
+        super().__init__(location)
+        self.condition = condition
+        self.then_block = then_block
+        self.else_block = else_block
+
+
+class While(Stmt):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition: Expr, body: Block, location: SourceLocation) -> None:
+        super().__init__(location)
+        self.condition = condition
+        self.body = body
+
+
+class For(Stmt):
+    """C-style ``for (init; cond; step) body``; each part optional."""
+
+    __slots__ = ("init", "condition", "step", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        condition: Optional[Expr],
+        step: Optional[Stmt],
+        body: Block,
+        location: SourceLocation,
+    ) -> None:
+        super().__init__(location)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], location: SourceLocation) -> None:
+        super().__init__(location)
+        self.value = value
+
+
+# -- declarations ----------------------------------------------------------
+
+
+class FunctionDecl(Node):
+    __slots__ = ("name", "params", "body")
+
+    def __init__(
+        self, name: str, params: List[str], body: Block, location: SourceLocation
+    ) -> None:
+        super().__init__(location)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class Program(Node):
+    """A whole MiniC translation unit: functions plus global variables."""
+
+    __slots__ = ("functions", "globals")
+
+    def __init__(
+        self,
+        functions: List[FunctionDecl],
+        global_decls: List[VarDecl],
+        location: SourceLocation,
+    ) -> None:
+        super().__init__(location)
+        self.functions = functions
+        self.globals = global_decls

@@ -1,0 +1,155 @@
+"""Hand-written lexer for MiniC.
+
+MiniC is the small C-like language the reproduction instruments and
+executes in place of LLVM-compiled C.  The lexer supports integers,
+double-quoted strings with the usual escapes, ``//`` line comments and
+``/* */`` block comments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexerError, SourceLocation
+from repro.lang.tokens import EOF, INT, KEYWORDS, NAME, PUNCTUATION, STRING, Token
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class Lexer:
+    """Converts MiniC source text into a list of tokens."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # -- public API --------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Return all tokens in the source, ending with an EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                tokens.append(Token(EOF, "", None, self._location()))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals -----------------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column)
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._at_end():
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._at_end():
+                        raise LexerError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_int()
+        if ch.isalpha() or ch == "_":
+            return self._lex_name()
+        if ch == '"':
+            return self._lex_string()
+        return self._lex_punct()
+
+    def _lex_int(self) -> Token:
+        start = self._location()
+        begin = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexerError("identifier cannot start with a digit", start)
+        text = self._source[begin : self._pos]
+        return Token(INT, text, int(text), start)
+
+    def _lex_name(self) -> Token:
+        start = self._location()
+        begin = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[begin : self._pos]
+        kind = text if text in KEYWORDS else NAME
+        return Token(kind, text, text, start)
+
+    def _lex_string(self) -> Token:
+        start = self._location()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self._at_end() or self._peek() == "\n":
+                raise LexerError("unterminated string literal", start)
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                escape = self._peek(1)
+                if escape not in _ESCAPES:
+                    raise LexerError(f"unknown escape \\{escape}", self._location())
+                chars.append(_ESCAPES[escape])
+                self._advance(2)
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        return Token(STRING, text, text, start)
+
+    def _lex_punct(self) -> Token:
+        start = self._location()
+        for punct in PUNCTUATION:
+            if self._source.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token(punct, punct, punct, start)
+        raise LexerError(f"unexpected character {self._peek()!r}", start)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize MiniC source text."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,335 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar sketch::
+
+    program   := (fndecl | globaldecl)*
+    fndecl    := "fn" NAME "(" params? ")" block
+    globaldecl:= "var" NAME "=" expr ";"
+    block     := "{" stmt* "}"
+    stmt      := vardecl | if | while | for | break ";" | continue ";"
+               | return expr? ";" | block | assign-or-expr ";"
+    expr      := logical-or with the usual C precedence below it
+
+Assignments are statements, not expressions.  Compound assignments
+(``+=`` etc.) desugar to plain assignments during parsing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, INT, NAME, STRING, Token
+
+# Binary operator precedence (higher binds tighter).  ``and``/``or`` are
+# handled separately because they short-circuit.
+_PRECEDENCE = {
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _match(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, what: str = None) -> Token:
+        if self._check(kind):
+            return self._advance()
+        found = self._peek()
+        expected = what or kind
+        raise ParseError(
+            f"expected {expected}, found {found.text!r}", found.location
+        )
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse the whole token stream into a Program node."""
+        start = self._peek().location
+        functions: List[ast.FunctionDecl] = []
+        global_decls: List[ast.VarDecl] = []
+        while not self._check(EOF):
+            if self._check("fn"):
+                functions.append(self._parse_function())
+            elif self._check("var"):
+                global_decls.append(self._parse_var_decl())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected 'fn' or 'var' at top level, found {token.text!r}",
+                    token.location,
+                )
+        return ast.Program(functions, global_decls, start)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        start = self._expect("fn").location
+        name = self._expect(NAME, "function name").text
+        self._expect("(")
+        params: List[str] = []
+        if not self._check(")"):
+            params.append(self._expect(NAME, "parameter name").text)
+            while self._match(","):
+                params.append(self._expect(NAME, "parameter name").text)
+        self._expect(")")
+        body = self._parse_block()
+        return ast.FunctionDecl(name, params, body, start)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("{").location
+        statements: List[ast.Stmt] = []
+        while not self._check("}"):
+            if self._check(EOF):
+                raise ParseError("unterminated block", start)
+            statements.append(self._parse_statement())
+        self._expect("}")
+        return ast.Block(statements, start)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "var":
+            return self._parse_var_decl()
+        if token.kind == "if":
+            return self._parse_if()
+        if token.kind == "while":
+            return self._parse_while()
+        if token.kind == "for":
+            return self._parse_for()
+        if token.kind == "break":
+            self._advance()
+            self._expect(";")
+            return ast.Break(token.location)
+        if token.kind == "continue":
+            self._advance()
+            self._expect(";")
+            return ast.Continue(token.location)
+        if token.kind == "return":
+            self._advance()
+            value = None if self._check(";") else self._parse_expression()
+            self._expect(";")
+            return ast.Return(value, token.location)
+        if token.kind == "{":
+            return self._parse_block()
+        return self._parse_assign_or_expr()
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._expect("var").location
+        name = self._expect(NAME, "variable name").text
+        self._expect("=")
+        initializer = self._parse_expression()
+        self._expect(";")
+        return ast.VarDecl(name, initializer, start)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("if").location
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then_block = self._parse_block()
+        else_block: Optional[ast.Stmt] = None
+        if self._match("else"):
+            if self._check("if"):
+                else_block = self._parse_if()
+            else:
+                else_block = self._parse_block()
+        return ast.If(condition, then_block, else_block, start)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect("while").location
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        body = self._parse_block()
+        return ast.While(condition, body, start)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect("for").location
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            if self._check("var"):
+                init = self._parse_var_decl()
+            else:
+                init = self._parse_simple_assign_or_expr()
+                self._expect(";")
+        else:
+            self._expect(";")
+        condition: Optional[ast.Expr] = None
+        if not self._check(";"):
+            condition = self._parse_expression()
+        self._expect(";")
+        step: Optional[ast.Stmt] = None
+        if not self._check(")"):
+            step = self._parse_simple_assign_or_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return ast.For(init, condition, step, body, start)
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        stmt = self._parse_simple_assign_or_expr()
+        self._expect(";")
+        return stmt
+
+    def _parse_simple_assign_or_expr(self) -> ast.Stmt:
+        """Parse one assignment or expression, without the trailing ';'."""
+        start = self._peek().location
+        expr = self._parse_expression()
+        if self._check("=") or self._peek().kind in _COMPOUND_OPS:
+            op_token = self._advance()
+            if not isinstance(expr, (ast.VarRef, ast.Index)):
+                raise ParseError("invalid assignment target", start)
+            value = self._parse_expression()
+            if op_token.kind in _COMPOUND_OPS:
+                value = ast.Binary(
+                    _COMPOUND_OPS[op_token.kind], expr, value, op_token.location
+                )
+            return ast.Assign(expr, value, start)
+        return ast.ExprStmt(expr, start)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while True:
+            token = self._peek()
+            if token.kind == "or" or token.kind == "||":
+                self._advance()
+                right = self._parse_and()
+                expr = ast.Logical("or", expr, right, token.location)
+            else:
+                return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_binary(1)
+        while True:
+            token = self._peek()
+            if token.kind == "and" or token.kind == "&&":
+                self._advance()
+                right = self._parse_binary(1)
+                expr = ast.Logical("and", expr, right, token.location)
+            else:
+                return expr
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        expr = self._parse_unary()
+        while True:
+            token = self._peek()
+            precedence = _PRECEDENCE.get(token.kind)
+            if precedence is None or precedence < min_precedence:
+                return expr
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            expr = ast.Binary(token.kind, expr, right, token.location)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "-":
+            self._advance()
+            return ast.Unary("-", self._parse_unary(), token.location)
+        if token.kind == "!" or token.kind == "not":
+            self._advance()
+            return ast.Unary("not", self._parse_unary(), token.location)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == "(":
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    args.append(self._parse_expression())
+                    while self._match(","):
+                        args.append(self._parse_expression())
+                self._expect(")")
+                expr = ast.Call(expr, args, token.location)
+            elif token.kind == "[":
+                self._advance()
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ast.Index(expr, index, token.location)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == INT:
+            self._advance()
+            return ast.IntLiteral(token.value, token.location)
+        if token.kind == STRING:
+            self._advance()
+            return ast.StringLiteral(token.value, token.location)
+        if token.kind == "true":
+            self._advance()
+            return ast.BoolLiteral(True, token.location)
+        if token.kind == "false":
+            self._advance()
+            return ast.BoolLiteral(False, token.location)
+        if token.kind == "nil":
+            self._advance()
+            return ast.NilLiteral(token.location)
+        if token.kind == NAME:
+            self._advance()
+            return ast.VarRef(token.text, token.location)
+        if token.kind == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind == "[":
+            self._advance()
+            items: List[ast.Expr] = []
+            if not self._check("]"):
+                items.append(self._parse_expression())
+                while self._match(","):
+                    items.append(self._parse_expression())
+            self._expect("]")
+            return ast.ListLiteral(items, token.location)
+        raise ParseError(f"unexpected token {token.text!r}", token.location)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST Program."""
+    return Parser(tokenize(source)).parse_program()

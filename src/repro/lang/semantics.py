@@ -1,0 +1,281 @@
+"""Static checks for MiniC programs.
+
+The checker validates a parsed program before lowering:
+
+* all referenced names resolve to a local, parameter, global, declared
+  function or intrinsic;
+* direct calls to declared functions have the right arity;
+* intrinsics are not shadowed or redefined;
+* ``break``/``continue`` appear only inside loops;
+* a ``main`` function with zero parameters exists (unless relaxed);
+* no duplicate function, parameter or global names.
+
+Scoping is function-level (like C with all declarations hoisted): a
+``var`` declares the name for the whole function body, and redeclaring
+the same name in one function is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.intrinsics import ALL_INTRINSICS
+
+
+class ProgramInfo:
+    """Name tables produced by a successful check, consumed by lowering."""
+
+    def __init__(self) -> None:
+        self.function_arity: Dict[str, int] = {}
+        self.global_names: Set[str] = set()
+        self.locals_by_function: Dict[str, Set[str]] = {}
+
+
+def check_program(program: ast.Program, require_main: bool = True) -> ProgramInfo:
+    """Run all static checks; return name tables or raise SemanticError."""
+    info = ProgramInfo()
+    _collect_top_level(program, info)
+    if require_main:
+        if "main" not in info.function_arity:
+            raise SemanticError("program has no 'main' function")
+        if info.function_arity["main"] != 0:
+            raise SemanticError("'main' must take no parameters")
+    for decl in program.globals:
+        _GlobalInitChecker().check(decl.initializer)
+    for function in program.functions:
+        checker = _FunctionChecker(function, info)
+        checker.run()
+        info.locals_by_function[function.name] = checker.declared
+    return info
+
+
+def _collect_top_level(program: ast.Program, info: ProgramInfo) -> None:
+    for function in program.functions:
+        if function.name in info.function_arity:
+            raise SemanticError(
+                f"duplicate function {function.name!r}", function.location
+            )
+        if function.name in ALL_INTRINSICS:
+            raise SemanticError(
+                f"function {function.name!r} shadows an intrinsic", function.location
+            )
+        seen: Set[str] = set()
+        for param in function.params:
+            if param in seen:
+                raise SemanticError(
+                    f"duplicate parameter {param!r} in {function.name}",
+                    function.location,
+                )
+            seen.add(param)
+        info.function_arity[function.name] = len(function.params)
+    for decl in program.globals:
+        if decl.name in info.global_names:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.location)
+        if decl.name in ALL_INTRINSICS or decl.name in info.function_arity:
+            raise SemanticError(
+                f"global {decl.name!r} shadows a function or intrinsic", decl.location
+            )
+        info.global_names.add(decl.name)
+
+
+class _GlobalInitChecker:
+    """Globals are initialized before main; only constant expressions
+    (literals, lists of constants, arithmetic on them) are allowed so
+    initialization cannot perform syscalls."""
+
+    def check(self, expr: ast.Expr) -> None:
+        if isinstance(
+            expr,
+            (ast.IntLiteral, ast.StringLiteral, ast.BoolLiteral, ast.NilLiteral),
+        ):
+            return
+        if isinstance(expr, ast.ListLiteral):
+            for item in expr.items:
+                self.check(item)
+            return
+        if isinstance(expr, ast.Unary):
+            self.check(expr.operand)
+            return
+        if isinstance(expr, ast.Binary):
+            self.check(expr.left)
+            self.check(expr.right)
+            return
+        raise SemanticError(
+            "global initializers must be constant expressions", expr.location
+        )
+
+
+class _FunctionChecker:
+    """Checks one function body."""
+
+    def __init__(self, function: ast.FunctionDecl, info: ProgramInfo) -> None:
+        self._function = function
+        self._info = info
+        self.declared: Set[str] = set(function.params)
+        self._loop_depth = 0
+
+    def run(self) -> None:
+        for param in self._function.params:
+            if param in self._info.global_names:
+                raise SemanticError(
+                    f"parameter {param!r} shadows a global in {self._function.name}",
+                    self._function.location,
+                )
+        self._hoist_declarations(self._function.body)
+        self._check_stmt(self._function.body)
+
+    # Declarations are hoisted to function scope, mirroring the C-like
+    # semantics the interpreter implements (a single locals dict).
+    def _hoist_declarations(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in self.declared:
+                raise SemanticError(
+                    f"duplicate variable {stmt.name!r} in {self._function.name}",
+                    stmt.location,
+                )
+            if stmt.name in ALL_INTRINSICS or stmt.name in self._info.function_arity:
+                raise SemanticError(
+                    f"variable {stmt.name!r} shadows a function or intrinsic",
+                    stmt.location,
+                )
+            if stmt.name in self._info.global_names:
+                raise SemanticError(
+                    f"variable {stmt.name!r} shadows a global", stmt.location
+                )
+            self.declared.add(stmt.name)
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._hoist_declarations(inner)
+        elif isinstance(stmt, ast.If):
+            self._hoist_declarations(stmt.then_block)
+            if stmt.else_block is not None:
+                self._hoist_declarations(stmt.else_block)
+        elif isinstance(stmt, ast.While):
+            self._hoist_declarations(stmt.body)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._hoist_declarations(stmt.init)
+            if stmt.step is not None:
+                self._hoist_declarations(stmt.step)
+            self._hoist_declarations(stmt.body)
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._check_stmt(inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_expr(stmt.initializer)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign_target(stmt.target)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.condition)
+            self._check_stmt(stmt.then_block)
+            if stmt.else_block is not None:
+                self._check_stmt(stmt.else_block)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.condition)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.condition is not None:
+                self._check_expr(stmt.condition)
+            self._loop_depth += 1
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{kind} outside a loop", stmt.location)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+        else:  # pragma: no cover - parser produces no other statements
+            raise SemanticError(f"unknown statement {type(stmt).__name__}")
+
+    def _check_assign_target(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.VarRef):
+            self._check_name_assignable(target)
+        elif isinstance(target, ast.Index):
+            self._check_expr(target.base)
+            self._check_expr(target.index)
+        else:  # pragma: no cover - parser rejects other targets
+            raise SemanticError("invalid assignment target", target.location)
+
+    def _check_name_assignable(self, ref: ast.VarRef) -> None:
+        if ref.name in self.declared or ref.name in self._info.global_names:
+            return
+        if ref.name in self._info.function_arity or ref.name in ALL_INTRINSICS:
+            raise SemanticError(
+                f"cannot assign to function {ref.name!r}", ref.location
+            )
+        raise SemanticError(f"assignment to undeclared {ref.name!r}", ref.location)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(
+            expr,
+            (ast.IntLiteral, ast.StringLiteral, ast.BoolLiteral, ast.NilLiteral),
+        ):
+            return
+        if isinstance(expr, ast.ListLiteral):
+            for item in expr.items:
+                self._check_expr(item)
+        elif isinstance(expr, ast.VarRef):
+            self._check_name_readable(expr)
+        elif isinstance(expr, ast.Index):
+            self._check_expr(expr.base)
+            self._check_expr(expr.index)
+        elif isinstance(expr, (ast.Unary,)):
+            self._check_expr(expr.operand)
+        elif isinstance(expr, (ast.Binary, ast.Logical)):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+        elif isinstance(expr, ast.Call):
+            self._check_call(expr)
+        else:  # pragma: no cover - parser produces no other expressions
+            raise SemanticError(f"unknown expression {type(expr).__name__}")
+
+    def _check_name_readable(self, ref: ast.VarRef) -> None:
+        if (
+            ref.name in self.declared
+            or ref.name in self._info.global_names
+            or ref.name in self._info.function_arity
+            or ref.name in ALL_INTRINSICS
+        ):
+            return
+        raise SemanticError(f"undefined name {ref.name!r}", ref.location)
+
+    def _check_call(self, call: ast.Call) -> None:
+        for arg in call.args:
+            self._check_expr(arg)
+        callee = call.callee
+        if isinstance(callee, ast.VarRef):
+            name = callee.name
+            if name in self.declared or name in self._info.global_names:
+                return  # indirect call through a variable holding a function
+            if name in self._info.function_arity:
+                expected = self._info.function_arity[name]
+                if len(call.args) != expected:
+                    raise SemanticError(
+                        f"{name}() expects {expected} args, got {len(call.args)}",
+                        call.location,
+                    )
+                return
+            if name in ALL_INTRINSICS:
+                return  # intrinsic arity is validated at runtime
+            raise SemanticError(f"call to undefined {name!r}", callee.location)
+        # Arbitrary callee expressions (e.g. handlers[i](x)) are indirect.
+        self._check_expr(callee)

@@ -1,0 +1,22 @@
+"""Virtual OS: filesystem, network, clock/PRNG, kernel and resources."""
+
+from repro.vos.clock import DeterministicRng, VirtualClock
+from repro.vos.filesystem import VirtualFile, VirtualFS
+from repro.vos.kernel import Kernel, ProgramExit
+from repro.vos.network import Connection, Network
+from repro.vos.resources import LockTaintMap, ResourceTaintMap
+from repro.vos.world import World
+
+__all__ = [
+    "DeterministicRng",
+    "VirtualClock",
+    "VirtualFile",
+    "VirtualFS",
+    "Kernel",
+    "ProgramExit",
+    "Connection",
+    "Network",
+    "LockTaintMap",
+    "ResourceTaintMap",
+    "World",
+]

@@ -1,0 +1,147 @@
+"""In-memory virtual filesystem.
+
+Files hold string content (MiniC strings play the role of byte
+buffers).  Directories are implicit via path prefixes but tracked
+explicitly so ``mkdir``/``listdir`` behave like a real FS.  The whole
+tree supports deep cloning — the mechanism behind the paper's
+copy-on-divergence resource handling (Section 7, "Light-weight Resource
+Tainting").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+def _normalize(path: str) -> str:
+    """Normalize a path: collapse slashes, ensure a leading slash."""
+    parts = [part for part in path.split("/") if part]
+    return "/" + "/".join(parts)
+
+
+def parent_dir(path: str) -> str:
+    """Parent directory of a normalized path ('/' for top-level)."""
+    path = _normalize(path)
+    if path == "/":
+        return "/"
+    return _normalize(path.rsplit("/", 1)[0] or "/")
+
+
+class VirtualFile:
+    """One regular file: content plus a modification timestamp."""
+
+    __slots__ = ("content", "mtime")
+
+    def __init__(self, content: str = "", mtime: int = 0) -> None:
+        self.content = content
+        self.mtime = mtime
+
+    def clone(self) -> "VirtualFile":
+        return VirtualFile(self.content, self.mtime)
+
+    def __repr__(self) -> str:
+        return f"<VirtualFile {len(self.content)}B mtime={self.mtime}>"
+
+
+class VirtualFS:
+    """A cloneable tree of directories and files."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, VirtualFile] = {}
+        self._dirs: Set[str] = {"/"}
+
+    # -- setup helpers (used by workload World definitions) -------------------
+
+    def add_file(self, path: str, content: str, mtime: int = 0) -> None:
+        """Create a file, creating parent directories as needed."""
+        path = _normalize(path)
+        self._ensure_parents(path)
+        self._files[path] = VirtualFile(content, mtime)
+
+    def _ensure_parents(self, path: str) -> None:
+        parent = parent_dir(path)
+        while parent not in self._dirs:
+            self._dirs.add(parent)
+            parent = parent_dir(parent)
+
+    # -- queries -------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = _normalize(path)
+        return path in self._files or path in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        return _normalize(path) in self._files
+
+    def is_dir(self, path: str) -> bool:
+        return _normalize(path) in self._dirs
+
+    def file(self, path: str) -> Optional[VirtualFile]:
+        return self._files.get(_normalize(path))
+
+    def listdir(self, path: str) -> Optional[List[str]]:
+        """Entries directly inside *path*, or None when not a directory."""
+        path = _normalize(path)
+        if path not in self._dirs:
+            return None
+        prefix = path if path.endswith("/") else path + "/"
+        names: Set[str] = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                remainder = candidate[len(prefix) :]
+                names.add(remainder.split("/", 1)[0])
+        return sorted(names)
+
+    def paths(self) -> List[str]:
+        """All file paths (sorted) — used by tests and diffing."""
+        return sorted(self._files)
+
+    # -- mutations -------------------------------------------------------------
+
+    def create_file(self, path: str, mtime: int) -> Optional[VirtualFile]:
+        """Create/truncate a file; None when the parent dir is missing."""
+        path = _normalize(path)
+        if parent_dir(path) not in self._dirs or path in self._dirs:
+            return None
+        created = VirtualFile("", mtime)
+        self._files[path] = created
+        return created
+
+    def mkdir(self, path: str) -> bool:
+        path = _normalize(path)
+        if self.exists(path) or parent_dir(path) not in self._dirs:
+            return False
+        self._dirs.add(path)
+        return True
+
+    def unlink(self, path: str) -> bool:
+        path = _normalize(path)
+        if path in self._files:
+            del self._files[path]
+            return True
+        if path in self._dirs and path != "/":
+            if self.listdir(path):
+                return False  # non-empty
+            self._dirs.discard(path)
+            return True
+        return False
+
+    def rename(self, old: str, new: str) -> bool:
+        old = _normalize(old)
+        new = _normalize(new)
+        if old not in self._files or parent_dir(new) not in self._dirs:
+            return False
+        if new in self._dirs:
+            return False
+        self._files[new] = self._files.pop(old)
+        return True
+
+    def clone(self) -> "VirtualFS":
+        """Deep copy of the whole tree."""
+        copy = VirtualFS()
+        copy._dirs = set(self._dirs)
+        copy._files = {path: f.clone() for path, f in self._files.items()}
+        return copy
+
+    def __repr__(self) -> str:
+        return f"<VirtualFS {len(self._files)} files, {len(self._dirs)} dirs>"

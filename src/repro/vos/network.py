@@ -1,0 +1,79 @@
+"""Scripted virtual network.
+
+Workloads attach *endpoint scripts* to ``host:port`` addresses.  An
+endpoint is a deterministic request/response function: every ``send``
+appends to the connection's request buffer, every ``recv`` pulls from
+the response stream the script produced for the requests so far.
+Determinism makes master/slave independent (decoupled) execution
+reproducible, while the LDX engine still treats ``recv`` outcomes as
+nondeterministic inputs to be shared when aligned — the network models
+the *external world*, whose event order the paper's syscall-outcome
+sharing exists to tame.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+# An endpoint script maps one complete request string to a response string.
+EndpointScript = Callable[[str], str]
+
+
+class Connection:
+    """One live connection: outgoing buffer + scripted incoming stream."""
+
+    def __init__(self, address: str, script: Optional[EndpointScript]) -> None:
+        self.address = address
+        self._script = script
+        self.sent: List[str] = []
+        self._incoming = ""
+        self._consumed = 0
+        self.closed = False
+
+    def send(self, data: str) -> int:
+        """Record outgoing data; feed the script to produce responses."""
+        self.sent.append(data)
+        if self._script is not None:
+            self._incoming += self._script(data)
+        return len(data)
+
+    def recv(self, count: int) -> str:
+        """Pull up to *count* chars from the scripted response stream."""
+        available = self._incoming[self._consumed : self._consumed + count]
+        self._consumed += len(available)
+        return available
+
+    def clone(self) -> "Connection":
+        copy = Connection(self.address, self._script)
+        copy.sent = list(self.sent)
+        copy._incoming = self._incoming
+        copy._consumed = self._consumed
+        copy.closed = self.closed
+        return copy
+
+
+class Network:
+    """Address book of endpoint scripts plus live connections."""
+
+    def __init__(self) -> None:
+        self._scripts: Dict[str, EndpointScript] = {}
+        self.connections: List[Connection] = []
+
+    def register(self, host: str, port: int, script: EndpointScript) -> None:
+        self._scripts[f"{host}:{port}"] = script
+
+    def connect(self, host: str, port: int) -> Optional[Connection]:
+        """Open a connection; None when nothing listens at the address."""
+        address = f"{host}:{port}"
+        script = self._scripts.get(address)
+        if script is None:
+            return None
+        connection = Connection(address, script)
+        self.connections.append(connection)
+        return connection
+
+    def clone(self) -> "Network":
+        copy = Network()
+        copy._scripts = dict(self._scripts)
+        copy.connections = [c.clone() for c in self.connections]
+        return copy

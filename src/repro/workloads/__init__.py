@@ -1,0 +1,27 @@
+"""Benchmark workloads: 28 program models mirroring the paper's suite."""
+
+from repro.workloads.base import CONCURRENCY, NETSYS, SPEC, VULN, Workload
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    PERF_SUBSET,
+    TABLE2_SUBSET,
+    TABLE3_SUBSET,
+    get_workload,
+    workload_names,
+    workloads_by_category,
+)
+
+__all__ = [
+    "CONCURRENCY",
+    "NETSYS",
+    "SPEC",
+    "VULN",
+    "Workload",
+    "ALL_WORKLOADS",
+    "PERF_SUBSET",
+    "TABLE2_SUBSET",
+    "TABLE3_SUBSET",
+    "get_workload",
+    "workload_names",
+    "workloads_by_category",
+]

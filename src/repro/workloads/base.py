@@ -1,0 +1,112 @@
+"""Workload framework.
+
+A workload bundles one benchmark program model: MiniC source, the world
+it runs in, its default LDX configuration (sources to mutate, sinks to
+watch), and the two Table-2 input mutations (one that leaks, one that
+does not — or ``None`` when, as for the paper's numeric programs, every
+mutation reaches the sinks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.errors import WorkloadError
+from repro.instrument import InstrumentedModule, instrument_module
+from repro.ir import compile_source
+from repro.ir.function import IRModule
+from repro.vos.world import World
+
+WorldBuilder = Callable[[int], World]
+ConfigBuilder = Callable[[], LdxConfig]
+
+# Workload categories, mirroring the paper's four benchmark subsets.
+SPEC = "spec"
+NETSYS = "netsys"
+VULN = "vuln"
+CONCURRENCY = "concurrency"
+
+
+class Workload:
+    """One benchmark program model and its experiment wiring."""
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        description: str,
+        source: str,
+        build_world: WorldBuilder,
+        config: ConfigBuilder,
+        leak_config: Optional[ConfigBuilder] = None,
+        noleak_config: Optional[ConfigBuilder] = None,
+        expected_leak: bool = True,
+        modeled_after: str = "",
+        threads: int = 1,
+        table3_config: Optional[ConfigBuilder] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.description = description
+        self.source = source
+        self.build_world = build_world
+        self._config = config
+        self._leak_config = leak_config or config
+        self._noleak_config = noleak_config
+        self.expected_leak = expected_leak
+        self.modeled_after = modeled_after or name
+        self.threads = threads
+        self._table3_config = table3_config
+        self._module: Optional[IRModule] = None
+        self._instrumented: Optional[InstrumentedModule] = None
+
+    # -- compiled artifacts (cached) ------------------------------------------
+
+    @property
+    def module(self) -> IRModule:
+        if self._module is None:
+            self._module = compile_source(self.source)
+        return self._module
+
+    @property
+    def instrumented(self) -> InstrumentedModule:
+        if self._instrumented is None:
+            self._instrumented = instrument_module(self.module)
+        return self._instrumented
+
+    # -- configurations -------------------------------------------------------
+
+    def config(self) -> LdxConfig:
+        """The default causality-inference configuration."""
+        return self._config()
+
+    def leak_variant(self) -> LdxConfig:
+        """Table 2 "Input 1": a mutation expected to reach the sinks."""
+        return self._leak_config()
+
+    def noleak_variant(self) -> Optional[LdxConfig]:
+        """Table 2 "Input 2": a mutation expected NOT to reach the
+        sinks; None when no such mutation exists (the paper's 'O / -'
+        rows)."""
+        if self._noleak_config is None:
+            return None
+        return self._noleak_config()
+
+    def table3_variant(self) -> LdxConfig:
+        """The Table 3 configuration: the default config with the
+        strong (every-character) mutation, unless overridden."""
+        from repro.core.mutation import global_off_by_one
+
+        if self._table3_config is not None:
+            return self._table3_config()
+        config = self._config()
+        config.mutation = global_off_by_one
+        return config
+
+    @property
+    def loc(self) -> int:
+        return self.source.count("\n") + 1
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name} ({self.category})>"

@@ -1,0 +1,1 @@
+"""MiniC benchmark program models, grouped by the paper's subsets."""

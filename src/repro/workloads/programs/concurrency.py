@@ -1,0 +1,460 @@
+"""Concurrent workloads — the paper's concurrency-control set
+(Apache, pbzip2, pigz, axel, x264), evaluated in Table 4.
+
+Design mirrors the paper's findings:
+
+* apache / pbzip2 / pigz protect shared state with mutexes and use a
+  static work partition: LDX's lock-order sharing keeps the two
+  executions' schedules aligned, so tainted-sink counts are *stable*
+  across runs while spin-wait syscall counts (and hence syscall-diff
+  counts) wobble with the schedule seed;
+* axel mixes in genuinely racy progress accounting (the paper blames
+  its variation on per-run Internet nondeterminism) and x264 derives a
+  throughput figure from racy state — their tainted-sink counts vary
+  slightly run to run.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.vos.world import World
+from repro.workloads.base import CONCURRENCY, Workload
+
+
+# ---------------------------------------------------------------------------
+# Apache — worker threads answer a statically partitioned request list.
+# ---------------------------------------------------------------------------
+
+APACHE_SOURCE = """
+var server_tag = "";
+var stats_lock = 0;
+var requests_served = 0;
+var start_flag = 0;
+
+var doc_index = 0;
+
+fn worker(spec) {
+  // spec = [worker id, socket fd, first request idx, count]
+  var wid = spec[0];
+  var sock = spec[1];
+  while (start_flag == 0) { sleep(1); }
+  for (var k = 0; k < spec[3]; k = k + 1) {
+    var req_id = spec[2] + k;
+    // Dynamic work grabbing: which worker preloads which document
+    // depends on the schedule — the syscall sequences race while the
+    // response content stays fixed per request id.
+    // Unlocked racy read of the shared doc counter decides which
+    // document to preload (content never reaches the sinks).
+    var doc = doc_index;
+    sleep(0);
+    doc_index = doc + 1;
+    var fd = open("/www/doc" + (doc % 3) + ".html", "r");
+    if (fd >= 0) {
+      read(fd, 32);
+      close(fd);
+    }
+    send(sock, "HTTP/1.1 200 req" + req_id + " via " + server_tag);
+    mutex_lock(stats_lock);
+    requests_served = requests_served + 1;
+    mutex_unlock(stats_lock);
+  }
+  return 0;
+}
+
+fn main() {
+  var conf = open("/etc/apache2/httpd.conf", "r");
+  server_tag = str_strip(read_line(conf));
+  close(conf);
+  stats_lock = mutex_create();
+  var sock = socket();
+  connect(sock, "clients.example", 80);
+  var t1 = thread_spawn(worker, [1, sock, 0, 3]);
+  var t2 = thread_spawn(worker, [2, sock, 3, 3]);
+  var t3 = thread_spawn(worker, [3, sock, 6, 3]);
+  start_flag = 1;
+  thread_join(t1);
+  thread_join(t2);
+  thread_join(t3);
+  var log = open("/var/log/apache/access.log", "w");
+  write(log, "served " + requests_served + "\\n");
+  close(log);
+  close(sock);
+}
+"""
+
+
+def _apache_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file("/etc/apache2/httpd.conf", "Apache/2.2.24 (corp)\n")
+    world.fs.add_file("/var/log/apache/access.log", "")
+    for index in range(3):
+        world.fs.add_file(f"/www/doc{index}.html", f"<html>doc {index}</html>")
+    world.network.register("clients.example", 80, lambda req: "")
+    return world
+
+
+APACHE = Workload(
+    name="apache",
+    category=CONCURRENCY,
+    description="threaded HTTP workers with mutex-protected stats",
+    source=APACHE_SOURCE,
+    build_world=_apache_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/etc/apache2/httpd.conf"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    threads=4,
+    modeled_after="Apache 2.2.24 (worker MPM)",
+)
+
+
+# ---------------------------------------------------------------------------
+# pbzip2 — parallel block compressor, in-order merge under a mutex.
+# ---------------------------------------------------------------------------
+
+PBZIP2_SOURCE = """
+var grab_lock = 0;
+var next_block = 0;
+var total_blocks = 0;
+var results = 0;
+
+fn rle(block) {
+  var out = "";
+  var i = 0;
+  while (i < len(block)) {
+    var ch = block[i];
+    var run = 1;
+    while (i + run < len(block) and block[i + run] == ch and run < 9) {
+      run = run + 1;
+    }
+    out = out + run + ch;
+    i = i + run;
+  }
+  return out;
+}
+
+fn worker(wid) {
+  // Dynamic work stealing with an optimistic prefetch: the worker
+  // peeks at next_block WITHOUT the lock, opens the file for that
+  // block, then locks to claim it.  Losing the race wastes the
+  // prefetch syscalls — a schedule-dependent syscall count (the
+  // low-level nondeterminism Table 4 measures).
+  var done = 0;
+  while (true) {
+    var peek = next_block;
+    if (peek >= total_blocks) { break; }
+    var f = open("/data/input.txt", "r");
+    seek(f, peek * 24);
+    mutex_lock(grab_lock);
+    var mine = next_block;
+    if (mine < total_blocks) { next_block = next_block + 1; }
+    mutex_unlock(grab_lock);
+    if (mine >= total_blocks) { close(f); break; }
+    if (mine != peek) { seek(f, mine * 24); }
+    var block = read(f, 24);
+    close(f);
+    results[mine] = rle(block);
+    done = done + 1;
+  }
+  return done;
+}
+
+fn main() {
+  var probe = open("/data/input.txt", "r");
+  var size = stat("/data/input.txt");
+  close(probe);
+  total_blocks = (size[0] + 23) / 24;
+  results = list_new(total_blocks, "");
+  grab_lock = mutex_create();
+  var tids = [];
+  for (var w = 0; w < 3; w = w + 1) {
+    push(tids, thread_spawn(worker, w));
+  }
+  var grabbed = 0;
+  for (var j = 0; j < len(tids); j = j + 1) {
+    grabbed = grabbed + thread_join(tids[j]);
+  }
+  var out = open("/data/output.bz2", "w");
+  for (var b = 0; b < total_blocks; b = b + 1) {
+    write(out, results[b] + "|");
+  }
+  write(out, "#" + grabbed);
+  close(out);
+}
+"""
+
+
+def _pbzip2_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/data/input.txt", "aaabbbcccdddabcabcabc" * 3 + "zzzzzyyyy"
+    )
+    return world
+
+
+PBZIP2 = Workload(
+    name="pbzip2",
+    category=CONCURRENCY,
+    description="parallel block compressor with ordered merge",
+    source=PBZIP2_SOURCE,
+    build_world=_pbzip2_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/data/input.txt"}),
+        sinks=SinkSpec.file_out(),
+    ),
+    threads=4,
+    modeled_after="pbzip2 1.1.6",
+)
+
+
+# ---------------------------------------------------------------------------
+# pigz — parallel compressor with per-chunk checksum workers.
+# ---------------------------------------------------------------------------
+
+PIGZ_SOURCE = """
+var grab_lock = 0;
+var next_chunk = 0;
+var total_chunks = 0;
+var sums = 0;
+
+fn crc(chunk) {
+  var sum = 0;
+  for (var i = 0; i < len(chunk); i = i + 1) {
+    sum = i32_add(i32_mul(sum, 131), ord(chunk[i]));
+  }
+  return sum % 100000;
+}
+
+fn worker(out_slots) {
+  // Dynamic chunk grabbing with an optimistic unlocked peek: a lost
+  // race costs a wasted open/seek (schedule-dependent syscalls), while
+  // each chunk's checksum still lands deterministically in its slot.
+  while (true) {
+    var peek = next_chunk;
+    if (peek >= total_chunks) { break; }
+    var f = open("/data/archive.in", "r");
+    seek(f, peek * 16);
+    mutex_lock(grab_lock);
+    var mine = next_chunk;
+    if (mine < total_chunks) { next_chunk = next_chunk + 1; }
+    mutex_unlock(grab_lock);
+    if (mine >= total_chunks) { close(f); break; }
+    if (mine != peek) { seek(f, mine * 16); }
+    var chunk = read(f, 16);
+    close(f);
+    var value = crc(chunk);
+    out_slots[mine] = value;
+    mutex_lock(grab_lock);
+    sums = i32_add(sums, value);
+    mutex_unlock(grab_lock);
+  }
+  return 0;
+}
+
+fn main() {
+  var size = stat("/data/archive.in");
+  total_chunks = (size[0] + 15) / 16;
+  var slots = list_new(total_chunks, 0);
+  grab_lock = mutex_create();
+  var tids = [];
+  for (var w = 0; w < 3; w = w + 1) {
+    push(tids, thread_spawn(worker, slots));
+  }
+  for (var j = 0; j < len(tids); j = j + 1) {
+    thread_join(tids[j]);
+  }
+  var out = open("/data/archive.gz", "w");
+  for (var c = 0; c < total_chunks; c = c + 1) {
+    write(out, "c" + c + ":" + slots[c] + ";");
+  }
+  write(out, "total:" + sums);
+  close(out);
+}
+"""
+
+
+def _pigz_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file("/data/archive.in", "the quick brown fox jumps over " * 2)
+    return world
+
+
+PIGZ = Workload(
+    name="pigz",
+    category=CONCURRENCY,
+    description="parallel checksum compressor",
+    source=PIGZ_SOURCE,
+    build_world=_pigz_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/data/archive.in"}),
+        sinks=SinkSpec.file_out(),
+    ),
+    threads=4,
+    modeled_after="pigz 2.3",
+)
+
+
+# ---------------------------------------------------------------------------
+# axel — multi-connection downloader with racy progress reporting.
+# ---------------------------------------------------------------------------
+
+AXEL_SOURCE = """
+var progress = 0;
+
+fn worker(spec) {
+  // spec = [connection fd, chunk count, chunk tag]
+  var sock = spec[0];
+  for (var k = 0; k < spec[1]; k = k + 1) {
+    send(sock, "chunk " + spec[2] + k);
+    var data = recv(sock, 32);
+    // RACY: progress is read-modify-written without a lock, with a
+    // yield inside the window — the value each progress line reports
+    // (and lost updates) depend on the interleaving (the paper: axel's
+    // per-run nondeterminism changes its tainted sinks).
+    var seen = progress;
+    sleep(0);
+    progress = seen + len(data);
+    print("[" + spec[2] + "] " + progress + " bytes\\n");
+  }
+  return 0;
+}
+
+fn main() {
+  var url = str_strip(read_line(0));
+  var s1 = socket();
+  connect(s1, "mirror-a.example", 80);
+  var s2 = socket();
+  connect(s2, "mirror-b.example", 80);
+  send(s1, "HEAD " + url);
+  recv(s1, 16);
+  var t1 = thread_spawn(worker, [s1, 4, "a"]);
+  var t2 = thread_spawn(worker, [s2, 4, "b"]);
+  thread_join(t1);
+  thread_join(t2);
+  print("done " + progress + "\\n");
+  close(s1);
+  close(s2);
+}
+"""
+
+
+def _axel_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.stdin = "releases/image.iso\n"
+
+    def mirror(tag):
+        def script(request: str) -> str:
+            if request.startswith("HEAD"):
+                return "200 ok length 96  "[:16]
+            if request.startswith("chunk"):
+                return f"<{tag}-data-{request[-1]}>"
+            return ""
+
+        return script
+
+    world.network.register("mirror-a.example", 80, mirror("a"))
+    world.network.register("mirror-b.example", 80, mirror("b"))
+    return world
+
+
+AXEL = Workload(
+    name="axel",
+    category=CONCURRENCY,
+    description="multi-connection downloader with racy progress lines",
+    source=AXEL_SOURCE,
+    build_world=_axel_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(stdin=True),
+        sinks=SinkSpec(syscall_names=("send", "print")),
+    ),
+    threads=3,
+    modeled_after="axel 2.4",
+)
+
+
+# ---------------------------------------------------------------------------
+# x264 — parallel encoder printing a throughput statistic derived from
+# racy shared state.
+# ---------------------------------------------------------------------------
+
+X264_SOURCE = """
+var frames_done = 0;
+var bits_total = 0;
+
+fn encode(spec) {
+  // spec = [frame index, frame data]
+  var bits = 0;
+  var data = spec[1];
+  for (var i = 0; i < len(data); i = i + 1) {
+    bits = bits + ord(data[i]) / 4;
+  }
+  // RACY unprotected statistics accumulation (real encoders keep
+  // throughput stats outside the lock): lost updates possible in both
+  // counters, with a yield widening the window.
+  var bits_snapshot = bits_total;
+  var done_snapshot = frames_done;
+  sleep(0);
+  bits_total = bits_snapshot + bits;
+  frames_done = done_snapshot + 1;
+  print("frame " + spec[0] + " bits " + bits + "\\n");
+  print("fps-progress " + done_snapshot + "\\n");
+  return bits;
+}
+
+fn main() {
+  var f = open("/video/input.y4m", "r");
+  var frames = [];
+  var frame = read(f, 20);
+  while (len(frame) > 0) {
+    push(frames, frame);
+    frame = read(f, 20);
+  }
+  close(f);
+  var tids = [];
+  for (var i = 0; i < len(frames); i = i + 1) {
+    push(tids, thread_spawn(encode, [i, frames[i]]));
+  }
+  var out = open("/video/output.264", "w");
+  for (var j = 0; j < len(tids); j = j + 1) {
+    write(out, "f" + j + ":" + thread_join(tids[j]) + ";");
+  }
+  write(out, "bits " + bits_total);
+  close(out);
+}
+"""
+
+
+def _x264_frame_mutator(value):
+    """Shift the first frame byte by +7 so the change survives the /4
+    quantization in encode()."""
+    if isinstance(value, str) and value:
+        return chr(65 + ((ord(value[0]) - 65 + 7) % 26)) + value[1:]
+    return value
+
+
+def _x264_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    frames = "".join(chr(65 + ((i * 3) % 26)) for i in range(80))
+    world.fs.add_file("/video/input.y4m", frames)
+    return world
+
+
+X264 = Workload(
+    name="x264",
+    category=CONCURRENCY,
+    description="parallel encoder with racy progress statistic",
+    source=X264_SOURCE,
+    build_world=_x264_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/video/input.y4m"},
+            mutators={"file:/video/input.y4m": _x264_frame_mutator},
+        ),
+        sinks=SinkSpec.file_out(),
+    ),
+    threads=5,
+    modeled_after="x264 r2230",
+)
+
+
+CONCURRENCY_WORKLOADS = [APACHE, PBZIP2, PIGZ, AXEL, X264]

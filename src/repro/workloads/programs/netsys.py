@@ -1,0 +1,512 @@
+"""Network/system workloads — the paper's information-leak detection set
+(Firefox, Lynx, Nginx, Tnftp, Sysstat).
+
+Networked programs use outgoing network syscalls as sinks; sysstat
+(local) uses file outputs — matching Section 8's sink configuration.
+The Firefox model mirrors the Section 8.4 case study: an event loop
+plus a script-engine-like extension (ShowIP) that reports the current
+URL to a remote server.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.vos.world import World
+from repro.workloads.base import NETSYS, Workload
+
+
+def _line_mutator(prefix: str):
+    """Mutate only input lines starting with *prefix* (off-by-one on
+    the first data character after the prefix)."""
+
+    def mutate(value):
+        if isinstance(value, str) and value.startswith(prefix):
+            rest = value[len(prefix) :]
+            for index, ch in enumerate(rest):
+                if ch.isalnum():
+                    shifted = chr(ord(ch) + 1)
+                    if not shifted.isalnum():
+                        shifted = "a"
+                    return value[: len(prefix) + index] + shifted + rest[index + 1 :]
+        return value
+
+    return mutate
+
+
+# ---------------------------------------------------------------------------
+# Firefox — event loop + ShowIP extension (Section 8.4 case study).
+# ---------------------------------------------------------------------------
+
+FIREFOX_SOURCE = """
+var page_count = 0;
+var click_count = 0;
+
+fn handle_load(arg) {
+  // Fetch the page and render it locally.
+  var sock = socket();
+  connect(sock, "web.example", 80);
+  send(sock, "GET " + arg);
+  var body = recv(sock, 64);
+  close(sock);
+  var screen = open("/home/user/screen.txt", "a");
+  write(screen, "[page] " + body + "\\n");
+  close(screen);
+  page_count = page_count + 1;
+  // ShowIP extension hook: report the current URL to its server.
+  var ext = socket();
+  connect(ext, "showip.example", 80);
+  send(ext, "lookup " + arg);
+  recv(ext, 16);
+  close(ext);
+  return 0;
+}
+
+fn handle_click(arg) {
+  click_count = click_count + 1;
+  var screen = open("/home/user/screen.txt", "a");
+  write(screen, "[click] " + arg + "\\n");
+  close(screen);
+  return 0;
+}
+
+fn handle_scroll(arg) {
+  var screen = open("/home/user/screen.txt", "a");
+  write(screen, "[scroll]\\n");
+  close(screen);
+  return 0;
+}
+
+fn main() {
+  var kinds = ["load", "click", "scroll"];
+  var handlers = [handle_load, handle_click, handle_scroll];
+  var line = read_line(0);
+  while (len(line) > 0) {
+    var parts = str_split(str_strip(line), " ");
+    var which = index_of(kinds, parts[0]);
+    if (which >= 0) {
+      var handler = handlers[which];
+      var arg = "";
+      if (len(parts) > 1) { arg = parts[1]; }
+      handler(arg);
+    }
+    line = read_line(0);
+  }
+  var screen = open("/home/user/screen.txt", "a");
+  write(screen, "session: " + page_count + " pages, " + click_count + " clicks\\n");
+  close(screen);
+}
+"""
+
+
+def _firefox_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.stdin = (
+        "load intranet.corp/payroll\n"
+        "click submit\n"
+        "scroll\n"
+        "load news.example/front\n"
+        "click next\n"
+    )
+    world.fs.add_file("/home/user/screen.txt", "")
+    world.network.register("web.example", 80, lambda req: f"<html>{req[4:20]}</html>")
+    world.network.register("showip.example", 80, lambda req: "93.184.216.34")
+    return world
+
+
+def _firefox_leak() -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(stdin=True, mutators={"stdin": _line_mutator("load ")}),
+        sinks=SinkSpec.network_out(),
+    )
+
+
+def _firefox_noleak() -> LdxConfig:
+    # Clicks update local state and the screen only; they never reach
+    # the network sinks.
+    return LdxConfig(
+        sources=SourceSpec(stdin=True, mutators={"stdin": _line_mutator("click ")}),
+        sinks=SinkSpec.network_out(),
+    )
+
+
+FIREFOX = Workload(
+    name="firefox",
+    category=NETSYS,
+    description="event loop + ShowIP extension leaking the current URL",
+    source=FIREFOX_SOURCE,
+    build_world=_firefox_world,
+    config=_firefox_leak,
+    leak_config=_firefox_leak,
+    noleak_config=_firefox_noleak,
+    modeled_after="Firefox + ShowIP 1.2rc5",
+)
+
+
+# ---------------------------------------------------------------------------
+# Lynx — text browser: cookies ride along on every request.
+# ---------------------------------------------------------------------------
+
+LYNX_SOURCE = """
+fn main() {
+  var rc = open("/home/user/.lynxrc", "r");
+  var color_mode = parse_int(str_strip(read_line(rc)));
+  close(rc);
+  var jar = open("/home/user/.cookies", "r");
+  var cookie = str_strip(read(jar, 64));
+  close(jar);
+  var url = str_strip(read_line(0));
+  var sock = socket();
+  connect(sock, "web.example", 80);
+  send(sock, "GET " + url + " Cookie: " + cookie);
+  var body = recv(sock, 128);
+  close(sock);
+  var screen = open("/home/user/screen.txt", "w");
+  if (color_mode > 0) {
+    write(screen, "[color] " + body + "\\n");
+  } else {
+    write(screen, body + "\\n");
+  }
+  close(screen);
+  var history = open("/home/user/.lynx_history", "a");
+  write(history, url + "\\n");
+  close(history);
+}
+"""
+
+
+def _lynx_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.stdin = "wiki.example/Main_Page\n"
+    world.fs.add_file("/home/user/.cookies", "session=k8d3aa91\n")
+    world.fs.add_file("/home/user/.lynxrc", "1\n")
+    world.fs.add_file("/home/user/screen.txt", "")
+    world.fs.add_file("/home/user/.lynx_history", "")
+    world.network.register("web.example", 80, lambda req: f"<page for {req[:24]}>")
+    return world
+
+
+LYNX = Workload(
+    name="lynx",
+    category=NETSYS,
+    description="text browser attaching cookies to requests",
+    source=LYNX_SOURCE,
+    build_world=_lynx_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/home/user/.cookies"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    leak_config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/home/user/.cookies"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    noleak_config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/home/user/.lynxrc"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    modeled_after="Lynx 2.8.8",
+)
+
+
+# ---------------------------------------------------------------------------
+# Nginx — server loop answering requests pulled from a client pool.
+# ---------------------------------------------------------------------------
+
+NGINX_SOURCE = """
+fn read_config(names, values) {
+  var f = open("/etc/nginx/nginx.conf", "r");
+  var line = read_line(f);
+  while (len(line) > 0) {
+    var parts = str_split(str_strip(line), " ");
+    if (len(parts) == 2) {
+      push(names, parts[0]);
+      push(values, parts[1]);
+    }
+    line = read_line(f);
+  }
+  close(f);
+  return 0;
+}
+
+fn config_get(names, values, name, fallback) {
+  var i = index_of(names, name);
+  if (i < 0) { return fallback; }
+  return values[i];
+}
+
+fn main() {
+  var names = [];
+  var values = [];
+  read_config(names, values);
+  var server_name = config_get(names, values, "server_name", "localhost");
+  var workers = parse_int(config_get(names, values, "workers", "1"));
+  var root = config_get(names, values, "root", "/www");
+
+  var log = open("/var/log/nginx/access.log", "a");
+  for (var w = 0; w < workers; w = w + 1) {
+    write(log, "worker " + w + " ready\\n");
+  }
+
+  var clients = socket();
+  connect(clients, "clientpool.example", 9000);
+  var served = 0;
+  for (var i = 0; i < 4; i = i + 1) {
+    send(clients, "next" + i);
+    var request = recv(clients, 32);
+    if (len(request) == 0) { break; }
+    var path = root + "/" + request;
+    var fd = open(path, "r");
+    var body = "404 not found";
+    var status = "404";
+    if (fd >= 0) {
+      body = read(fd, 128);
+      close(fd);
+      status = "200";
+    }
+    send(clients, "HTTP/1.1 " + status + " Server: " + server_name + " " + body);
+    write(log, request + " -> " + status + "\\n");
+    served = served + 1;
+  }
+  close(clients);
+  write(log, "served " + served + "\\n");
+  close(log);
+}
+"""
+
+
+def _nginx_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/etc/nginx/nginx.conf",
+        "server_name corp-internal\nworkers 2\nroot /www\n",
+    )
+    world.fs.add_file("/www/index.html", "<h1>welcome</h1>")
+    world.fs.add_file("/www/status.html", "<p>all good</p>")
+    world.fs.add_file("/var/log/nginx/access.log", "")
+    requests = ["index.html", "status.html", "missing.html", "index.html"]
+
+    def pool_script(request: str) -> str:
+        # Stateless: the client polls with "next<i>" so master and
+        # slave clones of this endpoint stay independent.
+        if request.startswith("next"):
+            index = int(request[len("next") :] or 0)
+            if 0 <= index < len(requests):
+                return requests[index]
+        return ""
+
+    world.network.register("clientpool.example", 9000, pool_script)
+    return world
+
+
+def _nginx_config(line_prefix: str) -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/etc/nginx/nginx.conf"},
+            mutators={"file:/etc/nginx/nginx.conf": _line_mutator(line_prefix)},
+        ),
+        sinks=SinkSpec.network_out(),
+    )
+
+
+NGINX = Workload(
+    name="nginx",
+    category=NETSYS,
+    description="HTTP server: config shapes response headers",
+    source=NGINX_SOURCE,
+    build_world=_nginx_world,
+    config=lambda: _nginx_config("server_name "),
+    leak_config=lambda: _nginx_config("server_name "),
+    noleak_config=lambda: _nginx_config("workers "),
+    modeled_after="Nginx 1.4.0",
+)
+
+
+# ---------------------------------------------------------------------------
+# Tnftp — FTP client sending credentials from ~/.netrc.
+# ---------------------------------------------------------------------------
+
+TNFTP_SOURCE = """
+fn main() {
+  var netrc = open("/home/user/.netrc", "r");
+  var user = str_strip(read_line(netrc));
+  var password = str_strip(read_line(netrc));
+  close(netrc);
+  var prefs = open("/home/user/.ftprc", "r");
+  var mode = str_strip(read(prefs, 16));
+  close(prefs);
+  var target = str_strip(read_line(0));
+
+  var sock = socket();
+  connect(sock, "ftp.example", 21);
+  send(sock, "USER " + user);
+  recv(sock, 16);
+  send(sock, "PASS " + password);
+  var ack = recv(sock, 16);
+  var out_name = "/home/user/download.dat";
+  if (mode == "ascii") {
+    out_name = "/home/user/download.txt";
+  }
+  if (starts_with(ack, "230")) {
+    send(sock, "RETR " + target);
+    var data = recv(sock, 128);
+    var out = open(out_name, "w");
+    write(out, data);
+    close(out);
+  }
+  close(sock);
+}
+"""
+
+
+def _tnftp_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.stdin = "report.pdf\n"
+    world.fs.add_file("/home/user/.netrc", "alice\nhunter2\n")
+    world.fs.add_file("/home/user/.ftprc", "ascii\n")
+
+    def ftp_script(request: str) -> str:
+        if request.startswith("USER"):
+            return "331 "
+        if request.startswith("PASS"):
+            return "230 login ok   "[:16]
+        if request.startswith("RETR"):
+            return "%PDF-1.4 contents of " + request[5:]
+        return "500 "
+
+    world.network.register("ftp.example", 21, ftp_script)
+    return world
+
+
+TNFTP = Workload(
+    name="tnftp",
+    category=NETSYS,
+    description="FTP client sending ~/.netrc credentials",
+    source=TNFTP_SOURCE,
+    build_world=_tnftp_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/home/user/.netrc"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    leak_config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/home/user/.netrc"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    noleak_config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/home/user/.ftprc"}),
+        sinks=SinkSpec.network_out(),
+    ),
+    modeled_after="Tnftp 20130505",
+)
+
+
+# ---------------------------------------------------------------------------
+# Sysstat — /proc statistics summarizer (local file sinks).
+# ---------------------------------------------------------------------------
+
+SYSSTAT_SOURCE = """
+fn main() {
+  var conf = open("/etc/sysstat.conf", "r");
+  var history = parse_int(str_strip(read(conf, 8)));
+  close(conf);
+  var statf = open("/proc/stat", "r");
+  var user_total = 0;
+  var sys_total = 0;
+  var cpus = 0;
+  var line = read_line(statf);
+  while (len(line) > 0) {
+    var parts = str_split(str_strip(line), " ");
+    if (starts_with(parts[0], "cpu")) {
+      user_total = user_total + parse_int(parts[1]);
+      sys_total = sys_total + parse_int(parts[2]);
+      cpus = cpus + 1;
+    }
+    line = read_line(statf);
+  }
+  close(statf);
+  var out = open("/var/log/sa/sa01", "w");
+  write(out, "cpus " + cpus + "\\n");
+  write(out, "avg-user " + user_total / cpus + "\\n");
+  write(out, "avg-sys " + sys_total / cpus + "\\n");
+  if (history > 60) {
+    write(out, "rotating old history\\n");
+  }
+  close(out);
+}
+"""
+
+
+def _proc_stat_mutator(value):
+    """Perturb the first counter value (after the cpu label), leaving
+    the "cpuN" label intact so the line still parses."""
+    if not isinstance(value, str):
+        return value
+    space = value.find(" ")
+    if space < 0:
+        return value
+    for index in range(space + 1, len(value)):
+        if value[index].isdigit():
+            bumped = str((int(value[index]) + 1) % 10)
+            return value[:index] + bumped + value[index + 1 :]
+    return value
+
+
+def _proc_stat_strong_mutator(value):
+    """Bump every counter digit (Table 3's all-bytes perturbation),
+    keeping the cpuN labels parseable."""
+    if not isinstance(value, str):
+        return value
+    space = value.find(" ")
+    if space < 0:
+        return value
+    head, tail = value[: space + 1], value[space + 1 :]
+    bumped = "".join(
+        str((int(ch) + 1) % 10) if ch.isdigit() else ch for ch in tail
+    )
+    return head + bumped
+
+
+def _sysstat_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/proc/stat",
+        "cpu0 420 96\ncpu1 381 102\ncpu2 455 88\ncpu3 402 91\n",
+    )
+    world.fs.add_file("/etc/sysstat.conf", "28\n")
+    return world
+
+
+SYSSTAT = Workload(
+    name="sysstat",
+    category=NETSYS,
+    description="/proc statistics summarizer",
+    source=SYSSTAT_SOURCE,
+    build_world=_sysstat_world,
+    config=lambda: LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/proc/stat"},
+            mutators={"file:/proc/stat": _proc_stat_mutator},
+        ),
+        sinks=SinkSpec.file_out(),
+    ),
+    leak_config=lambda: LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/proc/stat"},
+            mutators={"file:/proc/stat": _proc_stat_mutator},
+        ),
+        sinks=SinkSpec.file_out(),
+    ),
+    noleak_config=lambda: LdxConfig(
+        sources=SourceSpec(file_paths={"/etc/sysstat.conf"}),
+        sinks=SinkSpec.file_out(),
+    ),
+    table3_config=lambda: LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/proc/stat"},
+            mutators={"file:/proc/stat": _proc_stat_strong_mutator},
+        ),
+        sinks=SinkSpec.file_out(),
+    ),
+    modeled_after="Sysstat 10.1.5",
+)
+
+
+NETSYS_WORKLOADS = [FIREFOX, LYNX, NGINX, TNFTP, SYSSTAT]

@@ -1,0 +1,991 @@
+"""SPECINT2006-modelled workloads (the paper's first benchmark subset).
+
+Each program is a structural model of its namesake: the same kind of
+computation (interpretation, compression, preprocessing, search, DP,
+simulation), the same syscall shape (read inputs, compute, write
+results), exercising the language features Table 1 reports (loops,
+recursion, indirect calls).  Sinks are local file outputs, sources are
+the reference input files — exactly the paper's configuration for
+SPEC.
+
+Table 2 wiring: the *leak* variant mutates the main input (always
+reaches the output); the *no-leak* variant mutates a secondary input
+that the program reads but whose value cannot reach the output.  The
+four numeric programs (hmmer, libquantum, omnetpp, astar) have no
+no-leak variant — any input mutation reaches the sink (the paper's
+'O / -' rows).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.vos.world import World
+from repro.workloads.base import SPEC, Workload
+
+
+def _config(paths) -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(file_paths=set(paths)),
+        sinks=SinkSpec.file_out(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 400.perlbench — a tiny script interpreter (indirect dispatch, recursion).
+# ---------------------------------------------------------------------------
+
+PERLBENCH_SOURCE = """
+fn op_set(env, name, value) {
+  var i = index_of(env[0], name);
+  if (i < 0) {
+    push(env[0], name);
+    push(env[1], value);
+  } else {
+    env[1][i] = value;
+  }
+  return 0;
+}
+
+fn op_get(env, name) {
+  var i = index_of(env[0], name);
+  if (i < 0) { return 0; }
+  return env[1][i];
+}
+
+fn eval_expr(env, tokens, pos) {
+  // Recursive descent over "+"/"*" prefix expressions:
+  //   expr := num | var | (+ expr expr) | (* expr expr)
+  var tok = tokens[pos];
+  if (tok == "+") {
+    var left = eval_expr(env, tokens, pos + 1);
+    var right = eval_expr(env, tokens, left[1]);
+    return [left[0] + right[0], right[1]];
+  }
+  if (tok == "*") {
+    var mleft = eval_expr(env, tokens, pos + 1);
+    var mright = eval_expr(env, tokens, mleft[1]);
+    return [mleft[0] * mright[0], mright[1]];
+  }
+  var n = parse_int(tok);
+  if (is_nil(n)) {
+    return [op_get(env, tok), pos + 1];
+  }
+  return [n, pos + 1];
+}
+
+fn run_line(env, line, out) {
+  var words = str_split(str_strip(line), " ");
+  if (len(words) == 0) { return 0; }
+  var cmd = words[0];
+  if (cmd == "#" or cmd == "") { return 0; }
+  if (cmd == "set") {
+    var v = eval_expr(env, slice(words, 2, len(words)), 0);
+    op_set(env, words[1], v[0]);
+    return 0;
+  }
+  if (cmd == "print") {
+    write(out, words[1] + "=" + op_get(env, words[1]) + "\\n");
+    return 0;
+  }
+  if (cmd == "ifgt") {
+    // ifgt var threshold label: print label when var > threshold
+    if (op_get(env, words[1]) > parse_int(words[2])) {
+      write(out, words[3] + "\\n");
+    }
+    return 0;
+  }
+  return 0;
+}
+
+fn main() {
+  var script = open("/spec/perl/script.pl", "r");
+  var data = open("/spec/perl/data.txt", "r");
+  var notes = open("/spec/perl/notes.txt", "r");
+  var noise = read(notes, 64);
+  close(notes);
+  var out = open("/spec/perl/out.txt", "w");
+  var env = [[], []];
+  // Pre-load the data file values as d0, d1, ...
+  var index = 0;
+  var line = read_line(data);
+  while (len(line) > 0) {
+    op_set(env, "d" + index, parse_int(str_strip(line)));
+    index = index + 1;
+    line = read_line(data);
+  }
+  close(data);
+  line = read_line(script);
+  while (len(line) > 0) {
+    run_line(env, line, out);
+    line = read_line(script);
+  }
+  close(script);
+  close(out);
+}
+"""
+
+
+def _perlbench_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/spec/perl/script.pl",
+        "set total + d0 * d1 2\n"
+        "set half total\n"
+        "print total\n"
+        "ifgt total 50 big\n"
+        "print half\n",
+    )
+    world.fs.add_file("/spec/perl/data.txt", "17\n4\n")
+    world.fs.add_file("/spec/perl/notes.txt", "reference input set, rev 104\n")
+    return world
+
+
+PERLBENCH = Workload(
+    name="perlbench",
+    category=SPEC,
+    description="script interpreter: recursive expression evaluation",
+    source=PERLBENCH_SOURCE,
+    build_world=_perlbench_world,
+    config=lambda: _config(["/spec/perl/data.txt"]),
+    leak_config=lambda: _config(["/spec/perl/data.txt"]),
+    noleak_config=lambda: _config(["/spec/perl/notes.txt"]),
+    modeled_after="400.perlbench",
+)
+
+
+# ---------------------------------------------------------------------------
+# 401.bzip2 — run-length + dictionary compressor.
+# ---------------------------------------------------------------------------
+
+BZIP2_SOURCE = """
+fn rle_encode(data) {
+  var out = "";
+  var i = 0;
+  while (i < len(data)) {
+    var ch = data[i];
+    var run = 1;
+    while (i + run < len(data) and data[i + run] == ch and run < 9) {
+      run = run + 1;
+    }
+    out = out + run + ch;
+    i = i + run;
+  }
+  return out;
+}
+
+fn checksum(data) {
+  var sum = 0;
+  for (var i = 0; i < len(data); i = i + 1) {
+    sum = i32_add(i32_mul(sum, 31), ord(data[i]));
+  }
+  return sum % 65536;
+}
+
+fn main() {
+  var cfg = open("/spec/bzip2/level.cfg", "r");
+  var level = parse_int(str_strip(read(cfg, 8)));
+  close(cfg);
+  var f = open("/spec/bzip2/input.dat", "r");
+  var out = open("/spec/bzip2/output.bz", "w");
+  var block = read(f, 64);
+  var blocks = 0;
+  while (len(block) > 0) {
+    var encoded = rle_encode(block);
+    // Higher levels re-encode once more (only kicks in above 8).
+    if (level > 8) {
+      encoded = rle_encode(encoded);
+    }
+    write(out, encoded + "|");
+    blocks = blocks + 1;
+    block = read(f, 64);
+  }
+  write(out, "CRC" + checksum("done" + blocks));
+  close(f);
+  close(out);
+}
+"""
+
+
+def _bzip2_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/spec/bzip2/input.dat",
+        "aaaabbbcccccabcabc" * 6 + "zzzzyyyyxxxx" * 4,
+    )
+    world.fs.add_file("/spec/bzip2/level.cfg", "5\n")
+    return world
+
+
+BZIP2 = Workload(
+    name="bzip2",
+    category=SPEC,
+    description="run-length block compressor",
+    source=BZIP2_SOURCE,
+    build_world=_bzip2_world,
+    config=lambda: _config(["/spec/bzip2/input.dat"]),
+    leak_config=lambda: _config(["/spec/bzip2/input.dat"]),
+    noleak_config=lambda: _config(["/spec/bzip2/level.cfg"]),
+    modeled_after="401.bzip2",
+)
+
+
+# ---------------------------------------------------------------------------
+# 403.gcc — a C preprocessor model (the Section 8.4 case study shape).
+# ---------------------------------------------------------------------------
+
+GCC_SOURCE = """
+fn lookup_define(names, values, name) {
+  var i = index_of(names, name);
+  if (i < 0) { return nil; }
+  return values[i];
+}
+
+fn main() {
+  // -D style configuration: "NAME VALUE" lines (the secret source).
+  var defs = open("/spec/gcc/defines.cfg", "r");
+  var names = [];
+  var values = [];
+  var line = read_line(defs);
+  while (len(line) > 0) {
+    var parts = str_split(str_strip(line), " ");
+    if (len(parts) == 2) {
+      push(names, parts[0]);
+      push(values, parse_int(parts[1]));
+    }
+    line = read_line(defs);
+  }
+  close(defs);
+
+  var src = open("/spec/gcc/input.c", "r");
+  var out = open("/spec/gcc/preprocessed.i", "w");
+  // skipping-depth stack like cpplib's pfile->state.skipping
+  var skipping = 0;
+  var depth = 0;
+  line = read_line(src);
+  while (len(line) > 0) {
+    var stripped = str_strip(line);
+    if (starts_with(stripped, "#if ")) {
+      depth = depth + 1;
+      var name = substr(stripped, 4, len(stripped));
+      var value = lookup_define(names, values, name);
+      var skip = 0;
+      if (is_nil(value)) { skip = 1; }
+      else {
+        if (value == 0) { skip = 1; }
+      }
+      if (skipping == 0 and skip == 1) { skipping = depth; }
+    } else {
+      if (starts_with(stripped, "#endif")) {
+        if (skipping == depth) { skipping = 0; }
+        depth = depth - 1;
+      } else {
+        if (skipping == 0) {
+          write(out, line);
+        }
+      }
+    }
+    line = read_line(src);
+  }
+  close(src);
+  close(out);
+  print("done");
+}
+"""
+
+
+def _gcc_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/spec/gcc/defines.cfg",
+        "NGX_HAVE_POLL 1\nNGX_HAVE_EPOLL 0\nNGX_DEBUG 0\n",
+    )
+    world.fs.add_file(
+        "/spec/gcc/input.c",
+        "#if NGX_HAVE_POLL\n"
+        "#include <poll.h>\n"
+        "static int use_poll = 1;\n"
+        "#endif\n"
+        "#if NGX_DEBUG\n"
+        "static int debug = 1;\n"
+        "#endif\n"
+        "int main() { return events(); }\n",
+    )
+    return world
+
+
+def _gcc_noleak_config() -> LdxConfig:
+    # Mutate NGX_DEBUG's value 0 -> 1?  That would leak.  Instead the
+    # no-leak variant perturbs a define *name* character in a definition
+    # that is never referenced; implemented as a custom mutator that
+    # rewrites the unused third define's name.
+    def mutate(value):
+        if isinstance(value, str):
+            return value.replace("NGX_DEBUG", "NGX_DEBUH")
+        return value
+
+    return LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/spec/gcc/defines.cfg"},
+            mutators={"file:/spec/gcc/defines.cfg": mutate},
+        ),
+        sinks=SinkSpec.file_out(),
+    )
+
+
+GCC = Workload(
+    name="gcc",
+    category=SPEC,
+    description="C preprocessor: #if handling over a define table",
+    source=GCC_SOURCE,
+    build_world=_gcc_world,
+    config=lambda: _config(["/spec/gcc/defines.cfg"]),
+    leak_config=lambda: _config(["/spec/gcc/defines.cfg"]),
+    noleak_config=_gcc_noleak_config,
+    modeled_after="403.gcc",
+)
+
+
+# ---------------------------------------------------------------------------
+# 429.mcf — greedy minimum-cost assignment over a cost matrix.
+# ---------------------------------------------------------------------------
+
+MCF_SOURCE = """
+fn cheapest_free(costs, taken, row, n) {
+  var best = -1;
+  var best_cost = 999999;
+  for (var j = 0; j < n; j = j + 1) {
+    if (taken[j] == 0 and costs[row * n + j] < best_cost) {
+      best = j;
+      best_cost = costs[row * n + j];
+    }
+  }
+  return best;
+}
+
+fn main() {
+  var hdr = open("/spec/mcf/size.txt", "r");
+  var n = parse_int(str_strip(read(hdr, 8)));
+  close(hdr);
+  var f = open("/spec/mcf/matrix.txt", "r");
+  var meta = open("/spec/mcf/meta.txt", "r");
+  var label = str_strip(read(meta, 32));
+  close(meta);
+  var costs = [];
+  for (var i = 0; i < n * n; i = i + 1) {
+    push(costs, parse_int(str_strip(read_line(f))));
+  }
+  close(f);
+  var taken = list_new(n, 0);
+  var total = 0;
+  for (var row = 0; row < n; row = row + 1) {
+    var j = cheapest_free(costs, taken, row, n);
+    taken[j] = 1;
+    total = total + costs[row * n + j];
+  }
+  var out = open("/spec/mcf/result.txt", "w");
+  write(out, "assignment-cost " + total + "\\n");
+  close(out);
+}
+"""
+
+
+def _mcf_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    values = [((i * 7 + 3) % 19) + 1 for i in range(16)]
+    world.fs.add_file("/spec/mcf/size.txt", "4\n")
+    world.fs.add_file(
+        "/spec/mcf/matrix.txt", "".join(f"{v}\n" for v in values)
+    )
+    world.fs.add_file("/spec/mcf/meta.txt", "inp.in rev 2\n")
+    return world
+
+
+MCF = Workload(
+    name="mcf",
+    category=SPEC,
+    description="greedy min-cost assignment",
+    source=MCF_SOURCE,
+    build_world=_mcf_world,
+    config=lambda: _config(["/spec/mcf/matrix.txt"]),
+    leak_config=lambda: _config(["/spec/mcf/matrix.txt"]),
+    noleak_config=lambda: _config(["/spec/mcf/meta.txt"]),
+    modeled_after="429.mcf",
+)
+
+
+# ---------------------------------------------------------------------------
+# 445.gobmk — board scoring: count group liberties on a small board.
+# ---------------------------------------------------------------------------
+
+GOBMK_SOURCE = """
+fn at(board, size, row, col) {
+  if (row < 0 or row >= size or col < 0 or col >= size) { return "#"; }
+  return board[row][col];
+}
+
+fn liberties(board, size, row, col) {
+  var libs = 0;
+  if (at(board, size, row - 1, col) == ".") { libs = libs + 1; }
+  if (at(board, size, row + 1, col) == ".") { libs = libs + 1; }
+  if (at(board, size, row, col - 1) == ".") { libs = libs + 1; }
+  if (at(board, size, row, col + 1) == ".") { libs = libs + 1; }
+  return libs;
+}
+
+fn main() {
+  var f = open("/spec/gobmk/board.sgf", "r");
+  var book = open("/spec/gobmk/book.dat", "r");
+  var opening = read(book, 32);
+  close(book);
+  var board = [];
+  var line = read_line(f);
+  while (len(line) > 0) {
+    push(board, str_split(str_strip(line), ""));
+    line = read_line(f);
+  }
+  close(f);
+  var size = len(board);
+  var black = 0;
+  var white = 0;
+  for (var r = 0; r < size; r = r + 1) {
+    for (var c = 0; c < size; c = c + 1) {
+      var stone = board[r][c];
+      if (stone == "X") { black = black + liberties(board, size, r, c); }
+      if (stone == "O") { white = white + liberties(board, size, r, c); }
+    }
+  }
+  var out = open("/spec/gobmk/score.txt", "w");
+  write(out, "black-libs " + black + "\\n");
+  write(out, "white-libs " + white + "\\n");
+  if (black > white) { write(out, "favor B\\n"); }
+  else { write(out, "favor W\\n"); }
+  close(out);
+}
+"""
+
+
+def _gobmk_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/spec/gobmk/board.sgf",
+        ".X.O.\nXXO..\n.OOX.\nX..XO\n.O.X.\n",
+    )
+    world.fs.add_file("/spec/gobmk/book.dat", "fuseki-3-4;joseki-a\n")
+    return world
+
+
+GOBMK = Workload(
+    name="gobmk",
+    category=SPEC,
+    description="go board liberty scoring",
+    source=GOBMK_SOURCE,
+    build_world=_gobmk_world,
+    config=lambda: _config(["/spec/gobmk/board.sgf"]),
+    leak_config=lambda: _config(["/spec/gobmk/board.sgf"]),
+    noleak_config=lambda: _config(["/spec/gobmk/book.dat"]),
+    modeled_after="445.gobmk",
+)
+
+
+# ---------------------------------------------------------------------------
+# 456.hmmer — dynamic-programming sequence alignment score (O / - row).
+# ---------------------------------------------------------------------------
+
+HMMER_SOURCE = """
+fn score_pair(a, b) {
+  if (a == b) { return 3; }
+  return -1;
+}
+
+fn main() {
+  var q = open("/spec/hmmer/query.fa", "r");
+  var seq_a = str_strip(read_line(q));
+  close(q);
+  var db = open("/spec/hmmer/db.fa", "r");
+  var seq_b = str_strip(read_line(db));
+  close(db);
+  var rows = len(seq_a) + 1;
+  var cols = len(seq_b) + 1;
+  var dp = list_new(rows * cols, 0);
+  for (var i = 1; i < rows; i = i + 1) {
+    for (var j = 1; j < cols; j = j + 1) {
+      var diag = dp[(i - 1) * cols + (j - 1)]
+               + score_pair(seq_a[i - 1], seq_b[j - 1]);
+      var up = dp[(i - 1) * cols + j] - 2;
+      var left = dp[i * cols + (j - 1)] - 2;
+      var best = max(diag, max(up, left));
+      dp[i * cols + j] = max(best, 0);
+    }
+  }
+  var best_score = 0;
+  var dp_mass = 0;
+  for (var k = 0; k < rows * cols; k = k + 1) {
+    best_score = max(best_score, dp[k]);
+    dp_mass = dp_mass + dp[k];
+  }
+  var out = open("/spec/hmmer/score.out", "w");
+  write(out, "hmm-score " + best_score + "\\n");
+  write(out, "dp-mass " + dp_mass + "\\n");
+  close(out);
+}
+"""
+
+
+def _hmmer_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file("/spec/hmmer/query.fa", "ACGTACGGTCA\n")
+    world.fs.add_file("/spec/hmmer/db.fa", "ACGTACGGTCA\n")
+    return world
+
+
+HMMER = Workload(
+    name="hmmer",
+    category=SPEC,
+    description="local-alignment DP scoring",
+    source=HMMER_SOURCE,
+    build_world=_hmmer_world,
+    config=lambda: _config(["/spec/hmmer/query.fa"]),
+    leak_config=lambda: _config(["/spec/hmmer/query.fa"]),
+    noleak_config=None,  # every mutation reaches the score (O / -)
+    modeled_after="456.hmmer",
+)
+
+
+# ---------------------------------------------------------------------------
+# 458.sjeng — shallow minimax over a game tree read from the input.
+# ---------------------------------------------------------------------------
+
+SJENG_SOURCE = """
+fn minimax(values, node, depth, maximizing) {
+  // The tree is a flat heap: children of i are 2i+1 and 2i+2.
+  if (depth == 0 or 2 * node + 1 >= len(values)) {
+    return values[node];
+  }
+  var left = minimax(values, 2 * node + 1, depth - 1, 1 - maximizing);
+  var right = minimax(values, 2 * node + 2, depth - 1, 1 - maximizing);
+  if (maximizing == 1) { return max(left, right); }
+  return min(left, right);
+}
+
+fn main() {
+  var f = open("/spec/sjeng/position.epd", "r");
+  var book = open("/spec/sjeng/opening.bk", "r");
+  var bk = read(book, 16);
+  close(book);
+  var values = [];
+  var line = read_line(f);
+  while (len(line) > 0) {
+    push(values, parse_int(str_strip(line)));
+    line = read_line(f);
+  }
+  close(f);
+  var best = minimax(values, 0, 4, 1);
+  var out = open("/spec/sjeng/move.txt", "w");
+  write(out, "eval " + best + "\\n");
+  if (best > 0) { write(out, "advantage white\\n"); }
+  else { write(out, "advantage black\\n"); }
+  close(out);
+}
+"""
+
+
+def _sjeng_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    values = [((i * 13 + 5) % 21) - 10 for i in range(31)]
+    world.fs.add_file(
+        "/spec/sjeng/position.epd", "".join(f"{v}\n" for v in values)
+    )
+    world.fs.add_file("/spec/sjeng/opening.bk", "sicilian-najdorf\n")
+    return world
+
+
+SJENG = Workload(
+    name="sjeng",
+    category=SPEC,
+    description="minimax game-tree search (recursion)",
+    source=SJENG_SOURCE,
+    build_world=_sjeng_world,
+    config=lambda: _config(["/spec/sjeng/position.epd"]),
+    leak_config=lambda: _config(["/spec/sjeng/position.epd"]),
+    noleak_config=lambda: _config(["/spec/sjeng/opening.bk"]),
+    modeled_after="458.sjeng",
+)
+
+
+# ---------------------------------------------------------------------------
+# 462.libquantum — modular exponentiation tables (O / - row).
+# ---------------------------------------------------------------------------
+
+LIBQUANTUM_SOURCE = """
+fn mod_pow(base, exponent, modulus) {
+  var result = 1;
+  var b = base % modulus;
+  var e = exponent;
+  while (e > 0) {
+    if (e % 2 == 1) { result = (result * b) % modulus; }
+    e = e / 2;
+    b = (b * b) % modulus;
+  }
+  return result;
+}
+
+fn main() {
+  var f = open("/spec/libquantum/n.txt", "r");
+  var n = parse_int(str_strip(read(f, 16)));
+  close(f);
+  var out = open("/spec/libquantum/period.txt", "w");
+  // Find the multiplicative order of 2 mod n (Shor's period finding).
+  var period = 1;
+  while (period < n and mod_pow(2, period, n) != 1) {
+    period = period + 1;
+  }
+  write(out, "order(2, " + n + ") = " + period + "\\n");
+  close(out);
+}
+"""
+
+
+def _libquantum_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file("/spec/libquantum/n.txt", "33\n")
+    return world
+
+
+LIBQUANTUM = Workload(
+    name="libquantum",
+    category=SPEC,
+    description="modular-order computation (Shor period finding)",
+    source=LIBQUANTUM_SOURCE,
+    build_world=_libquantum_world,
+    config=lambda: _config(["/spec/libquantum/n.txt"]),
+    leak_config=lambda: _config(["/spec/libquantum/n.txt"]),
+    noleak_config=None,  # O / -
+    modeled_after="462.libquantum",
+)
+
+
+# ---------------------------------------------------------------------------
+# 464.h264ref — block quantization encoder.
+# ---------------------------------------------------------------------------
+
+H264REF_SOURCE = """
+fn quantize_block(frame, offset, qp) {
+  var acc = 0;
+  for (var i = 0; i < 8; i = i + 1) {
+    var v = ord(frame[offset + i]);
+    acc = acc + v / qp;
+  }
+  return acc;
+}
+
+fn main() {
+  var cfg = open("/spec/h264/encoder.cfg", "r");
+  var qp = parse_int(str_strip(read_line(cfg)));
+  close(cfg);
+  var trace = open("/spec/h264/trace.cfg", "r");
+  var trace_tag = read(trace, 32);
+  close(trace);
+  var f = open("/spec/h264/frame.yuv", "r");
+  var frame = read(f, 512);
+  close(f);
+  var out = open("/spec/h264/stream.264", "w");
+  var blocks = len(frame) / 8;
+  var total_bits = 0;
+  for (var b = 0; b < blocks; b = b + 1) {
+    var size = quantize_block(frame, b * 8, qp);
+    total_bits = total_bits + size;
+    write(out, "blk" + b + ":" + size + ";");
+  }
+  write(out, "\\ntotal " + total_bits + "\\n");
+  close(out);
+}
+"""
+
+
+def _h264_frame_mutator(value):
+    """Shift the first frame byte by +7: big enough to survive the
+    qp-quantization (a +1 shift can quantize to the same level)."""
+    if isinstance(value, str) and value:
+        shifted = chr(65 + ((ord(value[0]) - 65 + 7) % 26))
+        return shifted + value[1:]
+    return value
+
+
+def _h264_config() -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/spec/h264/frame.yuv"},
+            mutators={"file:/spec/h264/frame.yuv": _h264_frame_mutator},
+        ),
+        sinks=SinkSpec.file_out(),
+    )
+
+
+def _h264_strong_mutator(value):
+    """Replace every frame byte with 'Z' (Table 3's all-bytes
+    perturbation; per-char shifts can cancel under /qp quantization)."""
+    if isinstance(value, str):
+        return "Z" * len(value)
+    return value
+
+
+def _h264_table3_config() -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/spec/h264/frame.yuv"},
+            mutators={"file:/spec/h264/frame.yuv": _h264_strong_mutator},
+        ),
+        sinks=SinkSpec.file_out(),
+    )
+
+
+def _h264_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    frame = "".join(chr(65 + ((i * 11 + 3) % 26)) for i in range(96))
+    world.fs.add_file("/spec/h264/frame.yuv", frame)
+    world.fs.add_file("/spec/h264/encoder.cfg", "4\n")
+    world.fs.add_file("/spec/h264/trace.cfg", "foreman_qcif baseline\n")
+    return world
+
+
+H264REF = Workload(
+    name="h264ref",
+    category=SPEC,
+    description="block quantization encoder",
+    source=H264REF_SOURCE,
+    build_world=_h264_world,
+    config=_h264_config,
+    leak_config=_h264_config,
+    noleak_config=lambda: _config(["/spec/h264/trace.cfg"]),
+    table3_config=_h264_table3_config,
+    modeled_after="464.h264ref",
+)
+
+
+# ---------------------------------------------------------------------------
+# 471.omnetpp — discrete event queue simulation (O / - row).
+# ---------------------------------------------------------------------------
+
+OMNETPP_SOURCE = """
+fn main() {
+  var f = open("/spec/omnetpp/omnetpp.ini", "r");
+  var arrivals = [];
+  var line = read_line(f);
+  while (len(line) > 0) {
+    push(arrivals, parse_int(str_strip(line)));
+    line = read_line(f);
+  }
+  close(f);
+  // Single-server queue: each job takes (value % 5) + 1 ticks.
+  var clock = 0;
+  var busy_until = 0;
+  var total_wait = 0;
+  var served = 0;
+  for (var i = 0; i < len(arrivals); i = i + 1) {
+    clock = clock + arrivals[i];
+    if (busy_until > clock) {
+      total_wait = total_wait + (busy_until - clock);
+      clock = busy_until;
+    }
+    busy_until = clock + (arrivals[i] % 5) + 1;
+    served = served + 1;
+  }
+  var out = open("/spec/omnetpp/scalars.sca", "w");
+  write(out, "served " + served + "\\n");
+  write(out, "total-wait " + total_wait + "\\n");
+  write(out, "makespan " + busy_until + "\\n");
+  close(out);
+}
+"""
+
+
+def _omnetpp_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    values = [((i * 5 + 1) % 7) + 1 for i in range(12)]
+    world.fs.add_file(
+        "/spec/omnetpp/omnetpp.ini", "".join(f"{v}\n" for v in values)
+    )
+    return world
+
+
+OMNETPP = Workload(
+    name="omnetpp",
+    category=SPEC,
+    description="discrete-event queue simulation",
+    source=OMNETPP_SOURCE,
+    build_world=_omnetpp_world,
+    config=lambda: _config(["/spec/omnetpp/omnetpp.ini"]),
+    leak_config=lambda: _config(["/spec/omnetpp/omnetpp.ini"]),
+    noleak_config=None,  # O / -
+    modeled_after="471.omnetpp",
+)
+
+
+# ---------------------------------------------------------------------------
+# 473.astar — BFS shortest path on a grid (O / - row).
+# ---------------------------------------------------------------------------
+
+ASTAR_SOURCE = """
+fn main() {
+  var f = open("/spec/astar/map.txt", "r");
+  var grid = [];
+  var line = read_line(f);
+  while (len(line) > 0) {
+    push(grid, str_strip(line));
+    line = read_line(f);
+  }
+  close(f);
+  var rows = len(grid);
+  var cols = len(grid[0]);
+  var dist = list_new(rows * cols, -1);
+  var queue = [0];
+  dist[0] = 0;
+  var head = 0;
+  while (head < len(queue)) {
+    var cell = queue[head];
+    head = head + 1;
+    var r = cell / cols;
+    var c = cell % cols;
+    var moves = [cell - cols, cell + cols, cell - 1, cell + 1];
+    for (var m = 0; m < 4; m = m + 1) {
+      var next = moves[m];
+      if (m == 2 and c == 0) { continue; }
+      if (m == 3 and c == cols - 1) { continue; }
+      if (next < 0 or next >= rows * cols) { continue; }
+      if (dist[next] >= 0) { continue; }
+      if (grid[next / cols][next % cols] == "#") { continue; }
+      dist[next] = dist[cell] + 1;
+      push(queue, next);
+    }
+  }
+  var out = open("/spec/astar/path.txt", "w");
+  write(out, "goal-dist " + dist[rows * cols - 1] + "\\n");
+  write(out, "explored " + len(queue) + "\\n");
+  close(out);
+}
+"""
+
+
+def _astar_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/spec/astar/map.txt",
+        "....#.\n.##.#.\n....#.\n.#....\n.#.##.\n......\n",
+    )
+    return world
+
+
+def _astar_config() -> LdxConfig:
+    # The map uses '.'/'#' (no alphanumerics), so the generic off-by-one
+    # mutator is a no-op; block one open cell instead.
+    def mutate(value):
+        if isinstance(value, str) and "." in value[1:]:
+            index = value.index(".", 1)
+            return value[:index] + "#" + value[index + 1 :]
+        return value
+
+    return LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/spec/astar/map.txt"},
+            mutators={"file:/spec/astar/map.txt": mutate},
+        ),
+        sinks=SinkSpec.file_out(),
+    )
+
+
+ASTAR = Workload(
+    name="astar",
+    category=SPEC,
+    description="grid shortest-path search",
+    source=ASTAR_SOURCE,
+    build_world=_astar_world,
+    config=_astar_config,
+    leak_config=_astar_config,
+    noleak_config=None,  # O / -
+    modeled_after="473.astar",
+)
+
+
+# ---------------------------------------------------------------------------
+# 483.xalancbmk — XML-ish markup transformer (indirect dispatch table).
+# ---------------------------------------------------------------------------
+
+XALANCBMK_SOURCE = """
+fn render_bold(text) { return "<b>" + text + "</b>"; }
+fn render_item(text) { return "<li>" + text + "</li>"; }
+fn render_head(text) { return "<h1>" + str_upper(text) + "</h1>"; }
+fn render_text(text) { return text; }
+
+fn main() {
+  var f = open("/spec/xalanc/input.xml", "r");
+  var style = open("/spec/xalanc/style.xsl", "r");
+  var css = read(style, 64);
+  close(style);
+  var out = open("/spec/xalanc/output.html", "w");
+  var tags = ["bold", "item", "head"];
+  var renderers = [render_bold, render_item, render_head];
+  var line = read_line(f);
+  while (len(line) > 0) {
+    var stripped = str_strip(line);
+    var colon = str_find(stripped, ":");
+    var rendered = "";
+    if (colon > 0) {
+      var tag = substr(stripped, 0, colon);
+      var body = substr(stripped, colon + 1, len(stripped));
+      var which = index_of(tags, tag);
+      if (which >= 0) {
+        var render = renderers[which];
+        rendered = render(body);
+      } else {
+        rendered = render_text(body);
+      }
+    } else {
+      rendered = render_text(stripped);
+    }
+    write(out, rendered + "\\n");
+    line = read_line(f);
+  }
+  close(f);
+  close(out);
+}
+"""
+
+
+def _xalanc_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/spec/xalanc/input.xml",
+        "head:benchmark report\nitem:first finding\nbold:critical\n"
+        "item:second finding\nplain trailing line\n",
+    )
+    world.fs.add_file("/spec/xalanc/style.xsl", "margin:0;font:serif\n")
+    return world
+
+
+XALANCBMK = Workload(
+    name="xalancbmk",
+    category=SPEC,
+    description="markup transformer with an indirect render table",
+    source=XALANCBMK_SOURCE,
+    build_world=_xalanc_world,
+    config=lambda: _config(["/spec/xalanc/input.xml"]),
+    leak_config=lambda: _config(["/spec/xalanc/input.xml"]),
+    noleak_config=lambda: _config(["/spec/xalanc/style.xsl"]),
+    modeled_after="483.xalancbmk",
+)
+
+
+SPEC_WORKLOADS = [
+    PERLBENCH,
+    BZIP2,
+    GCC,
+    MCF,
+    GOBMK,
+    HMMER,
+    SJENG,
+    LIBQUANTUM,
+    H264REF,
+    OMNETPP,
+    ASTAR,
+    XALANCBMK,
+]

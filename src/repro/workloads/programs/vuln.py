@@ -1,0 +1,481 @@
+"""Vulnerable-program workloads — the paper's attack detection set
+(gif2png, mp3info, prozilla, yopsweb, ngircd, gzip).
+
+Attack detection in LDX = strong causality between untrusted inputs
+and critical execution state.  The models expose the same two sink
+families the paper uses:
+
+* **function return addresses** — a frame is modelled as a flat cell
+  array whose last slot holds the saved return address; an unchecked
+  copy (the CVE's strcpy/memcpy) can overwrite it.  The value is
+  observed at function return via ``sink_observe("retaddr:...")``.
+* **memory-management parameters** — attacker-controlled length fields
+  flow (with 32-bit wrap-around) into ``malloc`` sizes.
+
+Worlds ship *attack* inputs (overlong/oversized fields), so the
+mutated slave perturbs the smashed state and LDX sees the causality.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.vos.world import World
+from repro.workloads.base import VULN, Workload
+
+# Shared MiniC helper: an unchecked string copy into a modelled frame.
+VULN_HELPERS = """
+fn frame_new(buf_size) {
+  // buffer cells [0, buf_size) + the saved return address slot.
+  var stack = list_new(buf_size + 1, 0);
+  stack[buf_size] = 4195942;
+  return stack;
+}
+
+fn unchecked_copy(stack, data) {
+  // strcpy(): no bounds check; spills into the return-address slot.
+  var i = 0;
+  while (i < len(data) and i < len(stack)) {
+    stack[i] = ord(data[i]);
+    i = i + 1;
+  }
+  return i;
+}
+"""
+
+
+def _after_marker_mutator(marker: str):
+    """Off-by-one the first alphanumeric character after *marker* — a
+    data field, never magic values or structure (Section 8's mutation
+    rule).  Digits wrap within 0-9 so numeric fields stay parseable."""
+
+    def mutate(value):
+        if not isinstance(value, str):
+            return value
+        start = value.find(marker)
+        if start < 0:
+            return value
+        start += len(marker)
+        for index in range(start, len(value)):
+            ch = value[index]
+            if ch.isdigit():
+                bumped = str((int(ch) + 1) % 10)
+                return value[:index] + bumped + value[index + 1 :]
+            if ch.isalnum():
+                shifted = chr(ord(ch) + 1)
+                if not shifted.isalnum():
+                    shifted = "a"
+                return value[:index] + shifted + value[index + 1 :]
+        return value
+
+    return mutate
+
+
+def _insert_mutator(marker: str):
+    """Insert one byte right after *marker*.
+
+    For overflow payloads this shifts every subsequent byte by one
+    position, so the byte landing in the saved-return-address slot
+    changes — the perturbation that makes the smashed state visibly
+    causal on the untrusted input."""
+
+    def mutate(value):
+        if not isinstance(value, str):
+            return value
+        start = value.find(marker)
+        if start < 0:
+            return value
+        start += len(marker)
+        return value[:start] + "x" + value[start:]
+
+    return mutate
+
+
+def _pick(marker: str, insert: bool):
+    return _insert_mutator(marker) if insert else _after_marker_mutator(marker)
+
+
+def _file_attack_config(path: str, marker: str, insert: bool = False) -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(
+            file_paths={path}, mutators={f"file:{path}": _pick(marker, insert)}
+        ),
+        sinks=SinkSpec.attack_detection(),
+    )
+
+
+def _net_attack_config(address: str, marker: str, insert: bool = False) -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(
+            network={address},
+            mutators={f"conn:{address}": _pick(marker, insert)},
+        ),
+        sinks=SinkSpec.attack_detection(),
+    )
+
+
+def _stdin_attack_config(marker: str, insert: bool = False) -> LdxConfig:
+    return LdxConfig(
+        sources=SourceSpec(stdin=True, mutators={"stdin": _pick(marker, insert)}),
+        sinks=SinkSpec.attack_detection(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# gif2png — image comment field overflows a fixed buffer (CVE-2009-5018).
+# ---------------------------------------------------------------------------
+
+GIF2PNG_SOURCE = VULN_HELPERS + """
+fn convert(image) {
+  var stack = frame_new(16);
+  var start = str_find(image, "comment=");
+  if (start >= 0) {
+    var comment = substr(image, start + 8, len(image));
+    unchecked_copy(stack, comment);
+  }
+  var out = open("/work/out.png", "w");
+  write(out, "PNG:" + substr(image, 6, 16));
+  close(out);
+  sink_observe("retaddr:convert", stack[16]);
+  return 0;
+}
+
+fn main() {
+  var f = open("/work/input.gif", "r");
+  var image = read(f, 256);
+  close(f);
+  if (starts_with(image, "GIF89a")) {
+    convert(image);
+  } else {
+    print("not a gif");
+  }
+}
+"""
+
+
+def _gif2png_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/work/input.gif",
+        "GIF89a64x64;comment=" + "ABCDEFGHIJKLMNOPQRSTUVWXYZABCD",  # 30 > 16: smashes the frame
+    )
+    return world
+
+
+GIF2PNG = Workload(
+    name="gif2png",
+    category=VULN,
+    description="image comment overflows a 16-byte frame buffer",
+    source=GIF2PNG_SOURCE,
+    build_world=_gif2png_world,
+    config=lambda: _file_attack_config("/work/input.gif", "comment=", insert=True),
+    modeled_after="gif2png 2.5.2",
+)
+
+
+# ---------------------------------------------------------------------------
+# mp3info — ID3 size field wraps in 32-bit arithmetic into malloc.
+# ---------------------------------------------------------------------------
+
+MP3INFO_SOURCE = VULN_HELPERS + """
+fn parse_tag(data) {
+  var start = str_find(data, "size=");
+  var size = parse_int(substr(data, start + 5, str_find(data, ";")));
+  // 32-bit multiply: an attacker-huge size wraps around (the integer
+  // overflow the paper detects at memory-management parameters).
+  var bytes = i32_mul(size, 4096);
+  if (bytes < 0) { bytes = 16; }
+  var tag = malloc(bytes);
+  var title_at = str_find(data, "title=");
+  var stack = frame_new(24);
+  if (title_at >= 0) {
+    unchecked_copy(stack, substr(data, title_at + 6, len(data)));
+  }
+  sink_observe("retaddr:parse_tag", stack[24]);
+  free(tag);
+  return bytes;
+}
+
+fn main() {
+  var f = open("/music/track.mp3", "r");
+  var data = read(f, 256);
+  close(f);
+  if (starts_with(data, "ID3")) {
+    var used = parse_tag(data);
+    print("tag bytes " + used);
+  }
+}
+"""
+
+
+def _mp3info_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file(
+        "/music/track.mp3",
+        "ID3 size=400000;title=" + "BCDEFGHIJKLMNOPQRSTUVWXYZABCDEFGHIJKLMNO",
+    )
+    return world
+
+
+def _mp3info_strong_mutator(value):
+    """Perturb both attacker-controlled fields: the size digit and the
+    title payload (Table 3 measures total dependence, not a single
+    perturbation)."""
+    value = _after_marker_mutator("size=")(value)
+    return _insert_mutator("title=")(value)
+
+
+MP3INFO = Workload(
+    name="mp3info",
+    category=VULN,
+    description="ID3 size field integer-overflows into malloc",
+    source=MP3INFO_SOURCE,
+    build_world=_mp3info_world,
+    config=lambda: _file_attack_config("/music/track.mp3", "size="),
+    table3_config=lambda: LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/music/track.mp3"},
+            mutators={"file:/music/track.mp3": _mp3info_strong_mutator},
+        ),
+        sinks=SinkSpec.attack_detection(),
+    ),
+    modeled_after="mp3info 0.8.5a",
+)
+
+
+# ---------------------------------------------------------------------------
+# prozilla — HTTP redirect Location header overflows (CVE-2004-1120).
+# The overflowing value passes through str_split, which LIBDFT's missing
+# library summaries lose (TaintGrind keeps it).
+# ---------------------------------------------------------------------------
+
+PROZILLA_SOURCE = VULN_HELPERS + """
+fn follow_redirect(response) {
+  var stack = frame_new(24);
+  var lines = str_split(response, ";");
+  for (var i = 0; i < len(lines); i = i + 1) {
+    if (starts_with(lines[i], "Location=")) {
+      unchecked_copy(stack, substr(lines[i], 9, len(lines[i])));
+    }
+  }
+  sink_observe("retaddr:follow_redirect", stack[24]);
+  return 0;
+}
+
+fn main() {
+  var url = str_strip(read_line(0));
+  var sock = socket();
+  connect(sock, "mirror.example", 80);
+  send(sock, "GET " + url);
+  var response = recv(sock, 200);
+  close(sock);
+  if (str_find(response, "Location=") >= 0) {
+    follow_redirect(response);
+  }
+  var out = open("/work/download.part", "w");
+  write(out, response);
+  close(out);
+}
+"""
+
+
+def _prozilla_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.stdin = "files/big.iso\n"
+    world.network.register(
+        "mirror.example",
+        80,
+        lambda req: "301;Location=evil/" + "CDEFGHIJKLMNOPQRSTUVWXYZABCDEFGHIJKL" + ";end",
+    )
+    return world
+
+
+PROZILLA = Workload(
+    name="prozilla",
+    category=VULN,
+    description="redirect Location header overflows a frame buffer",
+    source=PROZILLA_SOURCE,
+    build_world=_prozilla_world,
+    config=lambda: _net_attack_config("mirror.example:80", "Location=", insert=True),
+    modeled_after="ProZilla 1.3.7.4",
+)
+
+
+# ---------------------------------------------------------------------------
+# yopsweb — request path overflows the serving frame.
+# ---------------------------------------------------------------------------
+
+YOPSWEB_SOURCE = VULN_HELPERS + """
+fn serve(request) {
+  var stack = frame_new(20);
+  var path = substr(request, 4, len(request));
+  unchecked_copy(stack, path);
+  var body = "404";
+  var fd = open("/www/" + substr(path, 0, 12), "r");
+  if (fd >= 0) {
+    body = read(fd, 64);
+    close(fd);
+  }
+  sink_observe("retaddr:serve", stack[20]);
+  return body;
+}
+
+fn main() {
+  var sock = socket();
+  connect(sock, "requests.example", 8080);
+  for (var i = 0; i < 2; i = i + 1) {
+    send(sock, "poll" + i);
+    var request = recv(sock, 128);
+    if (len(request) == 0) { break; }
+    var body = serve(request);
+    send(sock, "HTTP/1.0 " + body);
+  }
+  close(sock);
+}
+"""
+
+
+def _yopsweb_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.fs.add_file("/www/index.html", "<h1>yops</h1>")
+    requests = ["GET index.html", "GET " + "DEFGHIJKLMNOPQRSTUVWXYZABCDEFGHIJKLMNOPQRSTUVWXY"]
+
+    def script(request: str) -> str:
+        if request.startswith("poll"):
+            index = int(request[4:] or 0)
+            if 0 <= index < len(requests):
+                return requests[index]
+        return ""
+
+    world.network.register("requests.example", 8080, script)
+    return world
+
+
+YOPSWEB = Workload(
+    name="yopsweb",
+    category=VULN,
+    description="request path overflows the serving frame",
+    source=YOPSWEB_SOURCE,
+    build_world=_yopsweb_world,
+    config=lambda: _net_attack_config("requests.example:8080", "GET ", insert=True),
+    modeled_after="Yops 2009-02-01",
+)
+
+
+# ---------------------------------------------------------------------------
+# ngircd — NICK command overflows the 9-char nick buffer.
+# ---------------------------------------------------------------------------
+
+NGIRCD_SOURCE = VULN_HELPERS + """
+fn handle_nick(message) {
+  var stack = frame_new(9);
+  var nick = substr(message, 5, len(message));
+  unchecked_copy(stack, nick);
+  sink_observe("retaddr:handle_nick", stack[9]);
+  return nick;
+}
+
+fn main() {
+  var sock = socket();
+  connect(sock, "irc.example", 6667);
+  send(sock, "HELLO");
+  var joined = 0;
+  for (var i = 0; i < 3; i = i + 1) {
+    var message = recv(sock, 64);
+    if (len(message) == 0) { break; }
+    if (starts_with(message, "NICK ")) {
+      var nick = handle_nick(message);
+      send(sock, "001 " + substr(nick, 0, 9));
+      joined = joined + 1;
+    }
+    if (starts_with(message, "PING")) {
+      send(sock, "PONG");
+    }
+    send(sock, "ACK" + i);
+  }
+  close(sock);
+}
+"""
+
+
+def _ngircd_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    replies = ["NICK " + "EFGHIJKLMNOPQRSTUVWXYZAB", "PING x", ""]
+    state = {"count": 0}
+
+    def script(request: str) -> str:
+        # One scripted inbound message per client send; index derived
+        # from the request suffix keeps this stateless across clones.
+        if request == "HELLO":
+            return replies[0]
+        if request.startswith("ACK"):
+            index = int(request[3:]) + 1
+            if index < len(replies):
+                return replies[index]
+        return ""
+
+    world.network.register("irc.example", 6667, script)
+    return world
+
+
+NGIRCD = Workload(
+    name="ngircd",
+    category=VULN,
+    description="NICK message overflows the 9-char nick buffer",
+    source=NGIRCD_SOURCE,
+    build_world=_ngircd_world,
+    config=lambda: _net_attack_config("irc.example:6667", "NICK ", insert=True),
+    modeled_after="ngIRCd 19.2",
+)
+
+
+# ---------------------------------------------------------------------------
+# gzip — overlong filename from the command line (CVE-2004-0603 shape).
+# The filename flows through str_strip (lost by LIBDFT's summaries).
+# ---------------------------------------------------------------------------
+
+GZIP_SOURCE = VULN_HELPERS + """
+fn compress_file(name) {
+  var stack = frame_new(32);
+  unchecked_copy(stack, name);
+  var fd = open("/data/" + substr(name, 0, 8), "r");
+  var sum = 0;
+  if (fd >= 0) {
+    var data = read(fd, 64);
+    close(fd);
+    for (var i = 0; i < len(data); i = i + 1) {
+      sum = i32_add(sum, ord(data[i]));
+    }
+  }
+  sink_observe("retaddr:compress_file", stack[32]);
+  return sum;
+}
+
+fn main() {
+  var name = str_strip(read_line(0));
+  var sum = compress_file(name);
+  var out = open("/data/archive.gz", "w");
+  write(out, "gz " + sum);
+  close(out);
+}
+"""
+
+
+def _gzip_world(seed: int = 1) -> World:
+    world = World(seed=seed)
+    world.stdin = "notes.txt" + "FGHIJKLMNOPQRSTUVWXYZABCDEFGHIJKLMNOPQRS" + "\n"
+    world.fs.add_file("/data/notes.tx", "meeting notes")
+    return world
+
+
+GZIP = Workload(
+    name="gzip",
+    category=VULN,
+    description="overlong filename overflows a 32-byte frame buffer",
+    source=GZIP_SOURCE,
+    build_world=_gzip_world,
+    config=lambda: _stdin_attack_config("", insert=True),
+    modeled_after="gzip 1.2.4",
+)
+
+
+VULN_WORKLOADS = [GIF2PNG, MP3INFO, PROZILLA, YOPSWEB, NGIRCD, GZIP]

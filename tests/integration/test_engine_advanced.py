@@ -1,0 +1,224 @@
+"""Advanced engine scenarios: counter scopes, crashes, decoupling."""
+
+import pytest
+
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def dual(source, world, config, **kwargs):
+    return run_dual(instrument_module(compile_source(source)), world, config, **kwargs)
+
+
+def secret_world(value):
+    world = World(seed=1)
+    world.fs.add_file("/secret", value)
+    world.network.register("sink", 1, lambda req: "")
+    return world
+
+
+CONFIG = LdxConfig(SourceSpec(file_paths={"/secret"}), SinkSpec.network_out())
+
+
+def test_recursion_depth_divergence_realigns():
+    # The mutation changes the recursion depth; syscalls inside the
+    # recursive activations use counter scopes (Section 6) and the
+    # executions realign at the final sink.
+    source = """
+    fn walk(n) {
+      if (n <= 0) { return 0; }
+      print("step " + n);
+      return 1 + walk(n - 1);
+    }
+    fn main() {
+      var fd = open("/secret", "r");
+      var depth = parse_int(read(fd, 4));
+      close(fd);
+      var total = walk(depth);
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, total);
+    }
+    """
+    result = dual(source, secret_world("3"), CONFIG)
+    # depth 3 -> 4: the sink value changes and one extra scoped print
+    # appears only in the slave.
+    assert result.report.causality_detected
+    assert result.report.syscall_diffs >= 1
+    assert result.report.stall_breaks == 0
+    assert result.master.stats.max_stack_depth >= 2
+
+
+def test_indirect_call_divergence_scoped():
+    # The mutated input selects a different handler through a function
+    # pointer; alignment inside uses a fresh scope and recovers after.
+    source = """
+    fn quiet(x) { return x; }
+    fn chatty(x) { print("log1"); print("log2"); return x * 2; }
+    fn main() {
+      var fd = open("/secret", "r");
+      var mode = parse_int(read(fd, 4));
+      close(fd);
+      var handlers = [quiet, chatty];
+      var h = handlers[mode % 2];
+      var v = h(21);
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, "done");
+      send(s, v);
+    }
+    """
+    result = dual(source, secret_world("0"), CONFIG)
+    assert result.report.causality_detected  # v differs (21 vs 42)
+    # The slave-only prints inside the indirect call are differences.
+    assert result.report.syscall_diffs >= 1
+    # 'done' still aligns cleanly after the divergence.
+    args_differ = [d for d in result.report.detections if d.kind == "sink-args-differ"]
+    assert all(d.master_args != d.slave_args for d in args_differ)
+
+
+def test_slave_crash_is_contained_and_reported():
+    # The mutation drives the slave into a division by zero; the engine
+    # treats it as a crash of that execution, not a failure of LDX.
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var x = parse_int(read(fd, 4));
+      close(fd);
+      var y = 100 / (x - 3);
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, y);
+    }
+    """
+    result = dual(source, secret_world("2"), CONFIG)  # slave sees 3 -> /0
+    assert any(role == "slave" for role, _ in result.report.crashes)
+    assert result.master.finished and result.slave.finished
+    # The sink never happens in the slave: causality (the crash itself
+    # is input-dependent behaviour).
+    assert result.report.causality_detected
+
+
+def test_env_variable_source():
+    source = """
+    fn main() {
+      var region = getenv("REGION");
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, "deployed to " + region);
+    }
+    """
+    world = secret_world("0")
+    world.env["REGION"] = "eu1"
+    config = LdxConfig(SourceSpec(env_names={"REGION"}), SinkSpec.network_out())
+    result = dual(source, world, config)
+    assert result.report.causality_detected
+
+
+def test_network_source_mutation():
+    source = """
+    fn main() {
+      var s = socket();
+      connect(s, "feed", 9);
+      send(s, "subscribe");
+      var quote = recv(s, 32);
+      close(s);
+      var out = socket();
+      connect(out, "sink", 1);
+      send(out, "price " + quote);
+    }
+    """
+    world = secret_world("0")
+    world.network.register("feed", 9, lambda req: "101")
+    config = LdxConfig(SourceSpec(network={"feed:9"}), SinkSpec.network_out())
+    result = dual(source, world, config)
+    assert result.report.causality_detected
+
+
+def test_malloc_parameter_sink():
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var n = parse_int(read(fd, 8));
+      close(fd);
+      var buf = malloc(n * 16);
+      free(buf);
+    }
+    """
+    config = LdxConfig(
+        SourceSpec(file_paths={"/secret"}), SinkSpec.attack_detection()
+    )
+    result = dual(source, secret_world("64"), config)
+    assert result.report.causality_detected
+    assert any(d.syscall == "malloc" for d in result.report.detections)
+
+
+def test_exit_divergence_detected_via_missing_sinks():
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var code = parse_int(read(fd, 4));
+      close(fd);
+      if (code == 1) { exit(1); }
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, "survived");
+    }
+    """
+    result = dual(source, secret_world("0"), CONFIG)  # slave sees 1 -> exits
+    assert result.report.causality_detected
+    assert any(
+        d.kind == "sink-missing-in-slave" for d in result.report.detections
+    )
+
+
+def test_source_read_on_untainted_resource_shares_nondet():
+    # time() outcomes must be identical across the pair even though the
+    # slave's world is re-seeded (outcome sharing).
+    source = """
+    fn main() {
+      var stamps = [];
+      for (var i = 0; i < 5; i = i + 1) {
+        push(stamps, time());
+      }
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, str_join(stamps, ","));
+    }
+    """
+    world = secret_world("0")
+    result = dual(
+        source,
+        world,
+        LdxConfig(SourceSpec(), SinkSpec.network_out()),
+        slave_world=world.clone(new_seed=1234),
+    )
+    assert not result.report.causality_detected
+
+
+def test_deeply_nested_loops_with_divergent_bounds():
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var n = parse_int(read(fd, 4));
+      close(fd);
+      var total = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < 2; j = j + 1) {
+          for (var k = 0; k < 2; k = k + 1) {
+            print(i + "" + j + "" + k);
+            total = total + 1;
+          }
+        }
+      }
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, total);
+    }
+    """
+    result = dual(source, secret_world("2"), CONFIG)  # slave: n=3
+    assert result.report.causality_detected
+    assert result.report.stall_breaks == 0
+    assert result.master.finished and result.slave.finished

@@ -1,0 +1,110 @@
+"""Tests for the offline filesystem-differencing extension.
+
+The paper's limitations section defers leaks through file metadata to
+future work; `DualResult.fs_divergences` implements that comparison
+offline, plus content/existence differencing of the two final
+filesystem states.
+"""
+
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def dual(source, world, sources):
+    return run_dual(
+        instrument_module(compile_source(source)),
+        world,
+        LdxConfig(sources, SinkSpec.network_out()),
+    )
+
+
+def secret_world(value="7"):
+    world = World(seed=1)
+    world.fs.add_file("/secret", value)
+    world.fs.mkdir("/out")
+    return world
+
+
+SECRET = SourceSpec(file_paths={"/secret"})
+
+
+def test_no_divergence_when_coupled():
+    source = """
+    fn main() {
+      var f = open("/out/log.txt", "w");
+      write(f, "same");
+      close(f);
+    }
+    """
+    result = dual(source, secret_world(), SourceSpec())
+    assert result.fs_divergences(include_metadata=True) == []
+
+
+def test_content_divergence_found():
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var x = read(fd, 8);
+      close(fd);
+      var f = open("/out/log.txt", "w");
+      write(f, "value=" + x);
+      close(f);
+    }
+    """
+    result = dual(source, secret_world(), SECRET)
+    divergences = result.fs_divergences()
+    assert any(d.kind == "content" and d.path == "/out/log.txt" for d in divergences)
+
+
+def test_existence_divergence_found():
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var x = parse_int(read(fd, 8));
+      close(fd);
+      if (x == 7) {
+        var f = open("/out/master-only.txt", "w");
+        close(f);
+      } else {
+        var g = open("/out/slave-only.txt", "w");
+        close(g);
+      }
+    }
+    """
+    result = dual(source, secret_world(), SECRET)
+    kinds = {d.kind for d in result.fs_divergences()}
+    assert "only-in-master" in kinds
+    assert "only-in-slave" in kinds
+
+
+def test_metadata_covert_channel_detected_only_when_requested():
+    # The file *content* is input-independent, but whether it is
+    # rewritten (bumping mtime) depends on the secret: the paper's
+    # file-metadata covert channel.
+    source = """
+    fn main() {
+      var fd = open("/secret", "r");
+      var x = parse_int(read(fd, 8));
+      close(fd);
+      sleep(100);
+      if (x == 7) {
+        var f = open("/out/marker.txt", "w");
+        write(f, "constant");
+        close(f);
+      }
+    }
+    """
+    world = secret_world()
+    world.fs.add_file("/out/marker.txt", "constant")
+    result = dual(source, world, SECRET)
+    # Content differencing alone misses it...
+    assert all(d.kind != "content" for d in result.fs_divergences())
+    # ...metadata differencing catches the covert channel.
+    metadata = [
+        d
+        for d in result.fs_divergences(include_metadata=True)
+        if d.kind == "metadata"
+    ]
+    assert metadata and metadata[0].path == "/out/marker.txt"

@@ -1,0 +1,197 @@
+"""The paper's worked examples as end-to-end tests.
+
+* Fig. 2/3 — the employee-raise program: title is the secret; mutating
+  STAFF->MANAGER flips the branch, produces different syscalls, and the
+  raise value leaks the title through control dependence.
+* Fig. 4/5 — nested loops whose bounds come from the input; master and
+  slave iterate different numbers of times and must stay aligned.
+"""
+
+import pytest
+
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+PAYROLL = """
+fn SRaise(file) {
+  var f = open(file, "r");
+  var rate = parse_int(read(f, 8));
+  close(f);
+  return rate;
+}
+
+fn MRaise(age, salary) {
+  var r = SRaise("/etc/mcontract");
+  if (age > 5 and salary > 100) {
+    var s = open("/var/seniors.txt", "a");
+    write(s, "senior manager\\n");
+    close(s);
+  }
+  return r + 5;
+}
+
+fn main() {
+  var name = read_line(0);
+  var title = str_strip(read_line(0));
+  var raise = 0;
+  if (title == "STAFF") {
+    raise = SRaise("/etc/contract");
+  } else {
+    raise = MRaise(7, 150);
+    var d = open("/etc/dept", "r");
+    var dept = read(d, 8);
+    close(d);
+    raise = raise + len(dept);
+  }
+  var sock = socket();
+  connect(sock, "hq.example", 443);
+  send(sock, name);
+  send(sock, raise);
+}
+"""
+
+
+def payroll_world(title="STAFF"):
+    world = World(seed=3)
+    world.stdin = f"alice\n{title}\n"
+    world.fs.add_file("/etc/contract", "3")
+    world.fs.add_file("/etc/mcontract", "9")
+    world.fs.add_file("/etc/dept", "sales")
+    world.fs.add_file("/var/seniors.txt", "")
+    world.network.register("hq.example", 443, lambda req: "")
+    return world
+
+
+def title_mutator(value):
+    """The paper's example mutation: STAFF -> MANAGER."""
+    if isinstance(value, str) and "STAFF" in value:
+        return value.replace("STAFF", "MANAGER")
+    return value
+
+
+def run_payroll(title="STAFF"):
+    instrumented = instrument_module(compile_source(PAYROLL))
+    config = LdxConfig(
+        sources=SourceSpec(stdin=True, mutators={"stdin": title_mutator}),
+        sinks=SinkSpec.network_out(),
+    )
+    return run_dual(instrumented, payroll_world(title), config)
+
+
+def test_payroll_leak_detected():
+    result = run_payroll()
+    assert result.report.causality_detected
+    # The second send (the raise) differs; the first (the name) may
+    # align.  At least one sink detection must be an argument diff or a
+    # missing sink.
+    assert result.report.sinks_total >= 1
+
+
+def test_payroll_divergent_syscalls_tolerated():
+    # The slave runs MRaise (3 syscalls) + dept read while the master
+    # runs SRaise (2 syscalls): misaligned syscalls execute separately.
+    result = run_payroll()
+    assert result.report.syscall_diffs > 0
+    # Executions still terminated normally (no stall-breaking needed).
+    assert result.report.stall_breaks == 0
+    assert result.master.finished and result.slave.finished
+
+
+def test_payroll_name_not_flagged_when_title_is_not_mutated():
+    # Mutating nothing -> perfectly coupled run, no causality at all.
+    instrumented = instrument_module(compile_source(PAYROLL))
+    config = LdxConfig(sources=SourceSpec(), sinks=SinkSpec.network_out())
+    result = run_dual(instrumented, payroll_world(), config)
+    assert not result.report.causality_detected
+    assert result.report.syscall_diffs == 0
+
+
+LOOPS = """
+fn main() {
+  var f = open("/in/bounds.txt", "r");
+  var n = parse_int(str_strip(read_line(f)));
+  var m = parse_int(str_strip(read_line(f)));
+  close(f);
+  var log = open("/out/log.txt", "w");
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < m; j = j + 1) {
+      var r = open("/in/data.txt", "r");
+      read(r, 4);
+      close(r);
+    }
+    write(log, "row " + i + "\\n");
+  }
+  close(log);
+  var sock = socket();
+  connect(sock, "collect.example", 80);
+  send(sock, "n=" + n);
+}
+"""
+
+
+def loops_world(bounds="1\n2\n"):
+    world = World(seed=5)
+    world.fs.add_file("/in/bounds.txt", bounds)
+    world.fs.add_file("/in/data.txt", "abcdef")
+    world.fs.mkdir("/out")
+    world.network.register("collect.example", 80, lambda req: "")
+    return world
+
+
+def bounds_mutator(value):
+    """Swap the loop bounds (paper Fig. 5: master n=1,m=2; slave n=2,m=1)."""
+    if isinstance(value, str) and value.strip() == "1":
+        return "2\n"
+    if isinstance(value, str) and value.strip() == "2":
+        return "1\n"
+    return value
+
+
+def test_loop_alignment_with_different_iteration_counts():
+    instrumented = instrument_module(compile_source(LOOPS))
+    config = LdxConfig(
+        sources=SourceSpec(
+            file_paths={"/in/bounds.txt"},
+            mutators={"file:/in/bounds.txt": bounds_mutator},
+        ),
+        sinks=SinkSpec.network_out(),
+    )
+    result = run_dual(instrumented, loops_world(), config)
+    # n differs (1 vs 2), so the final send leaks the bound.
+    assert result.report.causality_detected
+    assert any(d.kind == "sink-args-differ" for d in result.report.detections)
+    # Both executions ran to completion despite different loop trip
+    # counts — the Fig. 5 scenario.
+    assert result.master.finished and result.slave.finished
+    assert result.report.stall_breaks == 0
+
+
+def test_loop_alignment_identical_bounds_fully_coupled():
+    instrumented = instrument_module(compile_source(LOOPS))
+    config = LdxConfig(sources=SourceSpec(), sinks=SinkSpec.network_out())
+    result = run_dual(instrumented, loops_world("2\n3\n"), config)
+    assert not result.report.causality_detected
+    assert result.report.syscall_diffs == 0
+
+
+def test_loop_heavy_program_counter_stays_bounded():
+    source = """
+    fn main() {
+      var i = 0;
+      while (i < 25) {
+        print(i);
+        i = i + 1;
+      }
+      print("end");
+    }
+    """
+    instrumented = instrument_module(compile_source(source))
+    config = LdxConfig(sources=SourceSpec(), sinks=SinkSpec(syscall_names=()))
+    result = run_dual(instrumented, World(seed=1), config)
+    # The counter resets every iteration: its max sample must not grow
+    # with the trip count (25 iterations, counter <= fcnt).
+    plan = instrumented.plan.functions["main"]
+    assert result.master.stats.max_counter <= plan.fcnt
+    assert result.master.stats.barriers == 25

@@ -1,0 +1,97 @@
+"""Every workload must compile, instrument, run natively and behave per
+its experiment ground truth (leak/no-leak variants, attack detection)."""
+
+import pytest
+
+from repro.baselines.native import run_native
+from repro.core import run_dual
+from repro.workloads import ALL_WORKLOADS, get_workload, workloads_by_category
+
+WORKLOAD_NAMES = [w.name for w in ALL_WORKLOADS]
+
+
+def test_registry_has_28_workloads():
+    assert len(ALL_WORKLOADS) == 28
+    assert len(workloads_by_category("spec")) == 12
+    assert len(workloads_by_category("netsys")) == 5
+    assert len(workloads_by_category("vuln")) == 6
+    assert len(workloads_by_category("concurrency")) == 5
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_compiles_and_instruments(name):
+    workload = get_workload(name)
+    assert workload.module.total_instructions > 0
+    stats = workload.instrumented.static_stats()
+    assert stats["instrumented_sites"] > 0
+    assert stats["syscall_sites"] > 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_runs_natively(name):
+    workload = get_workload(name)
+    result = run_native(workload.module, workload.build_world(1))
+    assert result.machine.finished
+    assert result.stats.syscalls > 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_native_is_deterministic(name):
+    workload = get_workload(name)
+    a = run_native(workload.module, workload.build_world(1), seed=5)
+    b = run_native(workload.module, workload.build_world(1), seed=5)
+    assert a.stdout == b.stdout
+    assert a.sink_values() == b.sink_values()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_dual_execution_completes(name):
+    workload = get_workload(name)
+    result = run_dual(
+        workload.instrumented, workload.build_world(1), workload.config()
+    )
+    assert result.master.finished and result.slave.finished
+    assert not result.report.crashes
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_leak_variant_detects_causality(name):
+    workload = get_workload(name)
+    result = run_dual(
+        workload.instrumented, workload.build_world(1), workload.leak_variant()
+    )
+    assert result.report.causality_detected == workload.expected_leak, (
+        f"{name}: expected leak={workload.expected_leak}, "
+        f"got {result.report.summary()}"
+    )
+    assert result.report.mutated_source_reads > 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    [w.name for w in ALL_WORKLOADS if w.noleak_variant() is not None],
+)
+def test_workload_noleak_variant_stays_silent(name):
+    workload = get_workload(name)
+    result = run_dual(
+        workload.instrumented, workload.build_world(1), workload.noleak_variant()
+    )
+    assert not result.report.causality_detected, (
+        f"{name}: no-leak mutation wrongly flagged: {result.report.summary()}"
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_coupled_run_without_mutation_is_clean(name):
+    workload = get_workload(name)
+    config = workload.config()
+    config.sources.file_paths = set()
+    config.sources.stdin = False
+    config.sources.network = set()
+    config.sources.env_names = set()
+    config.sources.labels = set()
+    result = run_dual(workload.instrumented, workload.build_world(1), config)
+    assert not result.report.causality_detected, (
+        f"{name}: unmutated dual run reported causality: "
+        f"{result.report.summary()}"
+    )

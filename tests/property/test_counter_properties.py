@@ -1,0 +1,145 @@
+"""Property-based tests of the counter instrumentation invariants.
+
+Random structured programs are generated (nested if/while with
+syscalls sprinkled in), then the paper's core invariants are checked:
+
+* all paths arriving at a node carry the same counter value;
+* an unmutated dual execution is perfectly coupled (no differences);
+* runtime counters never exceed the static maximum (loop resets bound
+  them);
+* instrumentation never changes program behaviour.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.native import run_native
+from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import CounterAdd, instrument_module
+from repro.ir import compile_source
+from repro.ir import instructions as ins
+from repro.vos.world import World
+
+# -- random structured program generation ----------------------------------
+
+
+def _gen_block(draw, depth: int, loop_depth: int, fresh) -> str:
+    statements = draw(st.integers(1, 3))
+    parts = []
+    for _ in range(statements):
+        parts.append(_gen_statement(draw, depth, loop_depth, fresh))
+    return "\n".join(parts)
+
+
+def _gen_statement(draw, depth: int, loop_depth: int, fresh) -> str:
+    choices = ["assign", "print", "print2"]
+    if depth < 3:
+        choices += ["if", "ifelse"]
+        if loop_depth < 2:
+            choices.append("while")
+    kind = draw(st.sampled_from(choices))
+    if kind == "assign":
+        value = draw(st.integers(0, 9))
+        return f"x = x + {value};"
+    if kind == "print":
+        return "print(x);"
+    if kind == "print2":
+        return 'print("m");\nprint(x + 1);'
+    if kind == "if":
+        threshold = draw(st.integers(0, 20))
+        body = _gen_block(draw, depth + 1, loop_depth, fresh)
+        return f"if (x > {threshold}) {{\n{body}\n}}"
+    if kind == "ifelse":
+        then_body = _gen_block(draw, depth + 1, loop_depth, fresh)
+        else_body = _gen_block(draw, depth + 1, loop_depth, fresh)
+        return (
+            f"if (x % 2 == {draw(st.integers(0, 1))}) {{\n{then_body}\n}} "
+            f"else {{\n{else_body}\n}}"
+        )
+    # while (loop variables get globally unique names)
+    trips = draw(st.integers(1, 3))
+    body = _gen_block(draw, depth + 1, loop_depth + 1, fresh)
+    fresh[0] += 1
+    loop_var = f"i{fresh[0]}"
+    return (
+        f"var {loop_var} = 0;\n"
+        f"while ({loop_var} < {trips}) {{\n{body}\n{loop_var} = {loop_var} + 1;\n}}"
+    )
+
+
+@st.composite
+def random_programs(draw):
+    seed_value = draw(st.integers(0, 99))
+    fresh = [0]
+    body = _gen_block(draw, 0, 0, fresh)
+    return (
+        "fn main() {\n"
+        f"  var x = {seed_value};\n"
+        f"{body}\n"
+        "  print(x);\n"
+        "}\n"
+    )
+
+
+# -- properties --------------------------------------------------------------
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_instrumentation_preserves_behaviour(source):
+    module = compile_source(source)
+    plain = run_native(module, World(seed=1))
+    instrumented = instrument_module(module)
+    traced = run_native(module, World(seed=1), plan=instrumented.plan)
+    assert plain.stdout == traced.stdout
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_unmutated_dual_execution_is_perfectly_coupled(source):
+    instrumented = instrument_module(compile_source(source))
+    config = LdxConfig(sources=SourceSpec(), sinks=SinkSpec(syscall_names=()))
+    result = run_dual(instrumented, World(seed=1), config)
+    assert not result.report.causality_detected
+    assert result.report.syscall_diffs == 0
+    assert result.report.stall_breaks == 0
+    assert result.master_stdout == result.slave_stdout
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_runtime_counters_bounded_by_static_maximum(source):
+    instrumented = instrument_module(compile_source(source))
+    config = LdxConfig(sources=SourceSpec(), sinks=SinkSpec(syscall_names=()))
+    result = run_dual(instrumented, World(seed=1), config)
+    static_max = instrumented.plan.max_static_counter
+    assert result.master.stats.max_counter <= static_max
+    assert result.slave.stats.max_counter <= static_max
+
+
+@given(random_programs(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_all_paths_reach_nodes_with_static_counter(source, walk_seed):
+    """Random concrete walks respect counter_at (Algorithm 1's claim:
+    the counter equals the static value at every node on every path)."""
+    instrumented = instrument_module(compile_source(source))
+    function = instrumented.module.functions["main"]
+    plan = instrumented.plan.functions["main"]
+    rng = random.Random(walk_seed)
+    cnt = 0
+    node = function.entry
+    for _ in range(3000):
+        instr = function.instrs[node]
+        if isinstance(instr, ins.CallDirect) and node not in plan.scoped_calls:
+            cnt += instrumented.plan.fcnt.get(instr.func, 0)
+        succs = function.successors(node)
+        if not succs:
+            break
+        dst = succs[rng.randrange(len(succs))]
+        for action in plan.actions_for(node, dst) or []:
+            if isinstance(action, CounterAdd):
+                cnt += action.delta
+        if dst in plan.counter_at:
+            assert cnt == plan.counter_at[dst]
+        node = dst

@@ -1,0 +1,135 @@
+"""Unit tests for the pure MiniC builtins."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.interp.builtins import BUILTINS, call_builtin
+from repro.lang.intrinsics import PURE_BUILTINS
+
+
+def test_registry_covers_every_pure_builtin():
+    assert set(BUILTINS) == set(PURE_BUILTINS)
+
+
+def test_len():
+    assert call_builtin("len", ["abc"]) == 3
+    assert call_builtin("len", [[1, 2]]) == 2
+    with pytest.raises(InterpreterError):
+        call_builtin("len", [5])
+
+
+def test_min_max_abs():
+    assert call_builtin("min", [3, 7]) == 3
+    assert call_builtin("max", [3, 7]) == 7
+    assert call_builtin("abs", [-4]) == 4
+
+
+def test_hash32_deterministic_and_bounded():
+    a = call_builtin("hash32", ["payload"])
+    b = call_builtin("hash32", ["payload"])
+    assert a == b
+    assert 0 <= a < 2**31
+    assert call_builtin("hash32", ["other"]) != a
+
+
+def test_to_str_and_parse_int():
+    assert call_builtin("to_str", [12]) == "12"
+    assert call_builtin("to_str", [None]) == "nil"
+    assert call_builtin("parse_int", ["  42 "]) == 42
+    assert call_builtin("parse_int", ["-7"]) == -7
+    assert call_builtin("parse_int", ["x7"]) is None
+    assert call_builtin("parse_int", [""]) is None
+    assert call_builtin("parse_int", [9]) == 9
+
+
+def test_ord_chr_roundtrip():
+    assert call_builtin("chr", [call_builtin("ord", ["Q"])]) == "Q"
+    with pytest.raises(InterpreterError):
+        call_builtin("ord", ["ab"])
+    with pytest.raises(InterpreterError):
+        call_builtin("chr", [-1])
+
+
+def test_substr_clamps():
+    assert call_builtin("substr", ["hello", 1, 3]) == "el"
+    assert call_builtin("substr", ["hello", 3, 100]) == "lo"
+    assert call_builtin("substr", ["hello", -5, 2]) == "he"
+    assert call_builtin("substr", ["hello", 4, 2]) == ""
+
+
+def test_string_helpers():
+    assert call_builtin("str_find", ["banana", "na"]) == 2
+    assert call_builtin("str_find", ["banana", "zz"]) == -1
+    assert call_builtin("str_split", ["a,b,,c", ","]) == ["a", "b", "", "c"]
+    assert call_builtin("str_split", ["abc", ""]) == ["a", "b", "c"]
+    assert call_builtin("str_join", [[1, "b"], "-"]) == "1-b"
+    assert call_builtin("str_upper", ["aB"]) == "AB"
+    assert call_builtin("str_lower", ["aB"]) == "ab"
+    assert call_builtin("str_replace", ["aaa", "a", "b"]) == "bbb"
+    assert call_builtin("str_repeat", ["ab", 3]) == "ababab"
+    assert call_builtin("starts_with", ["abcdef", "abc"]) is True
+    assert call_builtin("ends_with", ["abcdef", "def"]) is True
+    assert call_builtin("str_strip", ["  x \n"]) == "x"
+
+
+def test_str_repeat_negative_raises():
+    with pytest.raises(InterpreterError):
+        call_builtin("str_repeat", ["a", -1])
+
+
+def test_list_helpers():
+    items = [3, 1]
+    assert call_builtin("push", [items, 2]) is items
+    assert items == [3, 1, 2]
+    assert call_builtin("pop", [items]) == 2
+    assert call_builtin("list_new", [3, 0]) == [0, 0, 0]
+    filled = call_builtin("list_fill", [[1, 2], 9])
+    assert filled == [9, 9]
+    assert call_builtin("sort", [[3, 1, 2]]) == [1, 2, 3]
+    assert call_builtin("contains", [[1, 2], 2]) is True
+    assert call_builtin("contains", ["haystack", "hay"]) is True
+    assert call_builtin("index_of", [[5, 6], 6]) == 1
+    assert call_builtin("index_of", [[5, 6], 7]) == -1
+    assert call_builtin("slice", [[1, 2, 3, 4], 1, 3]) == [2, 3]
+    assert call_builtin("concat", [[1], [2]]) == [1, 2]
+    assert call_builtin("reverse", [[1, 2]]) == [2, 1]
+    assert call_builtin("reverse", ["ab"]) == "ba"
+
+
+def test_pop_empty_raises():
+    with pytest.raises(InterpreterError):
+        call_builtin("pop", [[]])
+
+
+def test_sort_mixed_types_raises():
+    with pytest.raises(InterpreterError):
+        call_builtin("sort", [[1, "a"]])
+
+
+def test_i32_wraparound():
+    assert call_builtin("i32_add", [2**31 - 1, 1]) == -(2**31)
+    assert call_builtin("i32_mul", [2**16, 2**16]) == 0
+    assert call_builtin("i32_sub", [-(2**31), 1]) == 2**31 - 1
+
+
+def test_type_predicates():
+    assert call_builtin("is_nil", [None]) is True
+    assert call_builtin("is_str", ["x"]) is True
+    assert call_builtin("is_int", [3]) is True
+    assert call_builtin("is_int", [True]) is False
+    assert call_builtin("is_list", [[]]) is True
+    assert call_builtin("type_of", [None]) == "nil"
+    assert call_builtin("type_of", [True]) == "bool"
+    assert call_builtin("type_of", ["s"]) == "str"
+
+
+def test_arity_checked():
+    with pytest.raises(InterpreterError):
+        call_builtin("len", ["a", "b"])
+    with pytest.raises(InterpreterError):
+        call_builtin("min", [1])
+
+
+def test_unknown_builtin_raises():
+    with pytest.raises(InterpreterError):
+        call_builtin("no_such_builtin", [])

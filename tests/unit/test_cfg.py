@@ -1,0 +1,191 @@
+"""Unit tests for CFG analyses: graph, dominators, loops, call graph."""
+
+import pytest
+
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.dominators import compute_dominators, dominates, immediate_dominators
+from repro.cfg.graph import Digraph, function_digraph
+from repro.cfg.loops import find_back_edges, find_loops, loops_in_nesting_order
+from repro.errors import InstrumentationError
+from repro.ir import compile_source
+
+
+def diamond():
+    """0 -> 1 -> 3, 0 -> 2 -> 3."""
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    return graph
+
+
+def test_digraph_edges_deduplicated():
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 1)
+    assert graph.edges() == [(0, 1)]
+
+
+def test_digraph_remove_edge():
+    graph = diamond()
+    graph.remove_edge(0, 1)
+    assert not graph.has_edge(0, 1)
+    assert 0 not in graph.preds(1)
+
+
+def test_reachable_from():
+    graph = diamond()
+    graph.add_node(9)
+    assert graph.reachable_from(0) == {0, 1, 2, 3}
+
+
+def test_topological_order_of_dag():
+    order = diamond().topological_order()
+    assert order.index(0) < order.index(1) < order.index(3)
+    assert order.index(0) < order.index(2) < order.index(3)
+
+
+def test_topological_order_rejects_cycle():
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 0)
+    with pytest.raises(InstrumentationError):
+        graph.topological_order()
+
+
+def test_dominators_diamond():
+    doms = compute_dominators(diamond(), 0)
+    assert doms[3] == {0, 3}
+    assert doms[1] == {0, 1}
+    assert dominates(doms, 0, 3)
+    assert not dominates(doms, 1, 3)
+
+
+def test_immediate_dominators_diamond():
+    idom = immediate_dominators(diamond(), 0)
+    assert idom[1] == 0
+    assert idom[2] == 0
+    assert idom[3] == 0
+
+
+def test_dominators_linear_chain():
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    doms = compute_dominators(graph, 0)
+    assert doms[2] == {0, 1, 2}
+
+
+def test_back_edge_detection_simple_loop():
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 1)  # back edge
+    graph.add_edge(1, 3)
+    assert find_back_edges(graph, 0) == [(2, 1)]
+
+
+def test_loop_body_and_exits():
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 1)
+    graph.add_edge(1, 3)
+    loops = find_loops(graph, 0)
+    loop = loops[1]
+    assert loop.body == {1, 2}
+    assert loop.exit_edges == [(1, 3)]
+
+
+def test_nested_loops_detected():
+    source = """
+    fn main() {
+      var i = 0;
+      while (i < 3) {
+        var j = 0;
+        while (j < 3) { j = j + 1; }
+        i = i + 1;
+      }
+    }
+    """
+    main = compile_source(source).function("main")
+    graph = function_digraph(main)
+    loops = find_loops(graph, main.entry)
+    assert len(loops) == 2
+    ordered = loops_in_nesting_order(loops)
+    inner, outer = ordered[0], ordered[1]
+    assert inner.body < outer.body
+    assert inner.head in outer.inner_heads or outer.inner_heads == [inner.head]
+
+
+def test_loop_with_break_has_two_exit_edges():
+    source = """
+    fn main() {
+      var i = 0;
+      while (i < 10) {
+        if (i == 5) { break; }
+        i = i + 1;
+      }
+    }
+    """
+    main = compile_source(source).function("main")
+    graph = function_digraph(main)
+    loops = find_loops(graph, main.entry)
+    loop = next(iter(loops.values()))
+    assert len(loop.exit_edges) == 2
+
+
+def test_callgraph_direct_edges():
+    source = """
+    fn a() { b(); }
+    fn b() { }
+    fn main() { a(); }
+    """
+    graph = CallGraph(compile_source(source))
+    assert "b" in graph.callees["a"]
+    assert "a" in graph.callees["main"]
+    assert graph.callers["b"] == {"a"}
+
+
+def test_callgraph_reverse_topological_order():
+    source = """
+    fn a() { b(); }
+    fn b() { c(); }
+    fn c() { }
+    fn main() { a(); }
+    """
+    graph = CallGraph(compile_source(source))
+    order = graph.reverse_topological_order()
+    assert order.index("c") < order.index("b") < order.index("a") < order.index("main")
+
+
+def test_self_recursion_detected():
+    source = "fn f(n) { if (n > 0) { f(n - 1); } return 0; } fn main() { f(2); }"
+    graph = CallGraph(compile_source(source))
+    assert graph.recursive_functions == {"f"}
+    assert graph.in_same_cycle("f", "f")
+
+
+def test_mutual_recursion_detected():
+    source = """
+    fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+    fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+    fn main() { even(4); }
+    """
+    graph = CallGraph(compile_source(source))
+    assert graph.recursive_functions == {"even", "odd"}
+    assert graph.in_same_cycle("even", "odd")
+    assert not graph.in_same_cycle("main", "even")
+
+
+def test_indirect_sites_recorded():
+    source = "fn f() { } fn main() { var h = f; h(); }"
+    graph = CallGraph(compile_source(source))
+    assert len(graph.indirect_sites["main"]) == 1
+
+
+def test_non_recursive_program_has_empty_recursive_set():
+    source = "fn f() { } fn main() { f(); }"
+    graph = CallGraph(compile_source(source))
+    assert graph.recursive_functions == set()

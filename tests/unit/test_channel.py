@@ -1,0 +1,110 @@
+"""Unit tests for the master->slave outcome queue and counter order."""
+
+from repro.core.channel import (
+    OutcomeQueue,
+    SyscallRecord,
+    counter_geq,
+    counter_less,
+)
+
+
+def record(counter, name="read", args=(1, 4), result="x"):
+    return SyscallRecord(counter, name, args, result, None)
+
+
+def test_counter_less_basics():
+    assert counter_less((1,), (2,))
+    assert not counter_less((2,), (1,))
+    assert not counter_less((2,), (2,))
+    assert counter_less((2,), (2, 1))  # prefix before extension
+    assert counter_less((2, 9), (3,))
+
+
+def test_counter_infinity():
+    assert counter_less((5,), None)
+    assert not counter_less(None, (5,))
+    assert counter_geq(None, (5,))
+    assert not counter_less(None, None)
+
+
+def test_find_by_counter_and_name():
+    queue = OutcomeQueue()
+    queue.add(record((1,), "open"))
+    queue.add(record((2,), "read"))
+    assert queue.find((2,), "read") is not None
+    assert queue.find((2,), "write") is None
+    assert queue.find((3,), "read") is None
+
+
+def test_consumed_records_not_found_again():
+    queue = OutcomeQueue()
+    queue.add(record((1,)))
+    found = queue.find((1,), "read")
+    found.consumed = True
+    assert queue.find((1,), "read") is None
+
+
+def test_duplicate_counters_served_in_order():
+    queue = OutcomeQueue()
+    first = record((1,), result="a")
+    second = record((1,), result="b")
+    queue.add(first)
+    queue.add(second)
+    assert queue.find((1,), "read").result == "a"
+    first.consumed = True
+    assert queue.find((1,), "read").result == "b"
+
+
+def test_prune_iteration_drops_only_this_iterations_records():
+    queue = OutcomeQueue()
+    queue.add(record((2,), "open"))  # before the loop (<= reset)
+    queue.add(record((5,), "read"))  # inside the iteration
+    inside = record((6,), "close")
+    inside.consumed = True
+    queue.add(inside)
+    dropped = queue.prune_iteration(barrier_counter=(8,), reset_to=3)
+    assert [r.counter for r in dropped] == [(5,)]  # unconsumed only
+    assert queue.find((2,), "open") is not None
+    assert len(queue) == 1
+
+
+def test_prune_iteration_covers_scoped_records():
+    queue = OutcomeQueue()
+    queue.add(record((5, 2), "read"))  # inside a scoped call this iteration
+    queue.add(record((2, 9), "read"))  # scoped call before the loop
+    dropped = queue.prune_iteration(barrier_counter=(8,), reset_to=3)
+    assert [r.counter for r in dropped] == [(5, 2)]
+
+
+def test_prune_passed():
+    queue = OutcomeQueue()
+    queue.add(record((1,), "open"))
+    queue.add(record((4,), "read"))
+    dropped = queue.prune_passed((3,))
+    assert [r.counter for r in dropped] == [(1,)]
+    assert len(queue) == 1
+
+
+def test_earliest_publication_after():
+    queue = OutcomeQueue()
+    queue.add(SyscallRecord((2,), "a", (), None, None, published_at=10.0))
+    queue.add(SyscallRecord((5,), "b", (), None, None, published_at=50.0))
+    queue.add(SyscallRecord((7,), "c", (), None, None, published_at=30.0))
+    assert queue.earliest_publication_after((3,)) == 30.0
+    assert queue.earliest_publication_after((8,)) is None
+
+
+def test_drain_unconsumed():
+    queue = OutcomeQueue()
+    consumed = record((1,))
+    consumed.consumed = True
+    queue.add(consumed)
+    queue.add(record((2,)))
+    remaining = queue.drain_unconsumed()
+    assert [r.counter for r in remaining] == [(2,)]
+    assert len(queue) == 0
+
+
+def test_signature_default():
+    rec = SyscallRecord((1,), "write", (1, "x"), 1, None)
+    assert rec.signature == ("write", 1, "x")

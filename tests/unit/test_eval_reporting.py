@@ -1,0 +1,62 @@
+"""Unit tests for the evaluation helpers and renderers."""
+
+import pytest
+
+from repro.eval.reporting import arithmetic_mean, format_table, geometric_mean
+from repro.eval.table1 import measure_workload as table1_row
+from repro.eval.table2 import measure_workload as table2_row
+from repro.eval.table3 import measure_workload as table3_row
+from repro.eval.table4 import Table4Row
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "n"], [["alpha", 1], ["b", 200]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "alpha" in text and "200" in text
+    # All data rows have equal rendered width.
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_means():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert arithmetic_mean([1.0, 3.0]) == 2.0
+    assert arithmetic_mean([]) == 0.0
+
+
+def test_table1_row_fields():
+    row = table1_row("bzip2")
+    assert row.loc > 0
+    assert row.instrumented_sites > 0
+    assert row.dyn_max_counter <= row.max_static_counter
+    assert len(row.as_list()) == 12
+
+
+def test_table2_row_for_two_sided_workload():
+    row = table2_row("bzip2")
+    assert row.ldx_input1 == "O"
+    assert row.ldx_input2 == "X"
+    assert row.total_syscalls > 0
+
+
+def test_table2_row_for_one_sided_workload():
+    row = table2_row("libquantum")
+    assert row.ldx_input1 == "O"
+    assert row.ldx_input2 == "-"
+    assert row.tightlip_input2 == "-"
+
+
+def test_table3_row_subset_structure():
+    row = table3_row("gcc")
+    assert row.libdft <= row.taintgrind <= row.ldx
+    assert row.total_sinks >= row.ldx - row.total_sinks  # sane bounds
+
+
+def test_table4_row_statistics():
+    row = Table4Row("demo", diffs=[1, 3, 2], sinks=[5, 5, 5])
+    rendered = row.as_list()
+    assert rendered[0] == "demo"
+    assert rendered[1].startswith("1 / 3 /")
+    assert rendered[2] == "5 / 5 / 0.00"

@@ -1,0 +1,187 @@
+"""Edge cases for the instrumentation pipeline."""
+
+import pytest
+
+from repro.instrument import CounterAdd, LoopSync, instrument_module
+from repro.instrument.plan import LoopExit
+from repro.ir import compile_source
+
+
+def instrument(source):
+    return instrument_module(compile_source(source))
+
+
+def test_syscall_free_program_gets_no_actions():
+    inst = instrument("fn main() { var x = 1 + 2; }")
+    plan = inst.plan.functions["main"]
+    assert plan.fcnt == 0
+    assert plan.actions == {}
+
+
+def test_empty_main():
+    inst = instrument("fn main() { }")
+    assert inst.plan.functions["main"].fcnt == 0
+
+
+def test_branches_with_equal_syscall_counts_need_no_compensation():
+    inst = instrument(
+        """
+        fn main() {
+          var x = 1;
+          if (x > 0) { print("a"); } else { print("b"); }
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    deltas = [
+        action.delta
+        for actions in plan.actions.values()
+        for action in actions
+        if isinstance(action, CounterAdd)
+    ]
+    # Only the +1 edges into the two syscalls; no join compensation.
+    assert sorted(deltas) == [1, 1]
+    assert plan.fcnt == 1
+
+
+def test_early_return_in_one_branch():
+    inst = instrument(
+        """
+        fn main() {
+          var x = 1;
+          if (x > 0) { return; }
+          print("rare");
+          print("rare2");
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    function = inst.module.functions["main"]
+    # The early return must be compensated up to fcnt at the exit.
+    assert plan.counter_at[function.exit] == plan.fcnt == 2
+
+
+def test_loop_exit_actions_present_only_for_barrier_loops():
+    inst = instrument(
+        """
+        fn main() {
+          var i = 0;
+          while (i < 3) { i = i + 1; }
+          var j = 0;
+          while (j < 3) { print(j); j = j + 1; }
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    exits = [
+        action
+        for actions in plan.actions.values()
+        for action in actions
+        if isinstance(action, LoopExit)
+    ]
+    syncs = [
+        action
+        for actions in plan.actions.values()
+        for action in actions
+        if isinstance(action, LoopSync)
+    ]
+    assert len(plan.barrier_loops) == 1
+    assert len(syncs) == 1
+    assert len(exits) >= 1
+    assert all(exit_action.head in plan.barrier_loops for exit_action in exits)
+
+
+def test_while_true_with_break_only_exit():
+    inst = instrument(
+        """
+        fn main() {
+          var i = 0;
+          while (true) {
+            print(i);
+            i = i + 1;
+            if (i == 3) { break; }
+          }
+          print("after");
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    assert len(plan.barrier_loops) == 1
+    # Executable check: the program still behaves and counters bound.
+    from repro.baselines.native import run_native
+    from repro.vos.world import World
+
+    result = run_native(inst.module, World(), plan=inst.plan)
+    assert result.stdout == "012after"
+    assert result.stats.max_counter <= plan.fcnt
+
+
+def test_sequential_loops_have_distinct_heads():
+    inst = instrument(
+        """
+        fn main() {
+          var i = 0;
+          while (i < 2) { print(i); i = i + 1; }
+          var j = 0;
+          while (j < 2) { print(j); j = j + 1; }
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    assert len(plan.barrier_loops) == 2
+
+
+def test_call_chain_fcnt_accumulates():
+    inst = instrument(
+        """
+        fn c() { print("c"); }
+        fn b() { c(); c(); }
+        fn a() { b(); print("a"); }
+        fn main() { a(); }
+        """
+    )
+    assert inst.plan.fcnt["c"] == 1
+    assert inst.plan.fcnt["b"] == 2
+    assert inst.plan.fcnt["a"] == 3
+    assert inst.plan.functions["main"].fcnt == 3
+
+
+def test_scoped_call_does_not_contribute_fcnt():
+    inst = instrument(
+        """
+        fn r(n) { if (n > 0) { print(n); r(n - 1); } return 0; }
+        fn main() { r(2); print("post"); }
+        """
+    )
+    # main's total counts only its own print; the recursive call is a
+    # fresh scope contributing nothing to the caller's counter.
+    assert inst.plan.functions["main"].fcnt == 1
+
+
+def test_unreachable_code_is_ignored():
+    inst = instrument(
+        """
+        fn main() {
+          return;
+          print("never");
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    assert plan.fcnt == 0
+
+
+def test_logical_operators_counted_once():
+    inst = instrument(
+        """
+        fn noisy() { print("n"); return 1; }
+        fn main() {
+          var a = noisy() and noisy();
+          print(a);
+        }
+        """
+    )
+    plan = inst.plan.functions["main"]
+    # Max path: both noisy calls + final print = 3; short-circuit path
+    # compensated.
+    assert plan.fcnt == 3

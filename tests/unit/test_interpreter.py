@@ -1,0 +1,340 @@
+"""Unit tests for the MiniC interpreter (machine + native runner)."""
+
+import pytest
+
+from repro.baselines.native import run_native
+from repro.errors import InterpreterError
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def run(source, world=None, plan=False, seed=0):
+    module = compile_source(source)
+    module_plan = instrument_module(module).plan if plan else None
+    return run_native(module, world or World(), plan=module_plan, seed=seed)
+
+
+def test_arithmetic_and_print():
+    result = run('fn main() { print(1 + 2 * 3); }')
+    assert result.stdout == "7"
+
+
+def test_string_concat():
+    result = run('fn main() { print("a" + "b" + 1); }')
+    assert result.stdout == "ab1"
+
+
+def test_division_truncates_like_c():
+    result = run("fn main() { print(-7 / 2); print(7 / 2); }")
+    assert result.stdout == "-33"
+
+
+def test_modulo_sign_follows_dividend():
+    result = run("fn main() { print(-7 % 3); print(7 % 3); }")
+    assert result.stdout == "-11"
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpreterError):
+        run("fn main() { print(1 / 0); }")
+
+
+def test_if_else():
+    result = run(
+        'fn main() { var x = 5; if (x > 3) { print("big"); } else { print("small"); } }'
+    )
+    assert result.stdout == "big"
+
+
+def test_while_loop():
+    result = run(
+        "fn main() { var i = 0; var sum = 0; while (i < 5) { sum = sum + i; i = i + 1; } print(sum); }"
+    )
+    assert result.stdout == "10"
+
+
+def test_for_loop_with_break_continue():
+    result = run(
+        """
+        fn main() {
+          var out = "";
+          for (var i = 0; i < 10; i = i + 1) {
+            if (i == 3) { continue; }
+            if (i == 6) { break; }
+            out = out + i;
+          }
+          print(out);
+        }
+        """
+    )
+    assert result.stdout == "01245"
+
+
+def test_function_calls_and_returns():
+    result = run(
+        """
+        fn add(a, b) { return a + b; }
+        fn main() { print(add(add(1, 2), 3)); }
+        """
+    )
+    assert result.stdout == "6"
+
+
+def test_recursion():
+    result = run(
+        """
+        fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+        fn main() { print(fib(10)); }
+        """
+    )
+    assert result.stdout == "55"
+
+
+def test_indirect_calls():
+    result = run(
+        """
+        fn double(x) { return x * 2; }
+        fn triple(x) { return x * 3; }
+        fn main() {
+          var fns = [double, triple];
+          print(fns[0](10) + fns[1](10));
+        }
+        """
+    )
+    assert result.stdout == "50"
+
+
+def test_indirect_call_through_non_function_raises():
+    with pytest.raises(InterpreterError):
+        run("fn main() { var h = 3; h(); }")
+
+
+def test_globals_shared_and_mutable():
+    result = run(
+        """
+        var counter = 0;
+        fn bump() { counter = counter + 1; }
+        fn main() { bump(); bump(); print(counter); }
+        """
+    )
+    assert result.stdout == "2"
+
+
+def test_short_circuit_evaluation():
+    result = run(
+        """
+        var called = 0;
+        fn side() { called = called + 1; return 1; }
+        fn main() {
+          var a = 0 and side();
+          var b = 1 or side();
+          print(called);
+        }
+        """
+    )
+    assert result.stdout == "0"
+
+
+def test_list_operations():
+    result = run(
+        """
+        fn main() {
+          var l = [3, 1, 2];
+          push(l, 0);
+          var s = sort(l);
+          print(str_join(s, ","));
+          print(len(l));
+        }
+        """
+    )
+    assert result.stdout == "0,1,2,34"
+
+
+def test_list_index_out_of_range_raises():
+    with pytest.raises(InterpreterError):
+        run("fn main() { var l = [1]; print(l[5]); }")
+
+
+def test_unassigned_hoisted_local_reads_nil():
+    result = run(
+        """
+        fn main() {
+          if (0) { var x = 1; }
+          if (is_nil(x)) { print("nil"); }
+        }
+        """
+    )
+    assert result.stdout == "nil"
+
+
+def test_syscalls_through_world():
+    world = World()
+    world.fs.add_file("/in.txt", "payload")
+    result = run(
+        """
+        fn main() {
+          var fd = open("/in.txt", "r");
+          var data = read(fd, 100);
+          close(fd);
+          print(data);
+        }
+        """,
+        world,
+    )
+    assert result.stdout == "payload"
+
+
+def test_exit_terminates_all():
+    result = run('fn main() { print("a"); exit(3); print("b"); }')
+    assert result.stdout == "a"
+    assert result.exit_code == 3
+
+
+def test_main_result_returned():
+    result = run("fn main() { return 42; }")
+    assert result.result == 42
+
+
+def test_instrumented_run_produces_same_output():
+    source = """
+    fn main() {
+      var i = 0;
+      while (i < 4) { print(i); i = i + 1; }
+      print("end");
+    }
+    """
+    plain = run(source)
+    instrumented = run(source, plan=True)
+    assert plain.stdout == instrumented.stdout
+    # Counter maintenance costs a little extra virtual time.
+    assert instrumented.time > plain.time
+
+
+def test_counter_stats_recorded_when_instrumented():
+    result = run(
+        """
+        fn main() {
+          print("a");
+          print("b");
+        }
+        """,
+        plan=True,
+    )
+    assert result.stats.counter_samples == [1, 2]
+    assert result.stats.max_counter == 2
+
+
+def test_scoped_call_counter_restored():
+    result = run(
+        """
+        fn f(n) {
+          if (n <= 0) { return 0; }
+          print(n);
+          return f(n - 1);
+        }
+        fn main() {
+          print("pre");
+          f(3);
+          print("post");
+        }
+        """,
+        plan=True,
+    )
+    assert result.stdout == "pre321post"
+    # Recursion pushes scoped counters: depth must have exceeded 1.
+    assert result.stats.max_stack_depth >= 2
+
+
+def test_instruction_budget_enforced():
+    with pytest.raises(InterpreterError):
+        run("fn main() { while (1) { } }")
+
+
+# -- threads --------------------------------------------------------------------
+
+
+def test_thread_spawn_and_join():
+    result = run(
+        """
+        fn worker(x) { return x * 10; }
+        fn main() {
+          var t1 = thread_spawn(worker, 1);
+          var t2 = thread_spawn(worker, 2);
+          print(thread_join(t1) + thread_join(t2));
+        }
+        """
+    )
+    assert result.stdout == "30"
+
+
+def test_threads_share_globals():
+    result = run(
+        """
+        var total = 0;
+        fn worker(n) {
+          var m = mutex_create();
+          total = total + n;
+          return 0;
+        }
+        fn main() {
+          var t = thread_spawn(worker, 5);
+          thread_join(t);
+          print(total);
+        }
+        """
+    )
+    assert result.stdout == "5"
+
+
+def test_mutex_mutual_exclusion():
+    result = run(
+        """
+        var log = "";
+        var m = 0;
+        fn worker(tag) {
+          mutex_lock(m);
+          log = log + tag + tag;
+          mutex_unlock(m);
+          return 0;
+        }
+        fn main() {
+          m = mutex_create();
+          var t1 = thread_spawn(worker, "a");
+          var t2 = thread_spawn(worker, "b");
+          thread_join(t1);
+          thread_join(t2);
+          print(log);
+        }
+        """
+    )
+    # Critical sections never interleave: letters appear in pairs.
+    assert result.stdout in ("aabb", "bbaa")
+
+
+def test_schedule_seed_can_change_racy_interleaving():
+    source = """
+    var log = "";
+    fn worker(tag) {
+      print(tag);
+      log = log + tag;
+      print(tag);
+      return 0;
+    }
+    fn main() {
+      var t1 = thread_spawn(worker, "a");
+      var t2 = thread_spawn(worker, "b");
+      thread_join(t1);
+      thread_join(t2);
+    }
+    """
+    outputs = {run(source, seed=s).stdout for s in range(8)}
+    # Different seeds may (not must) produce different interleavings,
+    # but every interleaving contains the same multiset of characters.
+    for output in outputs:
+        assert sorted(output) == ["a", "a", "b", "b"]
+
+
+def test_join_unknown_tid_raises():
+    with pytest.raises(InterpreterError):
+        run("fn main() { thread_join(99); }")

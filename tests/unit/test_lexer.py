@@ -1,0 +1,98 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, INT, NAME, STRING
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def test_empty_source_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == EOF
+
+
+def test_integer_literal():
+    tokens = tokenize("42")
+    assert tokens[0].kind == INT
+    assert tokens[0].value == 42
+
+
+def test_identifier_and_keyword():
+    tokens = tokenize("foo while")
+    assert tokens[0].kind == NAME
+    assert tokens[0].text == "foo"
+    assert tokens[1].kind == "while"
+
+
+def test_string_literal_with_escapes():
+    tokens = tokenize('"a\\nb\\t\\"c\\\\"')
+    assert tokens[0].kind == STRING
+    assert tokens[0].value == 'a\nb\t"c\\'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize('"abc')
+
+
+def test_string_may_not_span_lines():
+    with pytest.raises(LexerError):
+        tokenize('"abc\ndef"')
+
+
+def test_unknown_escape_raises():
+    with pytest.raises(LexerError):
+        tokenize('"\\q"')
+
+
+def test_line_comment_skipped():
+    assert kinds("1 // comment\n2") == [INT, INT, EOF]
+
+
+def test_block_comment_skipped():
+    assert kinds("1 /* multi\nline */ 2") == [INT, INT, EOF]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("/* never closed")
+
+
+def test_two_char_operators_win_over_one_char():
+    assert kinds("== != <= >= && || +=") == [
+        "==",
+        "!=",
+        "<=",
+        ">=",
+        "&&",
+        "||",
+        "+=",
+        EOF,
+    ]
+
+
+def test_positions_track_lines_and_columns():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+    assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)
+
+
+def test_identifier_cannot_start_with_digit():
+    with pytest.raises(LexerError):
+        tokenize("1abc")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexerError):
+        tokenize("@")
+
+
+def test_keywords_are_not_names():
+    for word in ("fn", "var", "if", "else", "return", "true", "false", "nil"):
+        assert tokenize(word)[0].kind == word

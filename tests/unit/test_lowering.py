@@ -1,0 +1,168 @@
+"""Unit tests for AST-to-IR lowering."""
+
+import pytest
+
+from repro.ir import compile_source
+from repro.ir import instructions as ins
+
+
+def lower(source):
+    return compile_source(source)
+
+
+def instr_ops(function):
+    return [instr.opname for instr in function.instrs]
+
+
+def test_entry_and_exit_nops():
+    module = lower("fn main() { }")
+    main = module.function("main")
+    assert isinstance(main.instrs[0], ins.Nop)
+    assert main.instrs[0].note == "entry"
+    assert isinstance(main.instrs[-1], ins.Nop)
+    assert main.instrs[-1].note == "exit"
+
+
+def test_implicit_return_added():
+    module = lower("fn main() { var x = 1; }")
+    main = module.function("main")
+    assert isinstance(main.instrs[-2], ins.Ret)
+    assert main.instrs[-2].src is None
+
+
+def test_ret_successor_is_exit():
+    module = lower("fn main() { return; var_unreachable(); } fn var_unreachable() { }")
+    main = module.function("main")
+    ret_index = next(
+        i for i, instr in enumerate(main.instrs) if isinstance(instr, ins.Ret)
+    )
+    assert main.successors(ret_index) == (main.exit,)
+
+
+def test_globals_evaluated():
+    module = lower('var a = 2 + 3; var s = "x"; var l = [1, 2]; fn main() { }')
+    assert module.global_values == {"a": 5, "s": "x", "l": [1, 2]}
+
+
+def test_call_classification():
+    module = lower(
+        """
+        fn helper(a) { return a; }
+        fn main() {
+          helper(1);
+          len("x");
+          print("hi");
+          var h = helper;
+          h(2);
+        }
+        """
+    )
+    ops = instr_ops(module.function("main"))
+    assert "call" in ops
+    assert "builtin" in ops
+    assert "syscall" in ops
+    assert "icall" in ops
+
+
+def test_function_reference_materialized():
+    module = lower("fn f() { } fn main() { var h = f; }")
+    main = module.function("main")
+    consts = [i for i in main.instrs if isinstance(i, ins.Const)]
+    assert any(isinstance(c.value, ins.FuncRef) and c.value.name == "f" for c in consts)
+
+
+def test_if_without_else_targets():
+    module = lower("fn main() { if (1) { var x = 2; } }")
+    main = module.function("main")
+    cjump = next(i for i in main.instrs if isinstance(i, ins.CJump))
+    assert cjump.true_target != cjump.false_target
+    join = main.instrs[cjump.false_target]
+    assert isinstance(join, ins.Nop)
+
+
+def test_while_has_back_edge_to_loophead():
+    module = lower("fn main() { var i = 0; while (i < 3) { i = i + 1; } }")
+    main = module.function("main")
+    head = next(
+        i
+        for i, instr in enumerate(main.instrs)
+        if isinstance(instr, ins.Nop) and instr.note == "loophead"
+    )
+    back_jumps = [
+        i
+        for i, instr in enumerate(main.instrs)
+        if isinstance(instr, ins.Jump) and instr.target == head and i > head
+    ]
+    assert back_jumps, "expected a back edge jump to the loop head"
+
+
+def test_for_continue_jumps_to_step():
+    module = lower(
+        "fn main() { for (var i = 0; i < 3; i = i + 1) { continue; } }"
+    )
+    main = module.function("main")
+    # The continue jump must not target the loop head directly (the step
+    # must run), so its target differs from the head nop.
+    head = next(
+        i
+        for i, instr in enumerate(main.instrs)
+        if isinstance(instr, ins.Nop) and instr.note == "loophead"
+    )
+    continue_jump = next(
+        instr
+        for i, instr in enumerate(main.instrs)
+        if isinstance(instr, ins.Jump) and i < instr.target
+    )
+    assert continue_jump.target != head
+
+
+def test_break_jumps_past_loop():
+    module = lower("fn main() { while (1) { break; } var y = 1; }")
+    main = module.function("main")
+    join = next(
+        i
+        for i, instr in enumerate(main.instrs)
+        if isinstance(instr, ins.Nop) and instr.note == "loopjoin"
+    )
+    break_jump = next(
+        instr for instr in main.instrs if isinstance(instr, ins.Jump) and instr.target == join
+    )
+    assert break_jump.target == join
+
+
+def test_short_circuit_and_produces_cjump():
+    module = lower("fn main() { var x = 1 and 2; }")
+    main = module.function("main")
+    assert any(isinstance(instr, ins.CJump) for instr in main.instrs)
+
+
+def test_logical_or_skips_rhs_on_true():
+    module = lower("fn main() { var x = 1 or 2; }")
+    main = module.function("main")
+    cjump = next(i for i in main.instrs if isinstance(i, ins.CJump))
+    # for 'or', true target jumps past the rhs evaluation
+    assert cjump.true_target > cjump.false_target
+
+
+def test_all_edges_in_bounds():
+    module = lower(
+        """
+        fn f(n) { if (n > 0) { return f(n - 1); } return 0; }
+        fn main() { f(3); while (0) { } }
+        """
+    )
+    for function in module.functions.values():
+        for src, dst in function.edges():
+            assert 0 <= src < len(function.instrs)
+            assert 0 <= dst < len(function.instrs)
+
+
+def test_exit_has_no_successors():
+    module = lower("fn main() { }")
+    main = module.function("main")
+    assert main.successors(main.exit) == ()
+
+
+def test_source_lines_recorded():
+    module = lower("fn main() {\n}\n")
+    assert module.source_lines >= 2

@@ -1,0 +1,167 @@
+"""Unit tests for Machine internals: clocks, stats, driver protocol."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.instrument import instrument_module
+from repro.interp.events import SyscallEvent
+from repro.interp.machine import Machine
+from repro.ir import compile_source
+from repro.vos.kernel import Kernel
+from repro.vos.world import World
+
+
+def machine_for(source, plan=False, seed=0):
+    module = compile_source(source)
+    module_plan = instrument_module(module).plan if plan else None
+    return Machine(module, Kernel(World(seed=1)), plan=module_plan, schedule_seed=seed)
+
+
+def test_next_event_surfaces_syscall():
+    machine = machine_for('fn main() { print("x"); }')
+    event = machine.next_event()
+    assert isinstance(event, SyscallEvent)
+    assert event.name == "print"
+    assert event.args == ("x",)
+
+
+def test_next_event_returns_none_while_waiting_on_driver():
+    machine = machine_for('fn main() { print("x"); }')
+    machine.next_event()
+    # The pending syscall is unresolved; the machine yields control
+    # instead of raising.
+    assert machine.next_event() is None
+    assert not machine.finished
+
+
+def test_complete_syscall_resumes_and_finishes():
+    machine = machine_for('fn main() { print("x"); }')
+    event = machine.next_event()
+    machine.complete_syscall(event, 1)
+    assert machine.next_event() is None
+    assert machine.finished
+
+
+def test_stale_completion_rejected():
+    machine = machine_for('fn main() { print("x"); print("y"); }')
+    first = machine.next_event()
+    machine.complete_syscall(first, 1)
+    second = machine.next_event()
+    with pytest.raises(InterpreterError):
+        machine.complete_syscall(first, 1)  # stale event
+    machine.complete_syscall(second, 1)
+
+
+def test_terminate_marks_everything_done():
+    machine = machine_for('fn main() { print("x"); }')
+    machine.next_event()
+    machine.terminate(9)
+    assert machine.finished
+    assert machine.exit_code == 9
+    assert all(t.done for t in machine.threads)
+
+
+def test_wait_until_never_rewinds():
+    machine = machine_for('fn main() { print("x"); }')
+    machine.next_event()
+    machine.charge(0, 100.0)
+    before = machine.threads[0].clock
+    machine.wait_until(0, before - 50.0)
+    assert machine.threads[0].clock == pytest.approx(before)
+    machine.wait_until(0, before + 400.0)
+    assert machine.threads[0].clock == pytest.approx(before + 400.0)
+
+
+def test_time_is_max_over_threads():
+    machine = machine_for(
+        """
+        fn worker(x) { return x; }
+        fn main() { thread_join(thread_spawn(worker, 1)); }
+        """
+    )
+    from repro.interp.resolve import resolve_event_locally
+
+    while True:
+        event = machine.next_event()
+        if event is None:
+            break
+        resolve_event_locally(machine, event)
+    assert machine.time == max(t.clock for t in machine.threads)
+
+
+def test_syscall_cost_jitter_is_seeded():
+    a = machine_for('fn main() { }', seed=3)
+    b = machine_for('fn main() { }', seed=3)
+    assert [a.syscall_cost() for _ in range(5)] == [b.syscall_cost() for _ in range(5)]
+    c = machine_for('fn main() { }', seed=4)
+    assert [a.syscall_cost() for _ in range(5)] != [c.syscall_cost() for _ in range(5)]
+
+
+def test_counter_samples_and_depth_tracked():
+    machine = machine_for(
+        """
+        fn rec(n) { if (n > 0) { print(n); rec(n - 1); } return 0; }
+        fn main() { rec(2); }
+        """,
+        plan=True,
+    )
+    from repro.interp.resolve import resolve_event_locally
+
+    while True:
+        event = machine.next_event()
+        if event is None:
+            break
+        resolve_event_locally(machine, event)
+    assert machine.stats.syscalls == 2
+    assert machine.stats.max_stack_depth >= 2
+    assert len(machine.stats.counter_samples) == 2
+
+
+def test_spawn_thread_requires_function_ref():
+    machine = machine_for('fn main() { }')
+    with pytest.raises(InterpreterError):
+        machine.spawn_thread("not-a-function", None)
+
+
+def test_internal_deadlock_detected():
+    machine = machine_for(
+        """
+        fn main() {
+          var m = mutex_create();
+          mutex_lock(m);
+          mutex_lock(m);
+        }
+        """
+    )
+    from repro.interp.resolve import resolve_event_locally
+
+    with pytest.raises(InterpreterError, match="deadlock"):
+        while True:
+            event = machine.next_event()
+            if event is None:
+                break
+            resolve_event_locally(machine, event)
+
+
+def test_double_unlock_returns_error_code():
+    machine = machine_for(
+        """
+        fn main() {
+          var m = mutex_create();
+          mutex_lock(m);
+          mutex_unlock(m);
+          print(mutex_unlock(m));
+        }
+        """
+    )
+    from repro.interp.resolve import resolve_event_locally
+
+    printed = []
+    while True:
+        event = machine.next_event()
+        if event is None:
+            break
+        if isinstance(event, SyscallEvent) and event.name == "print":
+            printed.append(event.args[0])
+        resolve_event_locally(machine, event)
+    assert printed == [-1]

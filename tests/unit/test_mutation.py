@@ -1,0 +1,74 @@
+"""Unit tests for the mutation strategies."""
+
+from repro.core.mutation import (
+    RandomMutation,
+    STRATEGIES,
+    bit_flip,
+    global_off_by_one,
+    off_by_minus_one,
+    off_by_one,
+    zeroing,
+)
+
+
+def test_off_by_one_int():
+    assert off_by_one(7) == 8
+    assert off_by_one(True) is False
+
+
+def test_off_by_one_string_first_data_char():
+    assert off_by_one("abc") == "bbc"
+    assert off_by_one("  x") == "  y"
+    assert off_by_one("9") == "0"  # digits wrap within digits
+    assert off_by_one("z") == "a"  # letters wrap within letters
+    assert off_by_one("Z") == "A"
+
+
+def test_off_by_one_skips_framing():
+    assert off_by_one("--=--") == "--=--"
+    assert off_by_one("") == ""
+
+
+def test_off_by_one_list_mutates_head():
+    assert off_by_one([1, 2, 3]) == [2, 2, 3]
+    assert off_by_one([]) == []
+
+
+def test_off_by_minus_one_inverse_on_mid_range():
+    assert off_by_minus_one(off_by_one(41)) == 41
+    assert off_by_minus_one("bcd") == "acd"
+
+
+def test_zeroing():
+    assert zeroing(123) == 0
+    assert zeroing("ab-1") == "00-0"
+    assert zeroing([5, "x"]) == [0, "0"]
+
+
+def test_bit_flip():
+    assert bit_flip(4) == 5
+    assert bit_flip(5) == 4
+    flipped = bit_flip("a")
+    assert flipped != "a" and len(flipped) == 1
+
+
+def test_global_off_by_one_touches_everything():
+    assert global_off_by_one("ab1-z9") == "bc2-a0"
+    assert global_off_by_one([1, "a"]) == [2, "b"]
+
+
+def test_random_mutation_deterministic_per_seed():
+    a = RandomMutation(seed=5)
+    b = RandomMutation(seed=5)
+    assert a("hello") == b("hello")
+    changed = RandomMutation(seed=5)("hello")
+    assert changed != "hello"
+
+
+def test_strategy_registry():
+    assert set(STRATEGIES) == {
+        "off_by_one",
+        "off_by_minus_one",
+        "zeroing",
+        "bit_flip",
+    }

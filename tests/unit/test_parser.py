@@ -1,0 +1,159 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def first_stmt(body_source):
+    program = parse("fn main() { " + body_source + " }")
+    return program.functions[0].body.statements[0]
+
+
+def test_empty_function():
+    program = parse("fn main() { }")
+    assert len(program.functions) == 1
+    assert program.functions[0].name == "main"
+    assert program.functions[0].params == []
+
+
+def test_parameters():
+    program = parse("fn add(a, b) { return a + b; }")
+    assert program.functions[0].params == ["a", "b"]
+
+
+def test_global_declaration():
+    program = parse('var g = 10;\nfn main() { }')
+    assert len(program.globals) == 1
+    assert program.globals[0].name == "g"
+
+
+def test_var_decl_statement():
+    stmt = first_stmt("var x = 1;")
+    assert isinstance(stmt, ast.VarDecl)
+    assert stmt.name == "x"
+
+
+def test_assignment_statement():
+    stmt = first_stmt("var x = 1; ")
+    program = parse("fn main() { var x = 1; x = 2; }")
+    assign = program.functions[0].body.statements[1]
+    assert isinstance(assign, ast.Assign)
+    assert isinstance(assign.target, ast.VarRef)
+
+
+def test_compound_assignment_desugars():
+    program = parse("fn main() { var x = 1; x += 2; }")
+    assign = program.functions[0].body.statements[1]
+    assert isinstance(assign, ast.Assign)
+    assert isinstance(assign.value, ast.Binary)
+    assert assign.value.op == "+"
+
+
+def test_index_assignment():
+    program = parse("fn main() { var a = [1]; a[0] = 5; }")
+    assign = program.functions[0].body.statements[1]
+    assert isinstance(assign.target, ast.Index)
+
+
+def test_if_else_chain():
+    stmt = first_stmt("if (1) { } else if (2) { } else { }")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_block, ast.If)
+    assert isinstance(stmt.else_block.else_block, ast.Block)
+
+
+def test_while_loop():
+    stmt = first_stmt("while (1) { break; }")
+    assert isinstance(stmt, ast.While)
+    assert isinstance(stmt.body.statements[0], ast.Break)
+
+
+def test_for_loop_full():
+    stmt = first_stmt("for (var i = 0; i < 10; i += 1) { continue; }")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.VarDecl)
+    assert isinstance(stmt.condition, ast.Binary)
+    assert isinstance(stmt.step, ast.Assign)
+
+
+def test_for_loop_empty_parts():
+    stmt = first_stmt("for (;;) { break; }")
+    assert stmt.init is None
+    assert stmt.condition is None
+    assert stmt.step is None
+
+
+def test_precedence_multiplication_binds_tighter():
+    stmt = first_stmt("var x = 1 + 2 * 3;")
+    assert stmt.initializer.op == "+"
+    assert stmt.initializer.right.op == "*"
+
+
+def test_comparison_below_arithmetic():
+    stmt = first_stmt("var x = 1 + 2 < 3 * 4;")
+    assert stmt.initializer.op == "<"
+
+
+def test_logical_operators_short_circuit_nodes():
+    stmt = first_stmt("var x = 1 and 2 or 3;")
+    assert isinstance(stmt.initializer, ast.Logical)
+    assert stmt.initializer.op == "or"
+    assert stmt.initializer.left.op == "and"
+
+
+def test_c_style_logical_tokens():
+    stmt = first_stmt("var x = 1 && 2 || 3;")
+    assert stmt.initializer.op == "or"
+
+
+def test_unary_operators():
+    stmt = first_stmt("var x = -1 + !0;")
+    assert isinstance(stmt.initializer.left, ast.Unary)
+    assert isinstance(stmt.initializer.right, ast.Unary)
+
+
+def test_call_and_index_postfix():
+    stmt = first_stmt("var x = f(1)[2];")
+    assert isinstance(stmt.initializer, ast.Index)
+    assert isinstance(stmt.initializer.base, ast.Call)
+
+
+def test_nested_calls():
+    stmt = first_stmt("var x = f(g(1), 2);")
+    call = stmt.initializer
+    assert isinstance(call.args[0], ast.Call)
+
+
+def test_list_literal():
+    stmt = first_stmt("var x = [1, 2, 3];")
+    assert isinstance(stmt.initializer, ast.ListLiteral)
+    assert len(stmt.initializer.items) == 3
+
+
+def test_return_without_value():
+    stmt = first_stmt("return;")
+    assert isinstance(stmt, ast.Return)
+    assert stmt.value is None
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse("fn main() { var x = 1 }")
+
+
+def test_invalid_assignment_target_raises():
+    with pytest.raises(ParseError):
+        parse("fn main() { 1 = 2; }")
+
+
+def test_unterminated_block_raises():
+    with pytest.raises(ParseError):
+        parse("fn main() {")
+
+
+def test_top_level_junk_raises():
+    with pytest.raises(ParseError):
+        parse("banana")

@@ -1,0 +1,45 @@
+"""Unit tests for causality reports and dual results."""
+
+from repro.core.report import (
+    SINK_ARGS_DIFFER,
+    SINK_MISSING_IN_SLAVE,
+    SINK_ONLY_IN_SLAVE,
+    CausalityReport,
+    Detection,
+)
+
+
+def detection(kind):
+    return Detection(kind, (3,), "send", ("a",), ("b",), "main")
+
+
+def test_empty_report():
+    report = CausalityReport()
+    assert not report.causality_detected
+    assert report.tainted_sinks == 0
+    assert report.sequence_diffs == 0
+    assert "no causality" in report.summary()
+
+
+def test_detections_counted():
+    report = CausalityReport()
+    report.add(detection(SINK_ARGS_DIFFER))
+    report.add(detection(SINK_MISSING_IN_SLAVE))
+    assert report.causality_detected
+    assert report.tainted_sinks == 2
+    assert "CAUSALITY" in report.summary()
+
+
+def test_sequence_diffs_counts_divergent_sinks_only():
+    report = CausalityReport()
+    report.syscall_diffs = 4
+    report.add(detection(SINK_ARGS_DIFFER))  # aligned: not a sequence diff
+    report.add(detection(SINK_MISSING_IN_SLAVE))
+    report.add(detection(SINK_ONLY_IN_SLAVE))
+    assert report.sequence_diffs == 6
+
+
+def test_detection_repr_mentions_kind_and_location():
+    d = detection(SINK_ARGS_DIFFER)
+    assert "sink-args-differ" in repr(d)
+    assert "main" in repr(d)

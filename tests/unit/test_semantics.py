@@ -1,0 +1,132 @@
+"""Unit tests for MiniC static checks."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.semantics import check_program
+
+
+def check(source, require_main=True):
+    return check_program(parse(source), require_main=require_main)
+
+
+def test_minimal_valid_program():
+    info = check("fn main() { }")
+    assert info.function_arity == {"main": 0}
+
+
+def test_missing_main_raises():
+    with pytest.raises(SemanticError):
+        check("fn other() { }")
+
+
+def test_missing_main_allowed_when_relaxed():
+    info = check("fn other() { }", require_main=False)
+    assert "other" in info.function_arity
+
+
+def test_main_with_params_raises():
+    with pytest.raises(SemanticError):
+        check("fn main(x) { }")
+
+
+def test_duplicate_function_raises():
+    with pytest.raises(SemanticError):
+        check("fn f() { } fn f() { } fn main() { }")
+
+
+def test_function_shadowing_intrinsic_raises():
+    with pytest.raises(SemanticError):
+        check("fn len() { } fn main() { }")
+
+
+def test_duplicate_parameter_raises():
+    with pytest.raises(SemanticError):
+        check("fn f(a, a) { } fn main() { }")
+
+
+def test_duplicate_global_raises():
+    with pytest.raises(SemanticError):
+        check("var g = 1; var g = 2; fn main() { }")
+
+
+def test_global_shadowing_function_raises():
+    with pytest.raises(SemanticError):
+        check("fn f() { } var f = 1; fn main() { }")
+
+
+def test_global_initializer_must_be_constant():
+    with pytest.raises(SemanticError):
+        check("var g = len([1]); fn main() { }")
+
+
+def test_constant_global_arithmetic_ok():
+    check("var g = 1 + 2 * 3; fn main() { }")
+
+
+def test_undefined_variable_raises():
+    with pytest.raises(SemanticError):
+        check("fn main() { var x = y; }")
+
+
+def test_assignment_to_undeclared_raises():
+    with pytest.raises(SemanticError):
+        check("fn main() { x = 1; }")
+
+
+def test_assignment_to_function_raises():
+    with pytest.raises(SemanticError):
+        check("fn f() { } fn main() { f = 1; }")
+
+
+def test_duplicate_local_raises():
+    with pytest.raises(SemanticError):
+        check("fn main() { var x = 1; var x = 2; }")
+
+
+def test_local_shadowing_function_raises():
+    with pytest.raises(SemanticError):
+        check("fn f() { } fn main() { var f = 1; }")
+
+
+def test_break_outside_loop_raises():
+    with pytest.raises(SemanticError):
+        check("fn main() { break; }")
+
+
+def test_continue_outside_loop_raises():
+    with pytest.raises(SemanticError):
+        check("fn main() { continue; }")
+
+
+def test_break_inside_loop_ok():
+    check("fn main() { while (1) { break; } }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemanticError):
+        check("fn f(a) { } fn main() { f(); }")
+
+
+def test_call_to_undefined_raises():
+    with pytest.raises(SemanticError):
+        check("fn main() { g(); }")
+
+
+def test_indirect_call_through_variable_ok():
+    check("fn f() { } fn main() { var h = f; h(); }")
+
+
+def test_intrinsic_call_ok():
+    check('fn main() { var n = len("abc"); }')
+
+
+def test_globals_visible_in_functions():
+    check("var g = 1; fn main() { g = g + 1; }")
+
+
+def test_var_hoisting_use_before_decl_in_branches():
+    # Function-level scoping: declaration anywhere in the body makes the
+    # name known, mirroring the single locals dict at runtime.
+    check("fn main() { if (1) { var x = 1; } else { var y = 2; } }")

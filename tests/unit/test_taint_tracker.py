@@ -1,0 +1,138 @@
+"""Unit tests for the dynamic-taint tracker (LIBDFT/TaintGrind models)."""
+
+import pytest
+
+from repro.baselines.taint import run_taint
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def taint_run(source, tool="taintgrind", secret="7", sinks=None):
+    world = World(seed=1)
+    world.fs.add_file("/secret", secret)
+    world.network.register("sink", 1, lambda req: "")
+    config = LdxConfig(
+        SourceSpec(file_paths={"/secret"}),
+        sinks or SinkSpec.network_out(),
+    )
+    return run_taint(compile_source(source), world, config, tool)
+
+
+HEADER = """
+fn main() {
+  var fd = open("/secret", "r");
+  var x = read(fd, 8);
+  close(fd);
+"""
+
+
+def test_taint_through_arithmetic():
+    result = taint_run(HEADER + """
+      var y = parse_int(x) * 3 - 1;
+      var s = socket(); connect(s, "sink", 1);
+      send(s, y);
+    }""")
+    assert result.tainted_sinks == 1
+
+
+def test_taint_through_function_call_and_return():
+    result = taint_run("""
+    fn launder(v) { var w = v + 1; return w; }
+    """ + HEADER + """
+      var s = socket(); connect(s, "sink", 1);
+      send(s, launder(x));
+    }""")
+    assert result.tainted_sinks == 1
+
+
+def test_constant_overwrite_clears_taint():
+    result = taint_run(HEADER + """
+      x = "clean";
+      var s = socket(); connect(s, "sink", 1);
+      send(s, x);
+    }""")
+    assert result.tainted_sinks == 0
+
+
+def test_element_level_list_taint():
+    # Only the tainted element carries taint; its clean neighbour does
+    # not (byte-level tools track individual locations).
+    result = taint_run(HEADER + """
+      var cells = [0, 0];
+      cells[0] = x;
+      var s = socket(); connect(s, "sink", 1);
+      send(s, cells[1]);
+    }""")
+    assert result.tainted_sinks == 0
+    result2 = taint_run(HEADER + """
+      var cells = [0, 0];
+      cells[0] = x;
+      var s = socket(); connect(s, "sink", 1);
+      send(s, cells[0]);
+    }""")
+    assert result2.tainted_sinks == 1
+
+
+def test_index_taint_not_propagated():
+    # Loading through a tainted index yields the (clean) element — the
+    # no-pointer-taint policy of PIN/Valgrind tools.
+    result = taint_run(HEADER + """
+      var table = [10, 20, 30];
+      var i = parse_int(x) % 3;
+      var s = socket(); connect(s, "sink", 1);
+      send(s, table[i]);
+    }""")
+    assert result.tainted_sinks == 0
+
+
+def test_control_dependence_not_propagated():
+    result = taint_run(HEADER + """
+      var y = 0;
+      if (parse_int(x) > 3) { y = 1; }
+      var s = socket(); connect(s, "sink", 1);
+      send(s, y);
+    }""")
+    assert result.tainted_sinks == 0
+
+
+def test_libdft_unmodeled_builtin_drops_taint():
+    source = HEADER + """
+      var parts = str_split(x + ",t", ",");
+      var s = socket(); connect(s, "sink", 1);
+      send(s, parts[0]);
+    }"""
+    assert taint_run(source, tool="libdft").tainted_sinks == 0
+    assert taint_run(source, tool="taintgrind").tainted_sinks == 1
+
+
+def test_push_propagates_into_list():
+    result = taint_run(HEADER + """
+      var acc = [];
+      push(acc, x);
+      var s = socket(); connect(s, "sink", 1);
+      send(s, acc[0]);
+    }""")
+    assert result.tainted_sinks == 1
+
+
+def test_whole_list_argument_carries_element_taint():
+    # Passing the list to a builtin (str_join) aggregates element taint.
+    result = taint_run(HEADER + """
+      var acc = [0, 0];
+      acc[1] = x;
+      var s = socket(); connect(s, "sink", 1);
+      send(s, str_join(acc, "-"));
+    }""")
+    assert result.tainted_sinks == 1
+
+
+def test_taint_counts_total_sinks():
+    result = taint_run(HEADER + """
+      var s = socket(); connect(s, "sink", 1);
+      send(s, "clean");
+      send(s, x);
+      send(s, "clean2");
+    }""")
+    assert result.sinks_total == 3
+    assert result.tainted_sinks == 1

@@ -1,0 +1,101 @@
+"""Unit tests for the TightLip baseline."""
+
+from repro.baselines.tightlip import run_tightlip
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.ir import compile_source
+from repro.vos.world import World
+
+
+def tightlip(source, secret="7", window=2):
+    world = World(seed=1)
+    world.fs.add_file("/secret", secret)
+    world.network.register("sink", 1, lambda req: "")
+    config = LdxConfig(
+        SourceSpec(file_paths={"/secret"}), SinkSpec.network_out()
+    )
+    return run_tightlip(compile_source(source), world, config, window=window)
+
+
+def test_identical_traces_no_leak():
+    result = tightlip("""
+    fn main() {
+      var fd = open("/secret", "r");
+      read(fd, 8);
+      close(fd);
+      print("constant");
+    }
+    """)
+    assert not result.leak_reported
+    assert result.syscalls_compared > 0
+
+
+def test_output_content_difference_reported():
+    result = tightlip("""
+    fn main() {
+      var fd = open("/secret", "r");
+      var x = read(fd, 8);
+      close(fd);
+      var s = socket();
+      connect(s, "sink", 1);
+      send(s, x);
+    }
+    """)
+    assert result.leak_reported
+    assert "send" in result.divergence_reason or "output" in result.divergence_reason
+
+
+def test_sequence_divergence_terminates_doppelganger():
+    result = tightlip("""
+    fn main() {
+      var fd = open("/secret", "r");
+      var x = parse_int(read(fd, 8));
+      close(fd);
+      if (x == 7) {
+        print("a");
+      } else {
+        var e1 = open("/tmp_a", "w");
+        close(e1);
+        var e2 = open("/tmp_b", "w");
+        close(e2);
+        var e3 = open("/tmp_c", "w");
+        close(e3);
+      }
+    }
+    """)
+    assert result.leak_reported
+    assert result.terminated_early
+
+
+def test_window_tolerates_small_reorderings():
+    # The branch swaps the order of two syscalls; positional matching
+    # with a window absorbs the reordering (TightLip's coarse tolerance).
+    result = tightlip(
+        """
+        fn main() {
+          var fd = open("/secret", "r");
+          var x = parse_int(read(fd, 8));
+          close(fd);
+          if (x == 7) { getpid(); time(); } else { time(); getpid(); }
+        }
+        """,
+        window=2,
+    )
+    assert not result.leak_reported
+
+
+def test_trace_length_mismatch_reported():
+    # The master performs one extra syscall the slave skips: every
+    # slave entry matches within the window, but the lengths differ.
+    result = tightlip(
+        """
+        fn main() {
+          var fd = open("/secret", "r");
+          var x = parse_int(read(fd, 8));
+          close(fd);
+          if (x == 7) { getpid(); }
+        }
+        """,
+        window=3,
+    )
+    assert result.leak_reported
+    assert result.divergence_reason == "trace lengths differ"

@@ -1,0 +1,301 @@
+"""Unit tests for the virtual OS: filesystem, network, kernel."""
+
+import pytest
+
+from repro.vos.clock import DeterministicRng, VirtualClock
+from repro.vos.filesystem import VirtualFS, parent_dir
+from repro.vos.kernel import Kernel, ProgramExit
+from repro.vos.network import Network
+from repro.vos.resources import ResourceTaintMap
+from repro.vos.world import World
+
+
+# -- filesystem ---------------------------------------------------------------
+
+
+def test_parent_dir():
+    assert parent_dir("/a/b/c") == "/a/b"
+    assert parent_dir("/a") == "/"
+    assert parent_dir("/") == "/"
+
+
+def test_add_file_creates_parents():
+    fs = VirtualFS()
+    fs.add_file("/etc/app/config", "x=1")
+    assert fs.is_dir("/etc")
+    assert fs.is_dir("/etc/app")
+    assert fs.is_file("/etc/app/config")
+
+
+def test_listdir():
+    fs = VirtualFS()
+    fs.add_file("/d/a", "1")
+    fs.add_file("/d/b", "2")
+    fs.add_file("/d/sub/c", "3")
+    assert fs.listdir("/d") == ["a", "b", "sub"]
+    assert fs.listdir("/nope") is None
+
+
+def test_mkdir_requires_parent():
+    fs = VirtualFS()
+    assert not fs.mkdir("/a/b")
+    assert fs.mkdir("/a")
+    assert fs.mkdir("/a/b")
+    assert not fs.mkdir("/a")  # already exists
+
+
+def test_unlink_file_and_empty_dir():
+    fs = VirtualFS()
+    fs.add_file("/d/f", "x")
+    assert fs.unlink("/d/f")
+    assert not fs.is_file("/d/f")
+    assert fs.unlink("/d")
+    assert not fs.unlink("/nope")
+
+
+def test_unlink_nonempty_dir_fails():
+    fs = VirtualFS()
+    fs.add_file("/d/f", "x")
+    assert not fs.unlink("/d")
+
+
+def test_rename():
+    fs = VirtualFS()
+    fs.add_file("/a", "data")
+    assert fs.rename("/a", "/b")
+    assert fs.file("/b").content == "data"
+    assert not fs.is_file("/a")
+    assert not fs.rename("/missing", "/c")
+
+
+def test_clone_is_deep():
+    fs = VirtualFS()
+    fs.add_file("/a", "original")
+    copy = fs.clone()
+    copy.file("/a").content = "changed"
+    assert fs.file("/a").content == "original"
+
+
+# -- network --------------------------------------------------------------------
+
+
+def test_connect_to_registered_endpoint():
+    net = Network()
+    net.register("example.com", 80, lambda req: f"echo:{req}")
+    conn = net.connect("example.com", 80)
+    assert conn is not None
+    conn.send("hello")
+    assert conn.recv(100) == "echo:hello"
+
+
+def test_connect_unknown_address_fails():
+    assert Network().connect("nowhere", 1) is None
+
+
+def test_recv_is_incremental():
+    net = Network()
+    net.register("h", 1, lambda req: "abcdef")
+    conn = net.connect("h", 1)
+    conn.send("x")
+    assert conn.recv(3) == "abc"
+    assert conn.recv(3) == "def"
+    assert conn.recv(3) == ""
+
+
+def test_network_clone_preserves_connections():
+    net = Network()
+    net.register("h", 1, lambda req: "resp")
+    conn = net.connect("h", 1)
+    conn.send("a")
+    clone = net.clone()
+    assert clone.connections[0].sent == ["a"]
+    clone.connections[0].send("b")
+    assert conn.sent == ["a"]
+
+
+# -- clock / rng ------------------------------------------------------------------
+
+
+def test_clock_monotonic():
+    clock = VirtualClock()
+    assert clock.read() < clock.read()
+
+
+def test_rng_deterministic():
+    a = DeterministicRng(5)
+    b = DeterministicRng(5)
+    assert [a.next_int(100) for _ in range(5)] == [b.next_int(100) for _ in range(5)]
+
+
+def test_rng_seeds_differ():
+    a = DeterministicRng(5)
+    b = DeterministicRng(6)
+    assert [a.next_int(1000) for _ in range(5)] != [b.next_int(1000) for _ in range(5)]
+
+
+# -- kernel -------------------------------------------------------------------------
+
+
+def make_kernel():
+    world = World(seed=1)
+    world.fs.add_file("/data/input.txt", "hello\nworld\n")
+    world.stdin = "stdin-content"
+    world.env["HOME"] = "/home/user"
+    world.network.register("srv", 9, lambda req: f"ok:{req}")
+    return Kernel(world)
+
+
+def test_open_read_close():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    assert fd >= 3
+    assert kernel.execute("read", (fd, 5)) == "hello"
+    assert kernel.execute("read", (fd, 100)) == "\nworld\n"
+    assert kernel.execute("read", (fd, 10)) == ""
+    assert kernel.execute("close", (fd,)) == 0
+    assert kernel.execute("close", (fd,)) == -1
+
+
+def test_open_missing_file_fails():
+    kernel = make_kernel()
+    assert kernel.execute("open", ("/missing", "r")) == -1
+
+
+def test_open_write_creates_and_truncates():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/out.txt", "w"))
+    kernel.execute("write", (fd, "abc"))
+    kernel.execute("close", (fd,))
+    fd2 = kernel.execute("open", ("/data/out.txt", "w"))
+    kernel.execute("write", (fd2, "z"))
+    assert kernel.world.fs.file("/data/out.txt").content == "z"
+
+
+def test_append_mode():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "a"))
+    kernel.execute("write", (fd, "!"))
+    assert kernel.world.fs.file("/data/input.txt").content == "hello\nworld\n!"
+
+
+def test_read_line():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    assert kernel.execute("read_line", (fd,)) == "hello\n"
+    assert kernel.execute("read_line", (fd,)) == "world\n"
+    assert kernel.execute("read_line", (fd,)) == ""
+
+
+def test_stdin_read():
+    kernel = make_kernel()
+    assert kernel.execute("read", (0, 5)) == "stdin"
+    assert kernel.execute("read", (0, 100)) == "-content"
+
+
+def test_write_to_stdout_logged():
+    kernel = make_kernel()
+    assert kernel.execute("write", (1, "out")) == 3
+    assert kernel.stdout == ["out"]
+    assert kernel.output_log[-1][0] == "write"
+
+
+def test_seek():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    kernel.execute("seek", (fd, 6))
+    assert kernel.execute("read", (fd, 5)) == "world"
+
+
+def test_stat():
+    kernel = make_kernel()
+    size, mtime = kernel.execute("stat", ("/data/input.txt",))
+    assert size == len("hello\nworld\n")
+    assert kernel.execute("stat", ("/missing",)) is None
+
+
+def test_socket_connect_send_recv():
+    kernel = make_kernel()
+    fd = kernel.execute("socket", ())
+    assert kernel.execute("connect", (fd, "srv", 9)) == 0
+    assert kernel.execute("send", (fd, "ping")) == 4
+    assert kernel.execute("recv", (fd, 10)) == "ok:ping"
+
+
+def test_connect_unknown_host_fails():
+    kernel = make_kernel()
+    fd = kernel.execute("socket", ())
+    assert kernel.execute("connect", (fd, "nope", 1)) == -1
+
+
+def test_time_and_rand_nondeterministic_sources():
+    kernel = make_kernel()
+    t1 = kernel.execute("time", ())
+    t2 = kernel.execute("time", ())
+    assert t2 > t1
+    r1 = kernel.execute("rand", ())
+    assert isinstance(r1, int)
+
+
+def test_getenv():
+    kernel = make_kernel()
+    assert kernel.execute("getenv", ("HOME",)) == "/home/user"
+    assert kernel.execute("getenv", ("NOPE",)) is None
+
+
+def test_exit_raises():
+    kernel = make_kernel()
+    with pytest.raises(ProgramExit) as info:
+        kernel.execute("exit", (3,))
+    assert info.value.code == 3
+
+
+def test_malloc_records_allocation_sink():
+    kernel = make_kernel()
+    addr = kernel.execute("malloc", (100,))
+    assert addr >= kernel.world.heap_base
+    assert kernel.allocations == [(100, addr)]
+    assert kernel.execute("free", (addr,)) == 0
+
+
+def test_sink_observe_and_source_read():
+    kernel = make_kernel()
+    kernel.world.sources["secret"] = "s3cr3t"
+    assert kernel.execute("source_read", ("secret",)) == "s3cr3t"
+    kernel.execute("sink_observe", ("retaddr", 1234))
+    assert kernel.observations == [("retaddr", 1234)]
+
+
+def test_resource_resolution():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    assert kernel.resource_of("open", ("/data/input.txt", "r")) == "file:/data/input.txt"
+    assert kernel.resource_of("read", (fd, 5)) == "file:/data/input.txt"
+    assert kernel.resource_of("read", (0, 5)) == "stdin"
+    assert kernel.resource_of("write", (1, "x")) == "stdout"
+    sock = kernel.execute("socket", ())
+    kernel.execute("connect", (sock, "srv", 9))
+    assert kernel.resource_of("send", (sock, "x")) == "conn:srv:9"
+
+
+def test_world_clone_independent():
+    world = World(seed=1)
+    world.fs.add_file("/f", "a")
+    clone = world.clone()
+    clone.fs.file("/f").content = "b"
+    assert world.fs.file("/f").content == "a"
+    # Continuing clone keeps deterministic streams in lockstep.
+    assert world.clock.read() == clone.clock.read()
+
+
+def test_world_reseed_changes_nondeterminism():
+    world = World(seed=1)
+    reseeded = world.clone(new_seed=2)
+    assert world.rng.next_int(10**9) != reseeded.rng.next_int(10**9)
+
+
+def test_taint_map_covers_parent_directories():
+    taints = ResourceTaintMap()
+    taints.taint("file:/d", "created only in master")
+    assert taints.is_tainted("file:/d/inner/file.txt")
+    assert not taints.is_tainted("file:/other")
+    assert not taints.is_tainted(None)
