@@ -1,0 +1,47 @@
+"""Benchmark: the chaos sweep — robustness under injected faults.
+
+ISSUE acceptance shape: 50 fault seeds x all 28 workloads (x up to 3
+variants each) complete with zero uncaught exceptions and zero hangs,
+and the robustness invariants hold: a leak-free run stays leak-free,
+an unmutated run stays fully coupled (modulo the two racy-sink
+workloads whose outputs vary even without faults), and every injected
+fault shows up in the degradation report.
+"""
+
+import pytest
+
+from repro.eval.robustness import chaos_ok, render_chaos, run_chaos
+from repro.workloads import ALL_WORKLOADS
+
+SEEDS = 50
+RATE = 0.1
+
+
+@pytest.mark.paper
+def test_robustness_chaos_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_chaos(seeds=SEEDS, rate=RATE), rounds=1, iterations=1
+    )
+    print()
+    print(render_chaos(rows, SEEDS, RATE))
+
+    assert len(rows) == len(ALL_WORKLOADS)
+
+    # Zero invariant violations anywhere in the sweep — this covers
+    # completion (no uncaught exceptions, no hangs), coupling of
+    # unmutated runs, leak detection surviving faults, and no-leak
+    # runs staying silent.
+    violations = [v for row in rows for v in row.violations]
+    assert chaos_ok(rows), violations
+
+    # The sweep must actually exercise the fault layer: every workload
+    # sees injected faults, and retries/short-read completions occur.
+    assert all(row.faults_injected > 0 for row in rows)
+    assert sum(row.retries for row in rows) > 0
+    assert sum(row.short_reads for row in rows) > 0
+    # Threaded workloads exercise the lock-delay fault class.
+    assert sum(row.lock_delays for row in rows if row.threads > 1) > 0
+
+    # Default config masks every fault: burst_max < max_retries, so no
+    # run should degrade.
+    assert sum(row.degraded_runs for row in rows) == 0

@@ -5,9 +5,12 @@ Usage::
     python -m repro leak program.mc --secret-file /etc/secret [options]
     python -m repro run  program.mc [--stdin TEXT] [--file PATH=CONTENT ...]
     python -m repro eval [--table4-runs N]
+    python -m repro chaos [--seeds N] [--fault-rate R]
 
 ``leak`` dual-executes a MiniC program with LDX and reports causality;
-``run`` executes it natively; ``eval`` regenerates the paper's tables.
+``run`` executes it natively; ``eval`` regenerates the paper's tables;
+``chaos`` sweeps fault-injection seeds across the workloads and checks
+the robustness invariants.
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ import sys
 from typing import List
 
 from repro.baselines.native import run_native
-from repro.core import LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.core import FaultConfig, LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.errors import ReproError
 from repro.instrument import instrument_module
 from repro.ir import compile_source
 from repro.vos.world import World
@@ -58,6 +62,37 @@ def _add_world_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="world seed")
 
 
+def _rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid rate {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"fault rate must be in [0, 1], got {text}")
+    return value
+
+
+def _add_fault_options(parser: argparse.ArgumentParser, default_rate: float) -> None:
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault-injection plan",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=_rate,
+        default=default_rate,
+        help="transient-fault probability per eligible syscall (0 disables)",
+    )
+    parser.add_argument(
+        "--watchdog-deadline",
+        type=float,
+        default=25_000.0,
+        help="virtual-time budget before the watchdog abandons a stalled thread",
+    )
+
+
 def _cmd_run(args) -> int:
     source = open(args.program).read()
     result = run_native(compile_source(source), _build_world(args))
@@ -82,8 +117,19 @@ def _cmd_leak(args) -> int:
     sinks = (
         SinkSpec.network_out() if args.sinks == "network" else SinkSpec.file_out()
     )
-    result = run_dual(instrumented, _build_world(args), LdxConfig(sources, sinks))
+    faults = None
+    if args.fault_rate > 0.0:
+        faults = FaultConfig(seed=args.fault_seed, rate=args.fault_rate)
+    result = run_dual(
+        instrumented,
+        _build_world(args),
+        LdxConfig(sources, sinks),
+        faults=faults,
+        watchdog_deadline=args.watchdog_deadline,
+    )
     print(result.report.summary())
+    if faults is not None or result.degradation.degraded:
+        print(result.degradation.summary())
     for detection in result.report.detections:
         print(
             f"  {detection.kind}: {detection.syscall} at {detection.where} "
@@ -97,6 +143,19 @@ def _cmd_eval(args) -> int:
 
     print(run_all(table4_runs=args.table4_runs))
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.eval.robustness import chaos_ok, render_chaos, run_chaos
+
+    rows = run_chaos(
+        names=args.workload or None,
+        seeds=args.seeds,
+        rate=args.fault_rate,
+        watchdog_deadline=args.watchdog_deadline,
+    )
+    print(render_chaos(rows, args.seeds, args.fault_rate))
+    return 0 if chaos_ok(rows) else 1
 
 
 def main(argv: List[str] = None) -> int:
@@ -121,14 +180,35 @@ def main(argv: List[str] = None) -> int:
     leak_parser.add_argument(
         "--sinks", choices=("network", "file"), default="network"
     )
+    _add_fault_options(leak_parser, default_rate=0.0)
     leak_parser.set_defaults(handler=_cmd_leak)
 
     eval_parser = commands.add_parser("eval", help="regenerate the paper's tables")
     eval_parser.add_argument("--table4-runs", type=int, default=100)
     eval_parser.set_defaults(handler=_cmd_eval)
 
+    chaos_parser = commands.add_parser(
+        "chaos", help="sweep fault-injection seeds and check robustness invariants"
+    )
+    chaos_parser.add_argument(
+        "--seeds", type=int, default=50, help="number of fault seeds to sweep"
+    )
+    chaos_parser.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="restrict the sweep to a workload (repeatable; default: all)",
+    )
+    _add_fault_options(chaos_parser, default_rate=0.1)
+    chaos_parser.set_defaults(handler=_cmd_chaos)
+
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as failure:
+        # One-line diagnosis, not a traceback: engine errors are results.
+        print(f"repro: {type(failure).__name__}: {failure}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,10 +30,13 @@ from repro.core.report import (
     SINK_MISSING_IN_SLAVE,
     SINK_ONLY_IN_SLAVE,
     CausalityReport,
+    DegradationReport,
     Detection,
     DualResult,
     FsDivergence,
 )
+from repro.core.supervisor import EngineWatchdog
+from repro.vos.faults import FaultConfig
 
 __all__ = [
     "OutcomeQueue",
@@ -52,8 +55,11 @@ __all__ = [
     "off_by_one",
     "zeroing",
     "CausalityReport",
+    "DegradationReport",
     "Detection",
     "DualResult",
+    "EngineWatchdog",
+    "FaultConfig",
     "SINK_ARGS_DIFFER",
     "SINK_DIFFERENT_SYSCALL",
     "SINK_MISSING_IN_SLAVE",

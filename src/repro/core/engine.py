@@ -38,15 +38,18 @@ from repro.core.report import (
     SINK_MISSING_IN_SLAVE,
     SINK_ONLY_IN_SLAVE,
     CausalityReport,
+    DegradationReport,
     Detection,
     DualResult,
 )
-from repro.errors import DualExecutionError, InterpreterError
+from repro.core.supervisor import EngineWatchdog
+from repro.errors import EngineStallError, InterpreterError
 from repro.instrument.pipeline import InstrumentedModule
 from repro.interp.costs import CostModel
 from repro.interp.events import BarrierEvent, SyscallEvent
 from repro.interp.machine import Machine
 from repro.interp.resolve import resolve_syscall_locally
+from repro.vos.faults import FaultConfig
 from repro.vos.kernel import Kernel, ProgramExit
 from repro.vos.resources import LockTaintMap, ResourceTaintMap
 from repro.vos.syscalls import ALWAYS_INDEPENDENT, NONDET_INPUT, THREAD_SYSCALLS
@@ -84,19 +87,27 @@ class LdxEngine:
         slave_seed: int = 0,
         slave_world: Optional[World] = None,
         max_instructions: int = 50_000_000,
+        faults: Optional[FaultConfig] = None,
+        watchdog_deadline: float = 25_000.0,
     ) -> None:
         module = instrumented.module
         plan = instrumented.plan
         self.config = config
         self.report = CausalityReport()
+        self.degradation = DegradationReport()
         self.taints = ResourceTaintMap()
         self.locks = LockTaintMap()
+        self._watchdog = EngineWatchdog(deadline=watchdog_deadline)
+        # Each side draws an independent deterministic fault schedule.
+        self._fault_config = faults
+        master_faults = faults.plan_for(MASTER) if faults is not None else None
+        slave_faults = faults.plan_for(SLAVE) if faults is not None else None
         slave_world = slave_world if slave_world is not None else world.clone()
         self._master = _Side(
             MASTER,
             Machine(
                 module,
-                Kernel(world),
+                Kernel(world, faults=master_faults),
                 plan=plan,
                 costs=costs,
                 name="master",
@@ -108,7 +119,7 @@ class LdxEngine:
             SLAVE,
             Machine(
                 module,
-                Kernel(slave_world),
+                Kernel(slave_world, faults=slave_faults),
                 plan=plan,
                 costs=costs,
                 name="slave",
@@ -136,24 +147,58 @@ class LdxEngine:
         return self._slave.machine
 
     def run(self) -> DualResult:
-        """Drive both executions to completion; return the dual result."""
-        guard = 0
+        """Drive both executions to completion; return the dual result.
+
+        The supervisor guarantee: this never raises and never hangs.
+        Any error escaping the event loop — an engine bug, a wedged
+        fault schedule, a corrupted queue — is converted into a
+        diagnosed, degraded :class:`DualResult` instead of a traceback.
+        """
+        try:
+            self._drive()
+        except Exception as failure:  # the supervisor's safety net
+            self.degradation.engine_failures.append(
+                f"{type(failure).__name__}: {failure}"
+            )
+            for side in (self._master, self._slave):
+                side.waiting.clear()
+                if not side.machine.finished:
+                    side.machine.terminate(-1)
+        self._collect_degradation()
+        self._finalize()
+        return DualResult(
+            self.master, self.slave, self.report, degradation=self.degradation
+        )
+
+    def _drive(self) -> None:
+        """The discrete-event loop, watched for stalls."""
+        watchdog = self._watchdog
         while True:
             self._pump(self._master)
             self._pump(self._slave)
             if self.master.finished and self.slave.finished:
-                break
+                return
+            watchdog.note_progress(self._progress_marker())
             if self._resolve_pass():
                 continue
             if not self._break_stall():
-                raise DualExecutionError(
+                raise EngineStallError(
                     "dual execution stalled with no resolvable event"
                 )
-            guard += 1
-            if guard > 100_000:  # pragma: no cover - safety net
-                raise DualExecutionError("stall-breaking did not converge")
-        self._finalize()
-        return DualResult(self.master, self.slave, self.report)
+            if watchdog.exhausted():  # pragma: no cover - safety net
+                raise EngineStallError("stall-breaking did not converge")
+
+    def _progress_marker(self) -> tuple:
+        """Anything that advances when the engine is genuinely moving."""
+        master, slave = self.master.stats, self.slave.stats
+        return (
+            master.instructions + master.edge_actions + master.syscalls
+            + master.barriers,
+            slave.instructions + slave.edge_actions + slave.syscalls
+            + slave.barriers,
+            self.master.finished,
+            self.slave.finished,
+        )
 
     # -- event intake -----------------------------------------------------------
 
@@ -205,7 +250,7 @@ class LdxEngine:
         resource = self.master.kernel.resource_of(event.name, event.args)
         signature = self.master.kernel.signature_of(event.name, event.args)
         try:
-            result = self.master.kernel.execute(event.name, event.args)
+            result = self.master.execute_syscall(event)
         except ProgramExit as program_exit:
             self.master.terminate(program_exit.code)
             return
@@ -424,7 +469,7 @@ class LdxEngine:
             resolve_syscall_locally(self.master, event)
             return
         try:
-            result = self.master.kernel.execute(event.name, event.args)
+            result = self.master.execute_syscall(event)
         except ProgramExit as program_exit:
             self.master.terminate(program_exit.code)
             return
@@ -594,7 +639,7 @@ class LdxEngine:
             self.slave.wait_until(tid, master_record.published_at)
         resource = self.slave.kernel.resource_of(event.name, event.args)
         try:
-            result = self.slave.kernel.execute(event.name, event.args)
+            result = self.slave.execute_syscall(event)
         except ProgramExit as program_exit:
             self.slave.terminate(program_exit.code)
             return
@@ -637,6 +682,12 @@ class LdxEngine:
         _counter, _order, side, tid = entries[0]
         event = side.waiting[tid]
         self.report.stall_breaks += 1
+        if self._watchdog.record_stall_break(side.role, tid):
+            # Decoupled resolution keeps stalling this thread with no
+            # global progress: the watchdog's deadline has elapsed in
+            # virtual time — abandon it and move on.
+            self._abandon_thread(side, tid, "watchdog deadline exceeded")
+            return True
         if isinstance(event, BarrierEvent):
             del side.waiting[tid]
             side.machine.complete_barrier(event)
@@ -652,6 +703,47 @@ class LdxEngine:
             return True
         self._resolve_master_sink_locally(event)
         return True
+
+    def _abandon_thread(self, side: _Side, tid: int, reason: str) -> None:
+        """Rung 3 of the degradation ladder: give up on one thread.
+
+        Its blocked resource is tainted (it can no longer be trusted
+        for coupling), its clock is charged the watchdog deadline (the
+        virtual time the watchdog waited before declaring it dead), and
+        the machine releases its mutexes so peers make progress.
+        """
+        machine = side.machine
+        event = side.waiting.pop(tid, None)
+        if isinstance(event, SyscallEvent):
+            self.taints.taint(
+                machine.kernel.resource_of(event.name, event.args),
+                f"thread abandoned ({side.role} t{tid})",
+            )
+        machine.wait_until(tid, machine.threads[tid].clock + self._watchdog.deadline)
+        machine.abandon_thread(tid)
+        self.degradation.abandoned_threads.append((side.role, tid, reason))
+
+    def _collect_degradation(self) -> None:
+        """Fold both sides' fault-plan records into the degradation
+        report (run once, before finalization)."""
+        degradation = self.degradation
+        for side in (self._master, self._slave):
+            plan = side.machine.kernel.faults
+            if plan is None:
+                continue
+            degradation.faults_injected.extend(
+                (side.role, syscall, errno)
+                for syscall, errno, _failures in plan.injections
+            )
+            degradation.retries += plan.retries
+            degradation.short_reads += plan.short_reads
+            degradation.lock_delays += plan.lock_delays
+            degradation.exhausted_syscalls.extend(
+                (side.role, syscall) for syscall in plan.exhausted
+            )
+        degradation.watchdog_fires = self._watchdog.fires
+        if degradation.degraded:
+            degradation.decoupled_resources = sorted(self.taints.tainted_resources)
 
     def _finalize(self) -> None:
         """End-of-run accounting: leftover master-only records are

@@ -135,7 +135,11 @@ def global_off_by_one(value):
     if isinstance(value, int):
         return value + 1
     if isinstance(value, str):
-        return "".join(_shift_char(ch, 1) for ch in value)
+        # Guard on isalnum: characters like '🄰' satisfy isupper() but
+        # are not data characters and must pass through unshifted.
+        return "".join(
+            _shift_char(ch, 1) if ch.isalnum() else ch for ch in value
+        )
     if isinstance(value, list):
         return [global_off_by_one(item) for item in value]
     return value

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.errors import DegradedResult
+
 # Detection kinds, mirroring the cases in Algorithm 2's discussion:
 SINK_MISSING_IN_SLAVE = "sink-missing-in-slave"  # case 1
 SINK_DIFFERENT_SYSCALL = "sink-different-syscall"  # case 2
@@ -87,6 +89,76 @@ class CausalityReport:
         )
 
 
+class DegradationReport:
+    """Self-healing bookkeeping for one dual execution.
+
+    Present on every :class:`DualResult`; empty for a clean run.  It
+    records what the fault-injection layer did (injected faults, retry
+    work, short-read completions, lock delays), what the watchdog did
+    (fires, abandoned threads), and anything the supervisor had to
+    swallow — so a caller can always tell which causality verdicts
+    remain trustworthy.
+    """
+
+    def __init__(self) -> None:
+        # (role, syscall, errno) per injected fault.
+        self.faults_injected: List[Tuple[str, str, str]] = []
+        self.retries = 0
+        self.short_reads = 0
+        self.lock_delays = 0
+        # (role, syscall) for faults that outlasted the retry budget.
+        self.exhausted_syscalls: List[Tuple[str, str]] = []
+        self.watchdog_fires = 0
+        # (role, tid, reason) per thread the watchdog gave up on.
+        self.abandoned_threads: List[Tuple[str, int, str]] = []
+        # Errors the supervisor converted into a degraded result.
+        self.engine_failures: List[str] = []
+        # Resources no longer coupled once degradation set in.
+        self.decoupled_resources: List[str] = []
+
+    @property
+    def faults_masked(self) -> int:
+        """Injected faults fully hidden by retry/continuation."""
+        return len(self.faults_injected) - len(self.exhausted_syscalls)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fault escaped the self-healing layer."""
+        return bool(
+            self.exhausted_syscalls
+            or self.abandoned_threads
+            or self.engine_failures
+        )
+
+    @property
+    def verdict_confidence(self) -> str:
+        """Which causality verdicts remain trustworthy.
+
+        ``full``     — every verdict stands (all faults masked);
+        ``degraded`` — verdicts touching decoupled resources weakened
+                       (some syscalls surfaced errno failures);
+        ``partial``  — one side did not complete normally; only the
+                       detections already recorded are meaningful.
+        """
+        if self.engine_failures or self.abandoned_threads:
+            return "partial"
+        if self.exhausted_syscalls:
+            return "degraded"
+        return "full"
+
+    def summary(self) -> str:
+        return (
+            f"confidence={self.verdict_confidence}: "
+            f"{len(self.faults_injected)} faults injected "
+            f"({self.faults_masked} masked, {self.retries} retries, "
+            f"{self.short_reads} short reads, {self.lock_delays} lock delays), "
+            f"{len(self.exhausted_syscalls)} exhausted, "
+            f"{self.watchdog_fires} watchdog fires, "
+            f"{len(self.abandoned_threads)} threads abandoned, "
+            f"{len(self.engine_failures)} engine failures"
+        )
+
+
 class FsDivergence:
     """A filesystem-state difference found by offline differencing."""
 
@@ -105,10 +177,23 @@ class FsDivergence:
 class DualResult:
     """Outcome of a complete LDX dual execution."""
 
-    def __init__(self, master, slave, report: CausalityReport) -> None:
+    def __init__(
+        self,
+        master,
+        slave,
+        report: CausalityReport,
+        degradation: Optional[DegradationReport] = None,
+    ) -> None:
         self.master = master  # Machine
         self.slave = slave  # Machine
         self.report = report
+        self.degradation = degradation if degradation is not None else DegradationReport()
+
+    def raise_if_degraded(self) -> "DualResult":
+        """Guard for callers that require full-confidence verdicts."""
+        if self.degradation.degraded:
+            raise DegradedResult(self.degradation.summary())
+        return self
 
     @property
     def dual_time(self) -> float:

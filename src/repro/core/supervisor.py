@@ -1,0 +1,79 @@
+"""Engine supervision: the stall watchdog and its escalation policy.
+
+The engine's discrete-event loop can stop making progress for reasons
+the paper's happy path never sees: divergent lock orders that resist
+stall-breaking, a fault schedule that wedges one side, or an outcome
+queue corrupted by a crashed execution.  The watchdog observes forward
+progress (instructions, edge actions, syscalls, barriers across both
+machines) and drives a three-rung degradation ladder:
+
+1. **decoupled resolution** — the existing ``_break_stall`` behaviour:
+   resolve the earliest blocked event independently, tainting what it
+   touches;
+2. **abandonment** — a thread that keeps stalling with no global
+   progress is declared dead after the configured virtual-time
+   deadline: its clock is charged the deadline, its resources are
+   tainted, its mutexes released, and its joiners resume;
+3. **termination** — if the loop still cannot converge the engine
+   raises :class:`EngineStallError`, which the supervisor in
+   ``LdxEngine.run`` converts into a diagnosed, degraded
+   :class:`DualResult` instead of a traceback.
+
+All of this is bounded in *virtual* time, so a dual run can never hang:
+every blocked thread is resolved or abandoned within ``deadline``
+virtual units of the stall being detected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Consecutive stall breaks of the same thread, with zero global
+# progress in between, before the watchdog abandons it.
+ESCALATION_LIMIT = 3
+
+# Hard bound on total stall-break rounds per run — a convergence
+# backstop far above anything a real workload needs.
+MAX_STALL_ROUNDS = 100_000
+
+
+class EngineWatchdog:
+    """Virtual-time stall detector for one dual execution."""
+
+    def __init__(
+        self,
+        deadline: float = 25_000.0,
+        escalation_limit: int = ESCALATION_LIMIT,
+        max_rounds: int = MAX_STALL_ROUNDS,
+    ) -> None:
+        self.deadline = deadline
+        self.escalation_limit = escalation_limit
+        self.max_rounds = max_rounds
+        self.fires = 0
+        self._rounds = 0
+        self._last_progress: object = None
+        # (role, tid) -> consecutive stall breaks without progress.
+        self._stall_counts: Dict[Tuple[str, int], int] = {}
+
+    def note_progress(self, marker: object) -> None:
+        """Feed the current progress marker; any advance resets the
+        per-thread escalation counters."""
+        if marker != self._last_progress:
+            self._last_progress = marker
+            self._stall_counts.clear()
+
+    def record_stall_break(self, role: str, tid: int) -> bool:
+        """Count one stall break for a thread; True when the ladder has
+        reached abandonment for it."""
+        self._rounds += 1
+        key = (role, tid)
+        self._stall_counts[key] = self._stall_counts.get(key, 0) + 1
+        if self._stall_counts[key] > self.escalation_limit:
+            self.fires += 1
+            self._stall_counts[key] = 0
+            return True
+        return False
+
+    def exhausted(self) -> bool:
+        """True when stall breaking has provably failed to converge."""
+        return self._rounds > self.max_rounds

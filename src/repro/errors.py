@@ -8,6 +8,8 @@ instruction index when available.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -55,7 +57,7 @@ class ParseError(ReproError):
 class SemanticError(ReproError):
     """Raised by static checks: unknown names, arity mismatches, bad breaks."""
 
-    def __init__(self, message: str, location: SourceLocation = None) -> None:
+    def __init__(self, message: str, location: Optional[SourceLocation] = None) -> None:
         where = f" at {location}" if location is not None else ""
         super().__init__(f"semantic error{where}: {message}")
         self.location = location
@@ -68,7 +70,9 @@ class LoweringError(ReproError):
 class InterpreterError(ReproError):
     """Raised for runtime failures inside the MiniC interpreter."""
 
-    def __init__(self, message: str, function: str = None, index: int = None) -> None:
+    def __init__(
+        self, message: str, function: Optional[str] = None, index: Optional[int] = None
+    ) -> None:
         where = ""
         if function is not None:
             where = f" in {function}"
@@ -87,12 +91,36 @@ class SyscallError(ReproError):
         self.errno = errno
 
 
+class FaultInjected(SyscallError):
+    """Raised by the fault-injection layer for a transient syscall failure.
+
+    Carries the :class:`repro.vos.faults.Fault` decision so the retry
+    policy knows the burst length and the C-convention fallback value
+    should its retry budget run out.
+    """
+
+    def __init__(self, fault) -> None:
+        super().__init__(fault.errno, f"injected transient fault on {fault.syscall}")
+        self.fault = fault
+
+
 class InstrumentationError(ReproError):
     """Raised when counter instrumentation cannot process a CFG."""
 
 
 class DualExecutionError(ReproError):
     """Raised by the LDX engine for unrecoverable coupling failures."""
+
+
+class EngineStallError(DualExecutionError):
+    """Raised inside the engine when dual execution stops making
+    progress; the supervisor converts it into a degraded result."""
+
+
+class DegradedResult(ReproError):
+    """Raised when a caller demands a full-confidence verdict but the
+    dual run degraded (exhausted retries, abandoned threads, or an
+    engine failure recovered by the supervisor)."""
 
 
 class WorkloadError(ReproError):

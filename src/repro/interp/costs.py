@@ -38,6 +38,7 @@ class CostModel:
         syscall_shared: float = 6.0,
         barrier: float = 2.0,
         thread_op: float = 40.0,
+        retry_backoff: float = 8.0,
         taint_per_instruction: float = 5.0,
         taintgrind_per_instruction: float = 24.0,
         dualex_per_instruction: float = 900.0,
@@ -48,6 +49,11 @@ class CostModel:
         self.syscall_shared = syscall_shared
         self.barrier = barrier
         self.thread_op = thread_op
+        # Base wait after a transient syscall fault; attempt i waits
+        # retry_backoff * 2**i (exponential virtual-time backoff).
+        # Charged only when a fault plan is active, so Figure-6 numbers
+        # are untouched by the default (fault-free) configuration.
+        self.retry_backoff = retry_backoff
         self.taint_per_instruction = taint_per_instruction
         self.taintgrind_per_instruction = taintgrind_per_instruction
         self.dualex_per_instruction = dualex_per_instruction

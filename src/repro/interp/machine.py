@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import InterpreterError
+from repro.errors import FaultInjected, InterpreterError
 from repro.instrument.plan import (
     CounterAdd,
     FunctionPlan,
@@ -270,6 +270,22 @@ class Machine:
         self.exit_code = code
         self.finished = True
 
+    def abandon_thread(self, tid: int) -> None:
+        """Give up on one thread (the watchdog's last escalation rung):
+        it terminates with a nil result, its held mutexes are released
+        so peers can proceed, and joiners resume normally."""
+        thread = self.threads[tid]
+        thread.pending_event = None
+        thread.pending_transition = None
+        thread.waiting_mutex = None
+        thread.status = DONE
+        for mutex_id, owner in list(self._mutex_owner.items()):
+            if owner == tid:
+                self.mutex_unlock(thread, mutex_id)
+        for queue in self._mutex_queue.values():
+            if tid in queue:
+                queue.remove(tid)
+
     def charge(self, thread_id: int, amount: float) -> None:
         """Add cost to a thread's clock (drivers charge syscall costs)."""
         self.threads[thread_id].clock += amount
@@ -293,6 +309,70 @@ class Machine:
         thread = self.threads[thread_id]
         if time > thread.clock:
             thread.clock = time
+
+    # -- fault-tolerant syscall execution ---------------------------------------
+
+    def execute_syscall(self, event):
+        """Run the event's syscall on this machine's kernel.
+
+        With a fault plan attached, transient injected faults are
+        retried with bounded exponential virtual-time backoff (each
+        failed attempt costs a syscall entry plus the backoff wait,
+        charged through the cost model so overhead accounting stays
+        honest), and injected short reads are completed by continuation
+        reads.  Faults outlasting the retry budget surface as the
+        syscall's C-convention failure value — the program, and then
+        the engine's taint/decoupling ladder, take it from there.
+        Without a plan this is exactly ``kernel.execute``.
+        """
+        kernel = self.kernel
+        plan = kernel.faults
+        if plan is None:
+            return kernel.execute(event.name, event.args)
+        try:
+            result = kernel.execute(event.name, event.args)
+        except FaultInjected as failure:
+            return self._retry_transient(event, failure.fault)
+        fault = plan.last_injection
+        if fault is not None and fault.kind == "short-read":
+            return self._finish_short_read(event, result)
+        return result
+
+    def _retry_transient(self, event, fault):
+        """Bounded retry-with-backoff for a transient fault burst."""
+        plan = self.kernel.faults
+        tid = event.thread_id
+        budget = plan.config.max_retries
+        attempts = min(fault.failures, budget)
+        for attempt in range(attempts):
+            self.charge(
+                tid, self.syscall_cost() + self.costs.retry_backoff * (2 ** attempt)
+            )
+        if fault.failures > budget:
+            plan.note_exhausted(event.name)
+            return fault.fallback
+        plan.note_retries(attempts)
+        return self.kernel.execute(event.name, event.args, inject=False)
+
+    def _finish_short_read(self, event, first):
+        """Continuation reads until the original request is satisfied
+        (or true EOF) — the robust-read loop that makes an injected
+        short read indistinguishable from an uninterrupted one."""
+        requested = event.args[1] if len(event.args) > 1 else None
+        if not isinstance(first, str) or not isinstance(requested, int):
+            return first
+        parts = [first]
+        received = len(first)
+        while received < requested:
+            self.charge(event.thread_id, self.costs.retry_backoff)
+            more = self.kernel.execute(
+                event.name, (event.args[0], requested - received), inject=False
+            )
+            if not isinstance(more, str) or not more:
+                break
+            parts.append(more)
+            received += len(more)
+        return "".join(parts)
 
     # -- thread services (called by drivers to resolve thread syscalls) -------------
 
@@ -335,6 +415,18 @@ class Machine:
         """Try to acquire; True on success, False when queued."""
         if mutex_id not in self._mutex_owner:
             raise InterpreterError(f"mutex_lock() of unknown mutex {mutex_id!r}")
+        plan = self.kernel.faults
+        if plan is not None:
+            fault = plan.decide("mutex_lock", (mutex_id,))
+            if fault is not None:
+                # Timed-out acquisition attempts: charge the backoff
+                # waits, then take the lock path normally — ownership
+                # stays with the scheduler, only timing is perturbed.
+                for attempt in range(fault.failures):
+                    thread.clock += (
+                        self.costs.thread_op
+                        + self.costs.retry_backoff * (2 ** attempt)
+                    )
         if self._mutex_owner[mutex_id] is None:
             self._mutex_owner[mutex_id] = thread.tid
             if self.lock_hook is not None:

@@ -24,7 +24,7 @@ def resolve_syscall_locally(machine: Machine, event: SyscallEvent) -> None:
         return
     machine.charge(event.thread_id, machine.syscall_cost())
     try:
-        value = machine.kernel.execute(event.name, event.args)
+        value = machine.execute_syscall(event)
     except ProgramExit as program_exit:
         machine.terminate(program_exit.code)
         return

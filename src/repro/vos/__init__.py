@@ -1,6 +1,7 @@
 """Virtual OS: filesystem, network, clock/PRNG, kernel and resources."""
 
 from repro.vos.clock import DeterministicRng, VirtualClock
+from repro.vos.faults import Fault, FaultConfig, FaultPlan
 from repro.vos.filesystem import VirtualFile, VirtualFS
 from repro.vos.kernel import Kernel, ProgramExit
 from repro.vos.network import Connection, Network
@@ -10,6 +11,9 @@ from repro.vos.world import World
 __all__ = [
     "DeterministicRng",
     "VirtualClock",
+    "Fault",
+    "FaultConfig",
+    "FaultPlan",
     "VirtualFile",
     "VirtualFS",
     "Kernel",

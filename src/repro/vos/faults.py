@@ -1,0 +1,216 @@
+"""Deterministic, seed-driven transient-fault injection (the chaos layer).
+
+Real dual-execution deployments must survive the operating system being
+unhelpful: interrupted reads and writes (EINTR), short reads, a full
+disk (ENOSPC), connections resetting mid-transfer, lock acquisitions
+timing out.  This module models those as a *fault plan* — a seeded
+schedule of errno-style failures wired into :meth:`Kernel.execute` —
+so the engine's self-healing machinery (bounded retry with virtual-time
+backoff, short-read continuation, the watchdog's degradation ladder)
+can be exercised deterministically and swept across seeds by the chaos
+harness (``repro.eval.robustness``).
+
+Fault classes and the syscalls they cover:
+
+* ``read``  — ``read``/``read_line``: EINTR, short reads;
+* ``write`` — ``write``: EINTR or ENOSPC;
+* ``net``   — ``send``/``recv``/``connect``: connection resets and
+  refusals, short receives;
+* ``lock``  — ``mutex_lock``: acquisition timeouts (pure virtual-time
+  delays; the scheduler still decides ownership).
+
+Every fault is *transient*: a faulted syscall fails for a bounded burst
+of consecutive attempts (``burst_max``) and then succeeds.  When the
+retry budget exceeds the burst bound (the default), every fault is
+masked by retry and the robustness invariant holds: injected faults
+change timing, never outcomes.  Configuring ``max_retries <=
+burst_max`` lets faults escape the retry layer, which exercises the
+escalation ladder (errno-convention failure -> resource taint ->
+decoupling -> degraded verdicts) instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.vos.clock import DeterministicRng
+
+# Fault kinds.
+TRANSIENT = "transient"  # the syscall fails with an errno, then succeeds
+SHORT_READ = "short-read"  # the syscall succeeds but returns partial data
+LOCK_DELAY = "lock-delay"  # the acquisition attempt times out (a delay)
+
+# Syscall name -> fault class.
+FAULT_CLASS: Dict[str, str] = {
+    "read": "read",
+    "read_line": "read",
+    "write": "write",
+    "send": "net",
+    "recv": "net",
+    "connect": "net",
+    "mutex_lock": "lock",
+}
+
+# C-convention failure value per syscall, returned when retries exhaust.
+_FALLBACK: Dict[str, object] = {
+    "read": None,
+    "read_line": None,
+    "recv": None,
+    "write": -1,
+    "send": -1,
+    "connect": -1,
+    "mutex_lock": -1,
+}
+
+
+class Fault:
+    """One injected fault decision for one syscall invocation."""
+
+    __slots__ = ("kind", "errno", "syscall", "failures", "fallback")
+
+    def __init__(
+        self, kind: str, errno: str, syscall: str, failures: int, fallback: object
+    ) -> None:
+        self.kind = kind
+        self.errno = errno
+        self.syscall = syscall
+        # Consecutive failed attempts this syscall experiences before
+        # succeeding — the bounded burst.
+        self.failures = failures
+        self.fallback = fallback
+
+    def __repr__(self) -> str:
+        return f"<Fault {self.errno} on {self.syscall} x{self.failures}>"
+
+
+class FaultConfig:
+    """Declarative description of one transient-fault schedule.
+
+    ``rate`` is the per-eligible-syscall fault probability; per-class
+    overrides go in ``class_rates`` (keys: ``read``/``write``/``net``/
+    ``lock``).  ``burst_max`` bounds consecutive failures per faulted
+    syscall; ``max_retries`` is the interpreter's per-syscall retry
+    budget.  With ``max_retries > burst_max`` (the default) every fault
+    is masked and dual-execution outcomes are provably unchanged.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.05,
+        class_rates: Optional[Dict[str, float]] = None,
+        burst_max: int = 2,
+        max_retries: int = 4,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate!r}")
+        for klass, class_rate in (class_rates or {}).items():
+            if klass not in {"read", "write", "net", "lock"}:
+                raise ValueError(f"unknown fault class {klass!r}")
+            if not 0.0 <= class_rate <= 1.0:
+                raise ValueError(f"rate for {klass!r} must be in [0, 1]")
+        if burst_max < 1:
+            raise ValueError("burst_max must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.seed = seed
+        self.rate = rate
+        self.class_rates: Dict[str, float] = dict(class_rates or {})
+        self.burst_max = burst_max
+        self.max_retries = max_retries
+
+    def rate_for(self, klass: str) -> float:
+        return self.class_rates.get(klass, self.rate)
+
+    @property
+    def masks_all_faults(self) -> bool:
+        """True when the retry budget covers any possible burst, so no
+        fault can surface at the program level."""
+        return self.max_retries >= self.burst_max
+
+    def plan_for(self, role: str) -> "FaultPlan":
+        """Build one execution's plan; each role draws an independent
+        deterministic schedule from the shared seed."""
+        return FaultPlan(self, role)
+
+
+class FaultPlan:
+    """One execution's deterministic fault schedule, plus its record of
+    what was actually injected (the degradation report's raw material)."""
+
+    def __init__(self, config: FaultConfig, role: str = "exec") -> None:
+        self.config = config
+        self.role = role
+        salt = sum((position + 1) * ord(char) for position, char in enumerate(role))
+        self._rng = DeterministicRng(config.seed * 1_000_003 + salt * 7 + 1)
+        # (syscall, errno, failures) per injected fault.
+        self.injections: List[Tuple[str, str, int]] = []
+        self.retries = 0
+        self.short_reads = 0
+        self.lock_delays = 0
+        # Syscall names whose faults outlasted the retry budget.
+        self.exhausted: List[str] = []
+        self.decisions = 0
+        # The fault injected by the most recent Kernel.execute call
+        # that did NOT raise (short reads succeed with partial data);
+        # the retry layer inspects it to run continuation reads.
+        self.last_injection: Optional[Fault] = None
+
+    # -- the decision procedure ------------------------------------------------
+
+    def decide(self, name: str, args: tuple) -> Optional[Fault]:
+        """Roll for a fault on this syscall invocation; None = healthy."""
+        self.last_injection = None
+        klass = FAULT_CLASS.get(name)
+        if klass is None:
+            return None
+        rate = self.config.rate_for(klass)
+        if rate <= 0.0:
+            return None
+        self.decisions += 1
+        if self._rng.next_int(1_000_000) >= int(rate * 1_000_000):
+            return None
+        fault = self._make_fault(name, args)
+        if fault is None:
+            return None
+        self.injections.append((fault.syscall, fault.errno, fault.failures))
+        if fault.kind == SHORT_READ:
+            self.short_reads += 1
+        elif fault.kind == LOCK_DELAY:
+            self.lock_delays += 1
+        self.last_injection = fault
+        return fault
+
+    def _make_fault(self, name: str, args: tuple) -> Optional[Fault]:
+        failures = 1 + self._rng.next_int(self.config.burst_max)
+        fallback = _FALLBACK[name]
+        if name in ("read", "recv"):
+            count = args[1] if len(args) > 1 else None
+            if isinstance(count, int) and count >= 2 and self._rng.next_int(2) == 0:
+                return Fault(SHORT_READ, "ESHORT", name, failures, fallback)
+            errno = "EINTR" if name == "read" else "ECONNRESET"
+            return Fault(TRANSIENT, errno, name, failures, fallback)
+        if name == "read_line":
+            return Fault(TRANSIENT, "EINTR", name, failures, fallback)
+        if name == "write":
+            errno = "ENOSPC" if self._rng.next_int(2) == 0 else "EINTR"
+            return Fault(TRANSIENT, errno, name, failures, fallback)
+        if name == "send":
+            return Fault(TRANSIENT, "ECONNRESET", name, failures, fallback)
+        if name == "connect":
+            return Fault(TRANSIENT, "ECONNREFUSED", name, failures, fallback)
+        if name == "mutex_lock":
+            return Fault(LOCK_DELAY, "ETIMEDOUT", name, failures, fallback)
+        return None  # pragma: no cover - FAULT_CLASS is exhaustive
+
+    # -- retry-layer bookkeeping -----------------------------------------------
+
+    def note_retries(self, count: int) -> None:
+        self.retries += count
+
+    def note_exhausted(self, syscall: str) -> None:
+        self.exhausted.append(syscall)
+
+    @property
+    def injected(self) -> int:
+        return len(self.injections)

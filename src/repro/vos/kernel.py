@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import FaultInjected, ReproError
 from repro.ir.ops import stringify
+from repro.vos.faults import SHORT_READ, FaultPlan
 from repro.vos.filesystem import VirtualFile, parent_dir
 from repro.vos.network import Connection
 from repro.vos.world import World
@@ -46,8 +47,11 @@ class Kernel:
     STDOUT = 1
     STDERR = 2
 
-    def __init__(self, world: World) -> None:
+    def __init__(self, world: World, faults: Optional[FaultPlan] = None) -> None:
         self.world = world
+        # Optional transient-fault schedule (the chaos layer).  None =
+        # the fault-free kernel the paper's experiments assume.
+        self.faults = faults
         self._files: Dict[int, _OpenFile] = {}
         self._sockets: Dict[int, Optional[Connection]] = {}
         self._next_fd = 3
@@ -65,12 +69,26 @@ class Kernel:
 
     # -- dispatch --------------------------------------------------------------
 
-    def execute(self, name: str, args: tuple):
-        """Run one syscall; returns its MiniC-level result."""
+    def execute(self, name: str, args: tuple, inject: bool = True):
+        """Run one syscall; returns its MiniC-level result.
+
+        With a fault plan attached, this is where faults strike:
+        transient failures raise :class:`FaultInjected` *before* the
+        handler runs (so retrying re-executes it exactly once), and
+        short reads truncate the requested count (the retry layer
+        completes them with ``inject=False`` continuation calls).
+        """
         self.syscall_count += 1
         handler = getattr(self, f"_sys_{name}", None)
         if handler is None:
             raise ReproError(f"kernel has no handler for syscall {name!r}")
+        if inject and self.faults is not None:
+            fault = self.faults.decide(name, args)
+            if fault is not None:
+                if fault.kind == SHORT_READ:
+                    args = (args[0], max(1, args[1] // 2))
+                else:
+                    raise FaultInjected(fault)
         return handler(*args)
 
     def resource_of(self, name: str, args: tuple) -> Optional[str]:

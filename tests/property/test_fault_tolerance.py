@@ -1,0 +1,153 @@
+"""Property-based tests of the fault-masking invariant.
+
+Random structured, syscall-heavy programs are generated (nested
+if/while around file reads, writes, and socket traffic), then dual
+executed with no mutation under arbitrary transient-fault schedules.
+At any masking configuration (retry budget >= burst bound, the
+default), injected faults must change timing only:
+
+* the dual stays perfectly coupled — zero detections, zero syscall
+  diffs, zero tainted resources;
+* master and slave outputs agree with each other *and* with a
+  fault-free run of the same program;
+* the degradation report accounts for every fault and keeps full
+  verdict confidence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultConfig, LdxConfig, SinkSpec, SourceSpec, run_dual
+from repro.instrument import instrument_module
+from repro.ir import compile_source
+from repro.vos.world import World
+
+# -- random syscall-heavy program generation ---------------------------------
+
+
+def _gen_block(draw, depth: int, loop_depth: int, fresh) -> str:
+    statements = draw(st.integers(1, 3))
+    return "\n".join(
+        _gen_statement(draw, depth, loop_depth, fresh) for _ in range(statements)
+    )
+
+
+def _gen_statement(draw, depth: int, loop_depth: int, fresh) -> str:
+    choices = ["assign", "read", "readline", "write", "send", "recv", "print"]
+    if depth < 2:
+        choices += ["if", "ifelse"]
+        if loop_depth < 2:
+            choices.append("while")
+    kind = draw(st.sampled_from(choices))
+    if kind == "assign":
+        return f"x = x + {draw(st.integers(0, 9))};"
+    if kind == "read":
+        # Reads past EOF return "": len() keeps the program total-safe.
+        return f"x = x + len(read(fd, {draw(st.integers(1, 12))}));"
+    if kind == "readline":
+        return "x = x + len(read_line(fd));"
+    if kind == "write":
+        return 'write(out, "w" + x);'
+    if kind == "send":
+        return "send(sock, x);"
+    if kind == "recv":
+        return f"x = x + len(recv(sock, {draw(st.integers(1, 8))}));"
+    if kind == "print":
+        return "print(x);"
+    if kind == "if":
+        body = _gen_block(draw, depth + 1, loop_depth, fresh)
+        return f"if (x > {draw(st.integers(0, 30))}) {{\n{body}\n}}"
+    if kind == "ifelse":
+        then_body = _gen_block(draw, depth + 1, loop_depth, fresh)
+        else_body = _gen_block(draw, depth + 1, loop_depth, fresh)
+        return (
+            f"if (x % 2 == {draw(st.integers(0, 1))}) {{\n{then_body}\n}} "
+            f"else {{\n{else_body}\n}}"
+        )
+    trips = draw(st.integers(1, 3))
+    body = _gen_block(draw, depth + 1, loop_depth + 1, fresh)
+    fresh[0] += 1
+    loop_var = f"i{fresh[0]}"
+    return (
+        f"var {loop_var} = 0;\n"
+        f"while ({loop_var} < {trips}) {{\n{body}\n{loop_var} = {loop_var} + 1;\n}}"
+    )
+
+
+@st.composite
+def syscall_programs(draw):
+    fresh = [0]
+    body = _gen_block(draw, 0, 0, fresh)
+    return (
+        "fn main() {\n"
+        f"  var x = {draw(st.integers(0, 20))};\n"
+        '  var fd = open("/data/in", "r");\n'
+        '  var out = open("/data/out", "w");\n'
+        "  var sock = socket();\n"
+        '  connect(sock, "srv", 80);\n'
+        f"{body}\n"
+        "  send(sock, x);\n"
+        "  print(x);\n"
+        "}\n"
+    )
+
+
+def make_world():
+    world = World(seed=1)
+    world.fs.add_file("/data/in", "line one\nline two\nline three\n")
+    world.network.register("srv", 80, lambda req: f"ok:{len(req)}")
+    return world
+
+
+UNMUTATED = LdxConfig(sources=SourceSpec(), sinks=SinkSpec.network_out())
+
+
+# -- the property ------------------------------------------------------------
+
+
+@given(
+    syscall_programs(),
+    st.integers(0, 10_000),
+    st.floats(0.0, 0.5, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_transient_faults_never_change_outcomes(source, fault_seed, rate):
+    instrumented = instrument_module(compile_source(source))
+    baseline = run_dual(instrumented, make_world(), UNMUTATED)
+    assert baseline.report.crashes == []
+
+    faults = FaultConfig(seed=fault_seed, rate=rate)
+    assert faults.masks_all_faults
+    result = run_dual(instrumented, make_world(), UNMUTATED, faults=faults)
+    degradation = result.degradation
+
+    # Fully coupled: zero tainted sinks, zero divergence of any kind.
+    assert not result.report.causality_detected
+    assert result.report.tainted_sinks == 0
+    assert result.report.syscall_diffs == 0
+    assert result.report.tainted_resources == []
+    assert result.report.crashes == []
+
+    # Outputs agree across the dual and with the fault-free baseline.
+    assert result.master_stdout == result.slave_stdout
+    assert result.master_stdout == baseline.master_stdout
+
+    # Degradation accounting: all faults masked, full confidence.
+    assert degradation.exhausted_syscalls == []
+    assert degradation.faults_masked == len(degradation.faults_injected)
+    assert degradation.verdict_confidence == "full"
+    result.raise_if_degraded()  # must not raise
+
+
+@given(syscall_programs(), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_fault_timing_cost_is_nonnegative(source, fault_seed):
+    """Retries and backoff only ever add virtual time."""
+    instrumented = instrument_module(compile_source(source))
+    baseline = run_dual(instrumented, make_world(), UNMUTATED)
+    faulted = run_dual(
+        instrumented,
+        make_world(),
+        UNMUTATED,
+        faults=FaultConfig(seed=fault_seed, rate=0.3),
+    )
+    assert faulted.dual_time >= baseline.dual_time

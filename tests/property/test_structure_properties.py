@@ -1,6 +1,6 @@
 """Property-based tests for the supporting data structures."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.cfg.dominators import compute_dominators
 from repro.cfg.graph import Digraph
@@ -116,6 +116,7 @@ def test_off_by_one_preserves_length(value):
 
 
 @given(st.text(min_size=1, max_size=20))
+@example("🄰")  # isupper() but not isalnum(): must pass through unshifted
 def test_global_off_by_one_keeps_non_alnum_chars(value):
     mutated = global_off_by_one(value)
     for original, shifted in zip(value, mutated):

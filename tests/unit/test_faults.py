@@ -1,0 +1,249 @@
+"""Unit tests for the fault-injection layer (repro.vos.faults)."""
+
+import pytest
+
+from repro.errors import (
+    DegradedResult,
+    EngineStallError,
+    FaultInjected,
+    ReproError,
+    SyscallError,
+)
+from repro.vos.faults import (
+    FAULT_CLASS,
+    LOCK_DELAY,
+    SHORT_READ,
+    TRANSIENT,
+    Fault,
+    FaultConfig,
+    FaultPlan,
+)
+from repro.vos.kernel import Kernel
+from repro.vos.world import World
+
+
+def drive(plan, calls=200):
+    """Feed a fixed syscall stream through a plan; return its decisions."""
+    stream = [
+        ("read", (3, 64)),
+        ("write", (4, "data")),
+        ("send", (5, "x")),
+        ("recv", (5, 16)),
+        ("connect", (5, "host", 80)),
+        ("mutex_lock", (0,)),
+        ("read_line", (3,)),
+        ("open", ("/f", "r")),  # ineligible: never faulted
+    ]
+    decisions = []
+    for index in range(calls):
+        name, args = stream[index % len(stream)]
+        fault = plan.decide(name, args)
+        decisions.append(None if fault is None else (fault.syscall, fault.errno, fault.failures))
+    return decisions
+
+
+# -- configuration validation -------------------------------------------------
+
+
+def test_rate_bounds_validated():
+    with pytest.raises(ValueError):
+        FaultConfig(rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultConfig(rate=1.5)
+
+
+def test_class_rates_validated():
+    with pytest.raises(ValueError):
+        FaultConfig(class_rates={"bogus": 0.5})
+    with pytest.raises(ValueError):
+        FaultConfig(class_rates={"read": 2.0})
+    FaultConfig(class_rates={"read": 0.5, "net": 0.0})  # valid
+
+
+def test_burst_and_retry_validated():
+    with pytest.raises(ValueError):
+        FaultConfig(burst_max=0)
+    with pytest.raises(ValueError):
+        FaultConfig(max_retries=-1)
+
+
+def test_masks_all_faults():
+    assert FaultConfig().masks_all_faults  # burst_max=2 < max_retries=4
+    assert not FaultConfig(burst_max=3, max_retries=2).masks_all_faults
+    assert FaultConfig(burst_max=3, max_retries=3).masks_all_faults
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_same_seed_same_schedule():
+    a = drive(FaultConfig(seed=7, rate=0.3).plan_for("master"))
+    b = drive(FaultConfig(seed=7, rate=0.3).plan_for("master"))
+    assert a == b
+    assert any(d is not None for d in a)
+
+
+def test_different_seeds_differ():
+    a = drive(FaultConfig(seed=1, rate=0.3).plan_for("master"))
+    b = drive(FaultConfig(seed=2, rate=0.3).plan_for("master"))
+    assert a != b
+
+
+def test_roles_draw_independent_schedules():
+    config = FaultConfig(seed=9, rate=0.3)
+    assert drive(config.plan_for("master")) != drive(config.plan_for("slave"))
+
+
+def test_zero_rate_never_faults():
+    plan = FaultConfig(seed=3, rate=0.0).plan_for("master")
+    assert all(d is None for d in drive(plan))
+    assert plan.injected == 0
+    assert plan.decisions == 0
+
+
+# -- fault shapes -------------------------------------------------------------
+
+
+def test_burst_bounded():
+    config = FaultConfig(seed=11, rate=1.0, burst_max=3)
+    plan = config.plan_for("master")
+    decisions = [d for d in drive(plan, 400) if d is not None]
+    assert decisions
+    assert all(1 <= failures <= 3 for _, _, failures in decisions)
+
+
+def test_class_rate_override_silences_class():
+    config = FaultConfig(seed=5, rate=1.0, class_rates={"net": 0.0})
+    plan = config.plan_for("master")
+    for _ in range(50):
+        assert plan.decide("send", (5, "x")) is None
+        assert plan.decide("connect", (5, "h", 80)) is None
+        assert plan.decide("write", (4, "x")) is not None
+
+
+def test_errnos_match_syscall_class():
+    plan = FaultConfig(seed=2, rate=1.0).plan_for("master")
+    expected = {
+        "read": {"EINTR", "ESHORT"},
+        "read_line": {"EINTR"},
+        "write": {"ENOSPC", "EINTR"},
+        "send": {"ECONNRESET"},
+        "recv": {"ECONNRESET", "ESHORT"},
+        "connect": {"ECONNREFUSED"},
+        "mutex_lock": {"ETIMEDOUT"},
+    }
+    seen = {}
+    for name in FAULT_CLASS:
+        args = {"read": (3, 64), "recv": (5, 16)}.get(name, (3, "x", 0))
+        for _ in range(40):
+            fault = plan.decide(name, args)
+            assert fault is not None
+            seen.setdefault(name, set()).add(fault.errno)
+    for name, errnos in seen.items():
+        assert errnos <= expected[name], name
+
+
+def test_short_read_requires_room_to_truncate():
+    plan = FaultConfig(seed=4, rate=1.0).plan_for("master")
+    for _ in range(60):
+        fault = plan.decide("read", (3, 1))  # count 1 cannot shorten
+        assert fault.kind == TRANSIENT
+
+
+def test_ineligible_syscalls_never_roll():
+    plan = FaultConfig(seed=6, rate=1.0).plan_for("master")
+    for name in ("open", "close", "stat", "exit", "print", "mutex_unlock"):
+        assert plan.decide(name, ()) is None
+    assert plan.decisions == 0
+
+
+# -- plan bookkeeping ---------------------------------------------------------
+
+
+def test_plan_records_injections_and_kind_counters():
+    plan = FaultConfig(seed=8, rate=1.0).plan_for("master")
+    kinds = []
+    for _ in range(30):
+        kinds.append(plan.decide("read", (3, 64)).kind)
+        kinds.append(plan.decide("mutex_lock", (0,)).kind)
+    assert plan.injected == 60
+    assert plan.short_reads == kinds.count(SHORT_READ)
+    assert plan.lock_delays == kinds.count(LOCK_DELAY)
+    plan.note_retries(5)
+    plan.note_exhausted("read")
+    assert plan.retries == 5
+    assert plan.exhausted == ["read"]
+
+
+def test_last_injection_resets_per_decision():
+    plan = FaultConfig(seed=8, rate=1.0).plan_for("master")
+    plan.decide("read", (3, 64))
+    assert plan.last_injection is not None
+    plan.decide("open", ("/f", "r"))
+    assert plan.last_injection is None
+
+
+# -- kernel integration -------------------------------------------------------
+
+
+def make_kernel(plan=None):
+    world = World(seed=1)
+    world.fs.add_file("/data/f", "0123456789")
+    return Kernel(world, faults=plan)
+
+
+def test_kernel_raises_fault_injected_before_side_effects():
+    plan = FaultConfig(seed=1, rate=1.0, class_rates={"read": 0.0}).plan_for("m")
+    kernel = make_kernel(plan)
+    fd = kernel.execute("open", ("/data/f", "a"))
+    with pytest.raises(FaultInjected) as excinfo:
+        kernel.execute("write", (fd, "x"))
+    assert isinstance(excinfo.value, SyscallError)
+    assert excinfo.value.fault.syscall == "write"
+    # The fault fired *before* the handler: nothing was written.
+    assert kernel.world.fs.file("/data/f").content == "0123456789"
+
+
+def test_kernel_short_read_truncates_count():
+    config = FaultConfig(seed=1, rate=1.0)
+    plan = config.plan_for("m")
+    kernel = make_kernel(plan)
+    fd = kernel.execute("open", ("/data/f", "r"))
+    data = None
+    for _ in range(20):  # roll until the coin lands on short-read
+        kernel.execute("seek", (fd, 0), inject=False)
+        try:
+            data = kernel.execute("read", (fd, 8))
+        except FaultInjected:
+            continue
+        break
+    assert data == "0123"  # count halved: 8 -> 4
+    assert plan.last_injection.kind == SHORT_READ
+
+
+def test_kernel_inject_false_bypasses_plan():
+    plan = FaultConfig(seed=1, rate=1.0).plan_for("m")
+    kernel = make_kernel(plan)
+    fd = kernel.execute("open", ("/data/f", "r"), inject=False)
+    assert kernel.execute("read", (fd, 8), inject=False) == "01234567"
+    assert plan.injected == 0
+
+
+def test_kernel_without_plan_unchanged():
+    kernel = make_kernel(None)
+    assert kernel.faults is None
+    fd = kernel.execute("open", ("/data/f", "r"))
+    assert kernel.execute("read", (fd, 8)) == "01234567"
+
+
+# -- new exception types ------------------------------------------------------
+
+
+def test_exception_hierarchy():
+    fault = Fault(TRANSIENT, "EINTR", "read", 2, None)
+    injected = FaultInjected(fault)
+    assert injected.fault is fault
+    assert injected.errno == "EINTR"
+    assert isinstance(injected, ReproError)
+    assert isinstance(EngineStallError("stuck"), ReproError)
+    assert isinstance(DegradedResult("degraded"), ReproError)

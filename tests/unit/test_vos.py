@@ -265,6 +265,61 @@ def test_sink_observe_and_source_read():
     assert kernel.observations == [("retaddr", 1234)]
 
 
+def test_read_write_seek_on_bad_fd():
+    kernel = make_kernel()
+    assert kernel.execute("read", (99, 5)) is None  # never opened
+    assert kernel.execute("read_line", (99,)) is None
+    assert kernel.execute("write", (99, "x")) == -1
+    assert kernel.execute("seek", (99, 0)) == -1
+
+
+def test_read_write_seek_on_closed_fd():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    kernel.execute("close", (fd,))
+    assert kernel.execute("read", (fd, 5)) is None
+    assert kernel.execute("write", (fd, "x")) == -1
+    assert kernel.execute("seek", (fd, 0)) == -1
+
+
+def test_write_to_read_only_fd_fails():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    assert kernel.execute("write", (fd, "x")) == -1
+    assert kernel.world.fs.file("/data/input.txt").content == "hello\nworld\n"
+
+
+def test_seek_rejects_bad_position():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    assert kernel.execute("seek", (fd, -1)) == -1
+    assert kernel.execute("seek", (fd, "x")) == -1
+    assert kernel.execute("read", (fd, 5)) == "hello"  # position unchanged
+
+
+def test_unlink_missing_path_fails():
+    kernel = make_kernel()
+    assert kernel.execute("unlink", ("/missing",)) == -1
+    assert kernel.execute("unlink", (42,)) == -1
+    assert kernel.output_log[-1][2] == -1
+
+
+def test_rename_missing_source_fails():
+    kernel = make_kernel()
+    assert kernel.execute("rename", ("/missing", "/data/new")) == -1
+    assert kernel.execute("rename", ("/data/input.txt", 42)) == -1
+    assert not kernel.world.fs.is_file("/data/new")
+
+
+def test_connect_on_non_socket_fd_fails():
+    kernel = make_kernel()
+    fd = kernel.execute("open", ("/data/input.txt", "r"))
+    assert kernel.execute("connect", (fd, "srv", 9)) == -1  # a file, not a socket
+    assert kernel.execute("connect", (99, "srv", 9)) == -1  # never created
+    assert kernel.execute("send", (fd, "x")) == -1
+    assert kernel.execute("recv", (fd, 4)) is None
+
+
 def test_resource_resolution():
     kernel = make_kernel()
     fd = kernel.execute("open", ("/data/input.txt", "r"))
