@@ -1,0 +1,232 @@
+"""Content-addressed instrumentation artifact cache.
+
+Every dual execution needs an :class:`~repro.instrument.pipeline.
+InstrumentedModule` — the IR module, its :class:`ModulePlan` and the
+callgraph.  Building one re-lexes, re-parses, re-lowers and re-plans
+the MiniC source, which the evaluation harness used to repeat for the
+same 28 workloads on every run.  This module caches the finished
+artifact, keyed by a content hash of the MiniC source plus the
+instrumentation configuration:
+
+* an **in-process LRU layer** bounds memory and serves repeat lookups
+  within one process (the parent *and* each pool worker keep one);
+* an optional **on-disk layer** (``.repro-cache/`` by default when the
+  CLI enables it) persists pickled artifacts across processes and
+  runs, so a warm cache skips compilation entirely.
+
+Keys never include runtime state (worlds, seeds, fault plans): the
+artifact is a pure function of source text and instrumentation config.
+The disk layout is versioned by :data:`SCHEMA_TAG` — bumping the tag
+when the artifact format changes orphans old entries instead of
+deserializing them wrongly — and every stored payload embeds the tag
+again so a stray file from another version is treated as a miss.
+Corrupted entries (truncated writes, bad pickles) also degrade to a
+miss: the artifact is recompiled and the entry rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.instrument import InstrumentedModule, instrument_module
+from repro.ir import compile_source
+
+# Bump when InstrumentedModule / ModulePlan / IR pickle layout changes.
+SCHEMA_TAG = "ldx-artifact-v1"
+
+
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    __slots__ = ("memory_hits", "disk_hits", "misses", "stores", "disk_errors")
+
+    def __init__(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_errors = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / self.lookups
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats mem={self.memory_hits} disk={self.disk_hits} "
+            f"miss={self.misses}>"
+        )
+
+
+def artifact_key(source: str, config: Optional[Dict[str, object]] = None) -> str:
+    """Content address of one instrumentation artifact.
+
+    Hashes the schema tag, the instrumentation configuration (sorted,
+    so dict ordering never changes the key) and the source text.
+    Runtime state is deliberately excluded.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(SCHEMA_TAG.encode())
+    for name, value in sorted((config or {}).items()):
+        hasher.update(b"\0")
+        hasher.update(f"{name}={value!r}".encode())
+    hasher.update(b"\0\0")
+    hasher.update(source.encode())
+    return hasher.hexdigest()
+
+
+class ArtifactCache:
+    """A two-layer (memory LRU + optional disk) artifact cache."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_dir: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.capacity = max(1, capacity)
+        self.cache_dir = cache_dir
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, InstrumentedModule]" = OrderedDict()
+
+    # -- lookup ----------------------------------------------------------------
+
+    def instrumented(
+        self, source: str, config: Optional[Dict[str, object]] = None
+    ) -> InstrumentedModule:
+        """The instrumented artifact for *source*, cached."""
+        if not self.enabled:
+            return instrument_module(compile_source(source))
+        key = artifact_key(source, config)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return cached
+        artifact = self._disk_load(key)
+        if artifact is not None:
+            self.stats.disk_hits += 1
+        else:
+            self.stats.misses += 1
+            artifact = instrument_module(compile_source(source))
+            self._disk_store(key, artifact)
+        self._remember(key, artifact)
+        return artifact
+
+    def _remember(self, key: str, artifact: InstrumentedModule) -> None:
+        self._memory[key] = artifact
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    # -- disk layer ------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, SCHEMA_TAG, key + ".pkl")
+
+    def _disk_load(self, key: str) -> Optional[InstrumentedModule]:
+        path = self._entry_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != SCHEMA_TAG
+            ):
+                raise ValueError("schema tag mismatch")
+            artifact = payload["artifact"]
+            if not isinstance(artifact, InstrumentedModule):
+                raise ValueError("payload is not an InstrumentedModule")
+            return artifact
+        except Exception:
+            # Corrupted or stale entry: drop it and recompile.
+            self.stats.disk_errors += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, key: str, artifact: InstrumentedModule) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            payload = pickle.dumps({"schema": SCHEMA_TAG, "artifact": artifact})
+            # Atomic publish: a reader never sees a half-written entry.
+            fd, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+        except Exception:
+            # The cache is an accelerator, never a correctness
+            # dependency: disk trouble only costs future recompiles.
+            self.stats.disk_errors += 1
+
+
+# -- process-global cache ------------------------------------------------------
+#
+# The workload registry and the pool workers all route through one
+# shared instance so hit statistics and the LRU are coherent within a
+# process.  ``configure`` swaps it (e.g. per the CLI's --cache-dir /
+# --no-cache flags, or inside a freshly spawned worker).
+
+_GLOBAL = ArtifactCache()
+
+
+def configure(
+    cache_dir: Optional[str] = None,
+    enabled: bool = True,
+    capacity: int = 128,
+) -> ArtifactCache:
+    """Replace the process-global cache; returns the new instance."""
+    global _GLOBAL
+    _GLOBAL = ArtifactCache(capacity=capacity, cache_dir=cache_dir, enabled=enabled)
+    return _GLOBAL
+
+
+def get_cache() -> ArtifactCache:
+    return _GLOBAL
+
+
+def instrumented_for(
+    source: str, config: Optional[Dict[str, object]] = None
+) -> InstrumentedModule:
+    """Module-level convenience: look *source* up in the global cache."""
+    return _GLOBAL.instrumented(source, config)

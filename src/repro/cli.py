@@ -27,6 +27,33 @@ from repro.ir import compile_source
 from repro.vos.world import World
 
 
+def _unescape(text: str) -> str:
+    r"""Resolve --file CONTENT escapes: ``\n``/``\t`` become control
+    characters, ``\\n`` a literal backslash-n (a blind ``.replace``
+    would rewrite the latter to backslash-newline)."""
+    out: List[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch == "\\" and index + 1 < len(text):
+            follower = text[index + 1]
+            if follower == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if follower == "t":
+                out.append("\t")
+                index += 2
+                continue
+            if follower == "\\":
+                out.append("\\")
+                index += 2
+                continue
+        out.append(ch)
+        index += 1
+    return "".join(out)
+
+
 def _build_world(args) -> World:
     world = World(seed=args.seed)
     world.stdin = args.stdin or ""
@@ -34,13 +61,23 @@ def _build_world(args) -> World:
         if "=" not in spec:
             raise SystemExit(f"--file expects PATH=CONTENT, got {spec!r}")
         path, content = spec.split("=", 1)
-        world.fs.add_file(path, content.replace("\\n", "\n"))
+        world.fs.add_file(path, _unescape(content))
     for spec in args.endpoint or []:
         if "=" not in spec:
             raise SystemExit(f"--endpoint expects HOST:PORT=REPLY, got {spec!r}")
         address, reply = spec.split("=", 1)
-        host, port = address.rsplit(":", 1)
-        world.network.register(host, int(port), lambda req, reply=reply: reply)
+        host, _, port_text = address.rpartition(":")
+        if not host:
+            raise SystemExit(
+                f"--endpoint address must be HOST:PORT, got {address!r}"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise SystemExit(
+                f"--endpoint port must be an integer, got {port_text!r} in {spec!r}"
+            ) from None
+        world.network.register(host, port, lambda req, reply=reply: reply)
     return world
 
 
@@ -60,6 +97,47 @@ def _add_world_options(parser: argparse.ArgumentParser) -> None:
         help="register a network endpoint returning REPLY (repeatable)",
     )
     parser.add_argument("--seed", type=int, default=1, help="world seed")
+
+
+def _jobs(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid job count {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {text}")
+    return value
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs,
+        default=1,
+        metavar="N",
+        help="worker processes for the evaluation fan-out (1 = serial; "
+        "output is byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the instrumentation artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="on-disk artifact cache location (default: .repro-cache)",
+    )
+
+
+def _configure_cache(args) -> None:
+    from repro import cache
+
+    if args.no_cache:
+        cache.configure(enabled=False)
+    else:
+        cache.configure(cache_dir=args.cache_dir)
 
 
 def _rate(text: str) -> float:
@@ -141,18 +219,28 @@ def _cmd_leak(args) -> int:
 def _cmd_eval(args) -> int:
     from repro.eval.runner import run_all
 
-    print(run_all(table4_runs=args.table4_runs))
+    _configure_cache(args)
+    print(
+        run_all(
+            table4_runs=args.table4_runs,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    )
     return 0
 
 
 def _cmd_chaos(args) -> int:
     from repro.eval.robustness import chaos_ok, render_chaos, run_chaos
 
+    _configure_cache(args)
     rows = run_chaos(
         names=args.workload or None,
         seeds=args.seeds,
         rate=args.fault_rate,
         watchdog_deadline=args.watchdog_deadline,
+        jobs=args.jobs,
     )
     print(render_chaos(rows, args.seeds, args.fault_rate))
     return 0 if chaos_ok(rows) else 1
@@ -185,6 +273,7 @@ def main(argv: List[str] = None) -> int:
 
     eval_parser = commands.add_parser("eval", help="regenerate the paper's tables")
     eval_parser.add_argument("--table4-runs", type=int, default=100)
+    _add_parallel_options(eval_parser)
     eval_parser.set_defaults(handler=_cmd_eval)
 
     chaos_parser = commands.add_parser(
@@ -200,6 +289,7 @@ def main(argv: List[str] = None) -> int:
         help="restrict the sweep to a workload (repeatable; default: all)",
     )
     _add_fault_options(chaos_parser, default_rate=0.1)
+    _add_parallel_options(chaos_parser)
     chaos_parser.set_defaults(handler=_cmd_chaos)
 
     args = parser.parse_args(argv)

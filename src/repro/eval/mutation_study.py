@@ -39,26 +39,38 @@ def strategies_under_study():
     return named
 
 
+def run_strategy(
+    strategy_name: str, names: Optional[List[str]] = None
+) -> Dict[str, bool]:
+    """One strategy across the study workloads: {workload -> detected}.
+
+    A strategy is the smallest independent unit: the stateful
+    ``random`` mutator's RNG stream advances *across* workloads, so
+    splitting a strategy between workers would change its outcomes.
+    """
+    names = names or list(STUDY_WORKLOADS)
+    mutator = strategies_under_study()[strategy_name]
+    per_workload: Dict[str, bool] = {}
+    for name in names:
+        workload = get_workload(name)
+        base = workload.leak_variant()
+        config = LdxConfig(sources=base.sources, sinks=base.sinks, mutation=mutator)
+        # Strip custom mutators so the studied strategy applies.
+        config.sources.mutators = {}
+        result = run_dual(workload.instrumented, workload.build_world(1), config)
+        per_workload[name] = result.report.causality_detected
+    return per_workload
+
+
 def run_mutation_study(
     names: Optional[List[str]] = None,
 ) -> Dict[str, Dict[str, bool]]:
     """strategy -> {workload -> detected}."""
     names = names or list(STUDY_WORKLOADS)
-    outcomes: Dict[str, Dict[str, bool]] = {}
-    for strategy_name, mutator in strategies_under_study().items():
-        per_workload: Dict[str, bool] = {}
-        for name in names:
-            workload = get_workload(name)
-            base = workload.leak_variant()
-            config = LdxConfig(sources=base.sources, sinks=base.sinks, mutation=mutator)
-            # Strip custom mutators so the studied strategy applies.
-            config.sources.mutators = {}
-            result = run_dual(
-                workload.instrumented, workload.build_world(1), config
-            )
-            per_workload[name] = result.report.causality_detected
-        outcomes[strategy_name] = per_workload
-    return outcomes
+    return {
+        strategy_name: run_strategy(strategy_name, names)
+        for strategy_name in strategies_under_study()
+    }
 
 
 def render_mutation_study(outcomes: Dict[str, Dict[str, bool]]) -> str:

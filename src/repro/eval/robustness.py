@@ -63,6 +63,22 @@ class ChaosRow:
     def ok(self) -> bool:
         return not self.violations
 
+    def merge(self, other: "ChaosRow") -> "ChaosRow":
+        """Fold another chunk of the same workload's sweep into this row.
+
+        Chunks must be merged in ascending seed order for the violation
+        list (and thus the rendered report) to match a serial sweep.
+        """
+        assert other.name == self.name
+        self.runs += other.runs
+        self.faults_injected += other.faults_injected
+        self.retries += other.retries
+        self.short_reads += other.short_reads
+        self.lock_delays += other.lock_delays
+        self.degraded_runs += other.degraded_runs
+        self.violations.extend(other.violations)
+        return self
+
     def as_list(self) -> List[object]:
         return [
             self.name,
@@ -176,9 +192,21 @@ def run_chaos(
     seeds: int = DEFAULT_SEEDS,
     rate: float = DEFAULT_RATE,
     watchdog_deadline: float = 25_000.0,
+    jobs: int = 1,
 ) -> List[ChaosRow]:
-    """Sweep fault seeds across workloads; one row per workload."""
+    """Sweep fault seeds across workloads; one row per workload.
+
+    With ``jobs > 1`` the (workload, seed-chunk) cells fan out over a
+    process pool; the merged rows are identical to a serial sweep.
+    """
     names = names or [workload.name for workload in ALL_WORKLOADS]
+    if jobs > 1:
+        from repro.eval.parallel import run_chaos_parallel
+
+        return run_chaos_parallel(
+            names, seeds=seeds, rate=rate,
+            watchdog_deadline=watchdog_deadline, jobs=jobs,
+        )
     return [
         chaos_workload(name, range(seeds), rate, watchdog_deadline) for name in names
     ]

@@ -12,8 +12,29 @@ from repro.eval.table3 import render_table3, run_table3
 from repro.eval.table4 import render_table4, run_table4
 
 
-def run_all(table4_runs: int = 100, verbose: bool = False) -> str:
-    """Run every experiment; return the combined plain-text report."""
+def run_all(
+    table4_runs: int = 100,
+    verbose: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: Optional[bool] = None,
+) -> str:
+    """Run every experiment; return the combined plain-text report.
+
+    With ``jobs > 1`` the experiments fan out over a process pool
+    (``repro.eval.parallel``); the report is byte-identical to the
+    serial path for any job count.
+    """
+    if jobs > 1:
+        from repro.eval.parallel import run_all_parallel
+
+        return run_all_parallel(
+            table4_runs=table4_runs,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_enabled=use_cache,
+        )
+
     sections: List[str] = []
 
     def add(text: str) -> None:

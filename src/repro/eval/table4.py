@@ -11,7 +11,7 @@ programs (apache, pbzip2, pigz), slightly varying for axel and x264.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.engine import run_dual
 from repro.eval.reporting import format_table
@@ -48,20 +48,31 @@ HEADERS = [
 ]
 
 
-def measure_workload(name: str, runs: int = 100) -> Table4Row:
+def measure_run(name: str, run: int) -> "Tuple[int, int]":
+    """One seeded dual execution: (syscall diffs, tainted sinks).
+
+    The (master, slave) schedule seeds are a pure function of the run
+    index, so any subset of runs can execute anywhere (including in a
+    pool worker) and still reproduce the serial sweep exactly.
+    """
     workload = get_workload(name)
+    result = run_dual(
+        workload.instrumented,
+        workload.build_world(1),
+        workload.config(),
+        master_seed=2 * run + 1,
+        slave_seed=2 * run + 2,
+    )
+    return result.report.syscall_diffs, result.report.tainted_sinks
+
+
+def measure_workload(name: str, runs: int = 100) -> Table4Row:
     diffs: List[int] = []
     sinks: List[int] = []
     for run in range(runs):
-        result = run_dual(
-            workload.instrumented,
-            workload.build_world(1),
-            workload.config(),
-            master_seed=2 * run + 1,
-            slave_seed=2 * run + 2,
-        )
-        diffs.append(result.report.syscall_diffs)
-        sinks.append(result.report.tainted_sinks)
+        diff, sink = measure_run(name, run)
+        diffs.append(diff)
+        sinks.append(sink)
     return Table4Row(name, diffs, sinks)
 
 

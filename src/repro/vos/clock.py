@@ -42,7 +42,18 @@ class DeterministicRng:
         self._state = (seed % self.MODULUS) or 1
 
     def next_int(self, bound: int = 2**30) -> int:
-        """Next value in [0, bound)."""
+        """Next value in [0, bound).
+
+        The LCG state lives in [1, MODULUS), so a *bound* above the
+        modulus is unsatisfiable — values in [MODULUS, bound) would
+        never be drawn, silently narrowing the range.  Reject it
+        instead of returning biased values.
+        """
+        if bound > self.MODULUS:
+            raise ValueError(
+                f"bound {bound} exceeds the LCG modulus {self.MODULUS}; "
+                "values at or above the modulus are unreachable"
+            )
         self._state = (self._state * self.MULTIPLIER) % self.MODULUS
         return self._state % max(1, bound)
 

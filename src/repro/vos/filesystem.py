@@ -14,8 +14,22 @@ from typing import Dict, List, Optional, Set
 
 
 def _normalize(path: str) -> str:
-    """Normalize a path: collapse slashes, ensure a leading slash."""
-    parts = [part for part in path.split("/") if part]
+    """Normalize a path: collapse slashes, resolve ``.``/``..`` segments
+    (clamping ``..`` at the root), ensure a leading slash.
+
+    Resolving dot-segments here is load-bearing: ``/a/../b`` and ``/b``
+    must be the *same* file, or aliased writes escape both
+    copy-on-divergence cloning and master/slave FS diffing.
+    """
+    parts: List[str] = []
+    for part in path.split("/"):
+        if not part or part == ".":
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue  # ".." at the root stays at the root
+        parts.append(part)
     return "/" + "/".join(parts)
 
 

@@ -13,8 +13,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.config import LdxConfig, SinkSpec, SourceSpec
 from repro.errors import WorkloadError
-from repro.instrument import InstrumentedModule, instrument_module
-from repro.ir import compile_source
+from repro.instrument import InstrumentedModule
 from repro.ir.function import IRModule
 from repro.vos.world import World
 
@@ -66,13 +65,20 @@ class Workload:
     @property
     def module(self) -> IRModule:
         if self._module is None:
-            self._module = compile_source(self.source)
+            self._module = self.instrumented.module
         return self._module
 
     @property
     def instrumented(self) -> InstrumentedModule:
+        """The instrumentation artifact, via the process-global
+        content-addressed cache (``repro.cache``).  The per-workload
+        memo keeps repeat property accesses free even when the global
+        cache is disabled or its LRU evicts this entry."""
         if self._instrumented is None:
-            self._instrumented = instrument_module(self.module)
+            from repro import cache
+
+            self._instrumented = cache.instrumented_for(self.source)
+            self._module = self._instrumented.module
         return self._instrumented
 
     # -- configurations -------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Integration tests for the parallel evaluation fan-out.
+
+The contract under test: for any job count the reassembled report is
+byte-identical to the serial path — cells are independent, workers
+rebuild their worlds from the cell spec, and reassembly happens in
+submission order.
+"""
+
+import pytest
+
+from repro.eval.parallel import (
+    assemble_report,
+    fan_out,
+    plan_eval_cells,
+    run_chaos_parallel,
+)
+from repro.eval.robustness import render_chaos, run_chaos
+from repro.eval.runner import run_all
+
+TABLE4_RUNS = 3
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_all(table4_runs=TABLE4_RUNS)
+
+
+def test_run_all_jobs4_is_byte_identical_to_serial(serial_report):
+    parallel_report = run_all(table4_runs=TABLE4_RUNS, jobs=4)
+    assert parallel_report == serial_report
+
+
+def test_cell_plan_covers_every_section():
+    cells = plan_eval_cells(table4_runs=10, table4_chunk=4)
+    kinds = {kind for kind, _payload in cells}
+    assert kinds == {"table1", "figure6", "table2", "table3", "table4", "mutation"}
+    # 10 runs in chunks of 4 -> 3 chunks per concurrent workload.
+    table4 = [payload for kind, payload in cells if kind == "table4"]
+    per_name = {}
+    for name, start, stop in table4:
+        per_name.setdefault(name, []).append((start, stop))
+    for spans in per_name.values():
+        assert spans == [(0, 4), (4, 8), (8, 10)]
+
+
+def test_serial_fan_out_matches_pool(serial_report):
+    """jobs=1 exercises the same cell decomposition without a pool."""
+    cells = plan_eval_cells(TABLE4_RUNS)
+    results = fan_out(cells, jobs=1)
+    assert assemble_report(cells, results, TABLE4_RUNS) == serial_report
+
+
+def test_chaos_parallel_rows_match_serial():
+    names = ["gzip", "apache"]
+    serial_rows = run_chaos(names=names, seeds=4)
+    parallel_rows = run_chaos_parallel(names=names, seeds=4, jobs=2, seed_chunk=2)
+    assert render_chaos(parallel_rows, 4, 0.1) == render_chaos(serial_rows, 4, 0.1)
+    for serial_row, parallel_row in zip(serial_rows, parallel_rows):
+        assert serial_row.violations == parallel_row.violations
+        assert serial_row.runs == parallel_row.runs
+        assert serial_row.faults_injected == parallel_row.faults_injected
+
+
+def test_chaos_jobs_flag_routes_through_parallel():
+    # gzip has no no-leak variant: 2 variants x 3 seeds = 6 runs.
+    rows = run_chaos(names=["gzip"], seeds=3, jobs=2)
+    assert rows[0].runs == 2 * 3

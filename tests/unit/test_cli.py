@@ -77,3 +77,67 @@ def test_leak_requires_sources(clean_program):
 def test_bad_file_spec_rejected(clean_program):
     with pytest.raises(SystemExit):
         main(["run", clean_program, "--file", "no-equals-sign"])
+
+
+def test_endpoint_without_colon_is_diagnosed(clean_program):
+    """A raw ValueError traceback is a bug; bad specs exit cleanly."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", clean_program, "--endpoint", "hostonly=reply"])
+    assert "HOST:PORT" in str(excinfo.value)
+
+
+def test_endpoint_with_nonnumeric_port_is_diagnosed(clean_program):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", clean_program, "--endpoint", "host:notaport=reply"])
+    assert "notaport" in str(excinfo.value)
+
+
+def test_endpoint_missing_equals_is_diagnosed(clean_program):
+    with pytest.raises(SystemExit):
+        main(["run", clean_program, "--endpoint", "host:80"])
+
+
+FILE_READER = """
+fn main() {
+  var fd = open("/in", "r");
+  print(read(fd, 100));
+  close(fd);
+}
+"""
+
+
+@pytest.fixture
+def reader_program(tmp_path):
+    path = tmp_path / "reader.mc"
+    path.write_text(FILE_READER)
+    return str(path)
+
+
+def test_file_content_newline_escape(reader_program, capsys):
+    code = main(["run", reader_program, "--file", r"/in=a\nb"])
+    assert code == 0
+    assert "a\nb" in capsys.readouterr().out
+
+
+def test_file_content_escaped_backslash_n_stays_literal(reader_program, capsys):
+    # \\n is an escaped backslash followed by 'n', NOT a newline.
+    code = main(["run", reader_program, "--file", "/in=a\\\\nb"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "a\\nb" in out
+    assert "a\nb" not in out
+
+
+def test_file_content_tab_and_trailing_backslash(reader_program, capsys):
+    code = main(["run", reader_program, "--file", "/in=a\\tb\\"])
+    assert code == 0
+    assert "a\tb\\" in capsys.readouterr().out
+
+
+def test_eval_rejects_bad_job_counts():
+    # Invalid job counts are rejected by the parser (SystemExit 2)
+    # before any evaluation work starts.
+    with pytest.raises(SystemExit):
+        main(["eval", "--jobs", "0", "--table4-runs", "1"])
+    with pytest.raises(SystemExit):
+        main(["eval", "--jobs", "zero"])

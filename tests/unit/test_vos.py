@@ -76,6 +76,57 @@ def test_clone_is_deep():
     assert fs.file("/a").content == "original"
 
 
+def test_normalize_resolves_dot_segments():
+    fs = VirtualFS()
+    fs.add_file("/a/b", "data")
+    # All aliases of /a/b resolve to the same file.
+    assert fs.file("/a/./b").content == "data"
+    assert fs.file("/a/x/../b").content == "data"
+    assert fs.file("//a///b").content == "data"
+    fs.file("/a/c/../b").content = "rewritten"
+    assert fs.file("/a/b").content == "rewritten"
+    assert fs.paths() == ["/a/b"]
+
+
+def test_normalize_clamps_dotdot_at_root():
+    fs = VirtualFS()
+    fs.add_file("/../../etc/secret", "s")
+    assert fs.is_file("/etc/secret")
+    assert fs.file("/etc/../../../etc/secret").content == "s"
+    assert fs.is_dir("/..")  # clamps to "/"
+
+
+def test_aliased_write_is_one_file_not_two():
+    """The copy-on-divergence regression: an aliased path must not
+    create a second file that escapes FS diffing."""
+    fs = VirtualFS()
+    fs.add_file("/a/../b", "one")
+    fs.add_file("/b", "two")
+    assert fs.paths() == ["/b"]
+    assert fs.file("/b").content == "two"
+    clone = fs.clone()
+    assert clone.paths() == fs.paths()
+
+
+def test_listdir_dot_segment_aliases_and_root():
+    fs = VirtualFS()
+    fs.add_file("/d/a", "1")
+    assert fs.listdir("/d/../d") == ["a"]
+    assert fs.listdir("/d/a") is None  # a file, not a directory
+    assert fs.listdir("/") == ["d"]
+    assert VirtualFS().listdir("/") == []
+
+
+def test_unlink_via_alias_and_root():
+    fs = VirtualFS()
+    fs.add_file("/d/f", "x")
+    assert fs.unlink("/d/./f")
+    assert not fs.is_file("/d/f")
+    assert fs.unlink("/d/../d")
+    assert not fs.unlink("/")  # the root is not removable
+    assert not fs.unlink("/..")  # ..-clamped alias of the root
+
+
 # -- network --------------------------------------------------------------------
 
 
@@ -131,6 +182,50 @@ def test_rng_seeds_differ():
     a = DeterministicRng(5)
     b = DeterministicRng(6)
     assert [a.next_int(1000) for _ in range(5)] != [b.next_int(1000) for _ in range(5)]
+
+
+def test_rng_rejects_bound_above_modulus():
+    rng = DeterministicRng(5)
+    with pytest.raises(ValueError):
+        rng.next_int(DeterministicRng.MODULUS + 1)
+    with pytest.raises(ValueError):
+        rng.next_int(2**31)
+    # The largest satisfiable bound works; the state is untouched by
+    # rejected calls, so streams stay reproducible.
+    probe = DeterministicRng(5)
+    assert rng.next_int(DeterministicRng.MODULUS) == probe.next_int(
+        DeterministicRng.MODULUS
+    )
+
+
+def test_rng_small_and_degenerate_bounds():
+    rng = DeterministicRng(5)
+    assert all(0 <= rng.next_int(1) < 1 for _ in range(5))
+    assert all(0 <= rng.next_int(7) < 7 for _ in range(100))
+
+
+def test_rng_clone_preserves_stream_exactly():
+    rng = DeterministicRng(42)
+    for _ in range(10):
+        rng.next_int(1000)
+    clone = rng.clone()
+    assert [rng.next_int(1000) for _ in range(20)] == [
+        clone.next_int(1000) for _ in range(20)
+    ]
+
+
+def test_rng_clone_survives_pickling():
+    """Process-pool workers receive seeds/state by pickling; the
+    stream must continue identically on the other side."""
+    import pickle
+
+    rng = DeterministicRng(7)
+    for _ in range(5):
+        rng.next_int(100)
+    shipped = pickle.loads(pickle.dumps(rng.clone()))
+    assert [rng.next_int(10**6) for _ in range(20)] == [
+        shipped.next_int(10**6) for _ in range(20)
+    ]
 
 
 # -- kernel -------------------------------------------------------------------------
