@@ -1,0 +1,65 @@
+"""Benchmark: static analysis of the full workload set, cold vs warm.
+
+Records (as ``extra_info`` in the pytest-benchmark JSON):
+
+* cold wall clock — every workload lexed, lowered and analyzed from
+  scratch (dataflow, control dependence, locksets, taint fixpoint);
+* warm wall clock and the speedup — a second pass over an on-disk
+  analysis cache must perform zero rebuilds;
+* the byte-identity of the cold and warm rendered reports, asserted
+  unconditionally (the ``repro analyze`` CI contract).
+"""
+
+import time
+
+import pytest
+
+from repro import cache
+from repro.analysis import analyze_source, render_analysis
+from repro.workloads import ALL_WORKLOADS
+
+
+def _analyze_all():
+    reports = []
+    for workload in ALL_WORKLOADS:
+        analysis = analyze_source(
+            workload.source, workload.config(), workload.name
+        )
+        reports.append(render_analysis(analysis))
+    return "".join(reports)
+
+
+@pytest.mark.paper
+def test_analyze_warm_cache_speedup(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "analysis-cache")
+    cache.configure(cache_dir=cache_dir)
+    try:
+        start = time.perf_counter()
+        cold_report = _analyze_all()
+        cold_seconds = time.perf_counter() - start
+
+        warm_report = None
+
+        def warm_run():
+            nonlocal warm_report
+            # Fresh memory cache, same disk dir: every lookup must come
+            # back from disk without re-running a single pass.
+            cache.configure(cache_dir=cache_dir)
+            warm_report = _analyze_all()
+
+        benchmark.pedantic(warm_run, rounds=3, iterations=1)
+        warm_seconds = benchmark.stats.stats.mean
+
+        assert warm_report == cold_report
+        stats = cache.get_analysis_cache().stats
+        assert stats.misses == 0
+
+        benchmark.extra_info["workloads"] = len(ALL_WORKLOADS)
+        benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+        benchmark.extra_info["warm_seconds"] = round(warm_seconds, 3)
+        if warm_seconds:
+            benchmark.extra_info["speedup"] = round(
+                cold_seconds / warm_seconds, 2
+            )
+    finally:
+        cache.configure(enabled=True)

@@ -1,0 +1,74 @@
+"""Control dependence from postdominators (Ferrante–Ottenstein–Warren).
+
+Node *n* is control dependent on branch *b* when *b* has a successor
+*s* such that *n* postdominates *s* (or is *s*) but *n* does not
+strictly postdominate *b*: taking one edge out of *b* commits the
+execution to reaching *n*, taking another may avoid it.  This is
+exactly the "not-taken path" information LDX's counterfactual scheme
+observes dynamically — the static taint pass uses it to propagate
+dependence through predicates, the blind spot of data-only tainting.
+
+Computed with the standard walk: for every branch edge (b, s), climb
+the immediate-postdominator tree from *s* up to (but excluding)
+ipostdom(b), marking every visited node dependent on *b*.  Nodes inside
+regions that cannot reach the function exit (infinite loops) have no
+ipostdom; the walk then conservatively marks everything reachable from
+the stuck node, keeping the over-approximation sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.cfg.dominators import immediate_postdominators
+from repro.cfg.graph import function_digraph
+from repro.ir.function import IRFunction
+
+
+def control_dependence(function: IRFunction) -> Dict[int, Set[int]]:
+    """Map each instruction index to the branch indices it is directly
+    control dependent on."""
+    graph = function_digraph(function)
+    ipostdom = immediate_postdominators(function)
+    dependence: Dict[int, Set[int]] = {
+        index: set() for index in range(len(function.instrs))
+    }
+    for branch in graph.nodes:
+        successors = graph.succs(branch)
+        if len(successors) < 2:
+            continue
+        join = ipostdom.get(branch)
+        for successor in successors:
+            runner = successor
+            seen: Set[int] = set()
+            while runner is not None and runner != join and runner not in seen:
+                seen.add(runner)
+                dependence[runner].add(branch)
+                next_runner = ipostdom.get(runner)
+                if next_runner is None and runner != function.exit:
+                    # No path to exit from here (infinite-loop region):
+                    # everything reachable may execute or not depending
+                    # on this branch.
+                    for node in graph.reachable_from(runner):
+                        dependence[node].add(branch)
+                    break
+                runner = next_runner
+    return dependence
+
+
+def transitive_control_dependence(function: IRFunction) -> Dict[int, Set[int]]:
+    """Closure of :func:`control_dependence`: all branches whose outcome
+    may decide whether each instruction executes."""
+    direct = control_dependence(function)
+    closed: Dict[int, Set[int]] = {index: set(deps) for index, deps in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for index, deps in closed.items():
+            extra: Set[int] = set()
+            for branch in deps:
+                extra |= closed[branch]
+            if not extra <= deps:
+                deps |= extra
+                changed = True
+    return closed

@@ -1,0 +1,268 @@
+"""Generic worklist dataflow framework over the instruction-granular CFG.
+
+A :class:`DataflowProblem` declares a direction (forward/backward), a
+meet flavour (may = union, must = intersection), a boundary fact for the
+start node, and a per-instruction transfer function over frozensets.
+:func:`solve` runs the classic worklist fixpoint and returns the fact
+before and after every instruction (in execution order, regardless of
+the analysis direction).
+
+Facts are frozensets of hashable elements.  Must-problems start every
+non-boundary node at TOP (the universal set), represented by ``None``:
+meeting TOP with anything yields the other operand, and a node still at
+TOP when the fixpoint settles is unreachable along the analysis
+direction — :meth:`DataflowResult.before` then reports ``None``.
+
+Two classic instances live here because every client needs them:
+reaching definitions (forward/may; feeds the def-use annotations, the
+maybe-uninitialized lint and the taint pass's intraprocedural core) and
+live variables (backward/may; feeds the never-read-variable lint).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.function import IRFunction
+
+FORWARD = "forward"
+BACKWARD = "backward"
+MAY = "may"
+MUST = "must"
+
+# Synthetic definition sites for reaching definitions.
+PARAM_DEF = -1  # function parameters, bound at entry
+GLOBAL_DEF = -2  # module globals, initialized before main
+UNINIT_DEF = -3  # hoisted-but-unassigned local (reads as nil)
+
+Fact = FrozenSet
+
+
+class DataflowProblem:
+    """One dataflow analysis: direction, meet, boundary, transfer."""
+
+    direction = FORWARD
+    kind = MAY
+
+    def boundary(self) -> Fact:
+        """The fact entering the start node (entry for forward
+        problems, exit for backward ones)."""
+        return frozenset()
+
+    def transfer(self, index: int, instr: ins.Instr, fact: Fact) -> Fact:
+        """The fact after *instr* given the fact before it (in the
+        analysis direction)."""
+        return fact
+
+
+class DataflowResult:
+    """Solved facts, exposed in execution order."""
+
+    def __init__(
+        self,
+        direction: str,
+        inputs: Dict[int, Optional[Fact]],
+        outputs: Dict[int, Optional[Fact]],
+    ) -> None:
+        self._direction = direction
+        self._inputs = inputs
+        self._outputs = outputs
+
+    def before(self, index: int) -> Optional[Fact]:
+        """Fact holding immediately before instruction *index* executes.
+        ``None`` marks a node a must-problem never reached."""
+        if self._direction == FORWARD:
+            return self._inputs[index]
+        return self._outputs[index]
+
+    def after(self, index: int) -> Optional[Fact]:
+        """Fact holding immediately after instruction *index* executes."""
+        if self._direction == FORWARD:
+            return self._outputs[index]
+        return self._inputs[index]
+
+
+def solve(problem: DataflowProblem, function: IRFunction) -> DataflowResult:
+    """Run the worklist fixpoint of *problem* over *function*."""
+    size = len(function.instrs)
+    succs: Dict[int, Tuple[int, ...]] = {
+        index: function.successors(index) for index in range(size)
+    }
+    preds = function.predecessor_map()
+    if problem.direction == FORWARD:
+        flow_in, flow_out = preds, succs
+        start = function.entry
+        order: Iterable[int] = range(size)
+    else:
+        flow_in, flow_out = succs, preds
+        start = function.exit
+        order = range(size - 1, -1, -1)
+
+    may = problem.kind == MAY
+    boundary = problem.boundary()
+    # None encodes TOP for must-problems; may-problems bottom out at the
+    # empty set and never see None.
+    inputs: Dict[int, Optional[Fact]] = {
+        index: (frozenset() if may else None) for index in range(size)
+    }
+    outputs: Dict[int, Optional[Fact]] = dict(inputs)
+    inputs[start] = boundary
+    outputs[start] = problem.transfer(start, function.instrs[start], boundary)
+
+    pending = deque(order)
+    queued = set(pending)
+    while pending:
+        index = pending.popleft()
+        queued.discard(index)
+        if index == start:
+            in_fact: Optional[Fact] = boundary
+        else:
+            neighbor_facts = [
+                outputs[n] for n in flow_in[index] if outputs[n] is not None
+            ]
+            if may:
+                merged: Fact = frozenset()
+                for fact in neighbor_facts:
+                    merged |= fact
+                in_fact = merged
+            else:
+                if not neighbor_facts:
+                    in_fact = None  # still TOP: unreached so far
+                else:
+                    merged = neighbor_facts[0]
+                    for fact in neighbor_facts[1:]:
+                        merged &= fact
+                    in_fact = merged
+        inputs[index] = in_fact
+        if in_fact is None:
+            out_fact: Optional[Fact] = None
+        else:
+            out_fact = problem.transfer(index, function.instrs[index], in_fact)
+        if out_fact != outputs[index]:
+            outputs[index] = out_fact
+            for succ in flow_out[index]:
+                if succ not in queued:
+                    pending.append(succ)
+                    queued.add(succ)
+    return DataflowResult(problem.direction, inputs, outputs)
+
+
+# -- helpers shared by the instances -------------------------------------------
+
+
+def local_names(
+    function: IRFunction, global_names: FrozenSet[str]
+) -> FrozenSet[str]:
+    """Every register local to *function*: params, user variables and
+    compiler temporaries — anything referenced that is not a global."""
+    names = set(function.params)
+    for instr in function.instrs:
+        dst = instr.defs()
+        if dst is not None:
+            names.add(dst)
+        names.update(instr.uses())
+    return frozenset(names - set(global_names))
+
+
+# -- reaching definitions ------------------------------------------------------
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward/may: which (name, def-site) pairs may reach each point.
+
+    Definition sites are instruction indices, plus the synthetic sites
+    :data:`PARAM_DEF` (parameters), :data:`GLOBAL_DEF` (module globals)
+    and :data:`UNINIT_DEF` (hoisted locals before their first
+    assignment — MiniC reads those as nil, which the lint flags).
+    """
+
+    direction = FORWARD
+    kind = MAY
+
+    def __init__(
+        self, function: IRFunction, global_names: Iterable[str] = ()
+    ) -> None:
+        self.function = function
+        self.globals = frozenset(global_names)
+        self.locals = local_names(function, self.globals)
+
+    def boundary(self) -> Fact:
+        entry: set = {(param, PARAM_DEF) for param in self.function.params}
+        entry.update((name, GLOBAL_DEF) for name in self.globals)
+        entry.update(
+            (name, UNINIT_DEF)
+            for name in self.locals
+            if name not in self.function.params
+        )
+        return frozenset(entry)
+
+    def transfer(self, index: int, instr: ins.Instr, fact: Fact) -> Fact:
+        dst = instr.defs()
+        if dst is None:
+            return fact
+        survived = {pair for pair in fact if pair[0] != dst}
+        survived.add((dst, index))
+        return frozenset(survived)
+
+    def defs_reaching(
+        self, result: DataflowResult, index: int, name: str
+    ) -> FrozenSet[int]:
+        """Definition sites of *name* that may reach instruction *index*."""
+        fact = result.before(index) or frozenset()
+        return frozenset(site for var, site in fact if var == name)
+
+
+# -- live variables ------------------------------------------------------------
+
+
+class LiveVariables(DataflowProblem):
+    """Backward/may: which names may still be read later.
+
+    Globals are live at exit (other functions and threads read them);
+    locals die there.
+    """
+
+    direction = BACKWARD
+    kind = MAY
+
+    def __init__(
+        self, function: IRFunction, global_names: Iterable[str] = ()
+    ) -> None:
+        self.function = function
+        self.globals = frozenset(global_names)
+
+    def boundary(self) -> Fact:
+        return self.globals
+
+    def transfer(self, index: int, instr: ins.Instr, fact: Fact) -> Fact:
+        dst = instr.defs()
+        if dst is not None:
+            fact = fact - {dst}
+        uses = instr.uses()
+        if uses:
+            fact = fact | frozenset(uses)
+        return fact
+
+
+def dead_stores(
+    function: IRFunction, global_names: Iterable[str] = ()
+) -> List[int]:
+    """Indices whose defined register is never live afterwards.
+
+    Only counts pure value-producing instructions — a call or syscall
+    with an unused result is not a *dead store* (its effects matter).
+    """
+    problem = LiveVariables(function, global_names)
+    result = solve(problem, function)
+    pure = (ins.Const, ins.Move, ins.Binop, ins.Unop, ins.LoadIndex, ins.NewList)
+    dead: List[int] = []
+    for index, instr in enumerate(function.instrs):
+        dst = instr.defs()
+        if dst is None or not isinstance(instr, pure):
+            continue
+        live_after = result.after(index) or frozenset()
+        if dst not in live_after:
+            dead.append(index)
+    return dead

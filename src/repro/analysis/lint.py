@@ -1,0 +1,219 @@
+"""Diagnostics over one MiniC module, built on the dataflow instances.
+
+Four families:
+
+* ``never-read-var`` — a user variable (local or global) that is
+  written but never read; dead state that instrumentation still pays
+  counter updates for.
+* ``maybe-uninit`` — a use that a hoisted-but-unassigned definition may
+  reach (MiniC reads those as nil; almost always a latent bug since
+  ``var`` declarations always carry initializers).
+* ``unreachable`` — instructions no path from the function entry
+  reaches (excluding the structural exit nop).
+* ``race`` — a lockset-disjoint conflicting global access pair from
+  :mod:`repro.analysis.lockset`.
+* ``dead-store`` — a pure computation whose result is never live
+  (note-level: often benign staging of values).
+
+Diagnostics carry a stable :meth:`Diagnostic.key` so CI can compare a
+run against a checked-in baseline and fail only on *new* findings.
+Keys avoid instruction indices on purpose — unrelated edits above a
+finding must not churn the baseline — and use source lines plus subject
+names instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.dataflow import (
+    UNINIT_DEF,
+    ReachingDefinitions,
+    dead_stores,
+    solve,
+)
+from repro.analysis.lockset import LocksetReport, analyze_locksets
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.graph import function_digraph
+from repro.ir import instructions as ins
+from repro.ir.function import IRModule
+
+ERROR = "error"
+WARN = "warn"
+NOTE = "note"
+
+_SEVERITY_ORDER = {ERROR: 0, WARN: 1, NOTE: 2}
+
+
+class Diagnostic:
+    """One finding: where, what, how bad."""
+
+    __slots__ = ("code", "severity", "function", "subject", "message", "line")
+
+    def __init__(
+        self,
+        code: str,
+        severity: str,
+        function: str,
+        subject: str,
+        message: str,
+        line: int = 0,
+    ) -> None:
+        self.code = code
+        self.severity = severity
+        self.function = function
+        self.subject = subject
+        self.message = message
+        self.line = line
+
+    def key(self) -> str:
+        """Baseline identity: stable across unrelated edits."""
+        return f"{self.code}:{self.function}:{self.subject}"
+
+    def render(self) -> str:
+        where = f"{self.function}:{self.line}" if self.line else self.function
+        return f"[{self.severity}] {self.code} {where}: {self.message}"
+
+    def sort_key(self):
+        return (
+            _SEVERITY_ORDER.get(self.severity, 3),
+            self.code,
+            self.function,
+            self.line,
+            self.subject,
+        )
+
+
+def _is_user_name(name: str) -> bool:
+    return not name.startswith(".")
+
+
+def lint_module(
+    module: IRModule,
+    callgraph: Optional[CallGraph] = None,
+    lockset_report: Optional[LocksetReport] = None,
+) -> List[Diagnostic]:
+    """All diagnostics for *module*, deterministically ordered."""
+    callgraph = callgraph if callgraph is not None else CallGraph(module)
+    if lockset_report is None:
+        lockset_report = analyze_locksets(module, callgraph)
+    global_names = frozenset(module.global_values)
+    diagnostics: List[Diagnostic] = []
+
+    used_globals: Set[str] = set()
+    for function in module.functions.values():
+        for instr in function.instrs:
+            used_globals.update(set(instr.uses()) & global_names)
+    for name in sorted(global_names - used_globals):
+        diagnostics.append(
+            Diagnostic(
+                "never-read-var",
+                WARN,
+                "<module>",
+                name,
+                f"global {name!r} is never read",
+            )
+        )
+
+    for fn_name, function in module.functions.items():
+        # -- never-read locals ------------------------------------------------
+        written: Dict[str, int] = {}
+        read: Set[str] = set(function.params)
+        for instr in function.instrs:
+            dst = instr.defs()
+            if dst is not None and dst not in global_names and _is_user_name(dst):
+                written.setdefault(dst, instr.line)
+            read.update(instr.uses())
+        for name in sorted(set(written) - read):
+            diagnostics.append(
+                Diagnostic(
+                    "never-read-var",
+                    WARN,
+                    fn_name,
+                    name,
+                    f"local {name!r} is written but never read",
+                    written[name],
+                )
+            )
+
+        # -- unreachable code -------------------------------------------------
+        graph = function_digraph(function)
+        reachable = graph.reachable_from(function.entry)
+        unreachable_lines: Set[int] = set()
+        for index, instr in enumerate(function.instrs):
+            if index in reachable or isinstance(instr, ins.Nop):
+                continue
+            unreachable_lines.add(instr.line)
+        for line in sorted(unreachable_lines):
+            diagnostics.append(
+                Diagnostic(
+                    "unreachable",
+                    WARN,
+                    fn_name,
+                    f"line{line}",
+                    "code is unreachable from the function entry",
+                    line,
+                )
+            )
+
+        # -- maybe-uninitialized uses ----------------------------------------
+        problem = ReachingDefinitions(function, global_names)
+        result = solve(problem, function)
+        flagged_names: Set[str] = set()
+        for index, instr in enumerate(function.instrs):
+            if index not in reachable:
+                continue
+            for name in instr.uses():
+                if name in global_names or not _is_user_name(name):
+                    continue
+                if name in flagged_names:
+                    continue
+                if UNINIT_DEF in problem.defs_reaching(result, index, name):
+                    flagged_names.add(name)
+                    diagnostics.append(
+                        Diagnostic(
+                            "maybe-uninit",
+                            WARN,
+                            fn_name,
+                            name,
+                            f"{name!r} may be read before assignment (nil)",
+                            instr.line,
+                        )
+                    )
+
+        # -- dead stores ------------------------------------------------------
+        dead_names: Set[str] = set()
+        for index in dead_stores(function, global_names):
+            if index not in reachable:
+                continue  # already reported as unreachable
+            instr = function.instrs[index]
+            dst = instr.defs()
+            if dst is None or not _is_user_name(dst) or dst in dead_names:
+                continue
+            if dst in (set(written) - read):
+                continue  # already reported as never-read
+            dead_names.add(dst)
+            diagnostics.append(
+                Diagnostic(
+                    "dead-store",
+                    NOTE,
+                    fn_name,
+                    dst,
+                    f"value stored to {dst!r} here is never used",
+                    instr.line,
+                )
+            )
+
+    for race in lockset_report.races:
+        diagnostics.append(
+            Diagnostic(
+                "race",
+                WARN,
+                "<module>",
+                race.global_name,
+                race.describe(),
+            )
+        )
+
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics

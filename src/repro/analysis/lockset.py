@@ -1,0 +1,383 @@
+"""Lockset-based static race detection for the thread intrinsics.
+
+An Eraser-style lockset discipline, computed statically:
+
+* thread entry functions are resolved from ``thread_spawn`` sites (the
+  spawned register is traced to ``FuncRef`` constants; unresolvable
+  registers fall back to every address-taken function);
+* per function, a forward **must** dataflow computes the set of
+  abstract locks held at every instruction (``mutex_lock`` adds its
+  argument register's name, ``mutex_unlock`` removes it — MiniC
+  workloads keep mutexes in globals, so the register name is a stable
+  cross-function identity);
+* entry locksets propagate interprocedurally: a function's context
+  lockset is the must-intersection of the held sets at all of its call
+  sites, so helpers called under a lock inherit it;
+* two accesses to the same global race when at least one writes, their
+  contexts can overlap in time, and their locksets are disjoint.
+
+Concurrency of the *spawning* function is approximated structurally: an
+access there counts as concurrent unless at least as many
+``thread_join`` sites as ``thread_spawn`` sites dominate it (the
+straight-line spawn…join…use pattern every workload uses).  Accesses in
+thread entry functions (and their callees) are always concurrent.
+
+The race set feeds two clients: lint diagnostics, and the static taint
+pass, which treats racy globals as additional sources — scheduling may
+legitimately diverge their values between the two executions, so any
+sink they reach is may-causal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow import (
+    FORWARD,
+    MUST,
+    DataflowProblem,
+    solve,
+)
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import function_digraph
+from repro.ir import instructions as ins
+from repro.ir.function import IRFunction, IRModule
+
+MAIN_CONTEXT = "<main>"
+
+
+class HeldLocks(DataflowProblem):
+    """Forward/must: abstract locks provably held at each instruction."""
+
+    direction = FORWARD
+    kind = MUST
+
+    def __init__(self, entry_locks: FrozenSet[str] = frozenset()) -> None:
+        self.entry_locks = entry_locks
+
+    def boundary(self):
+        return self.entry_locks
+
+    def transfer(self, index, instr, fact):
+        if isinstance(instr, ins.Syscall):
+            if instr.name == "mutex_lock" and instr.args:
+                return fact | {instr.args[0]}
+            if instr.name == "mutex_unlock" and instr.args:
+                return fact - {instr.args[0]}
+        return fact
+
+
+class Access:
+    """One static access to a shared global."""
+
+    __slots__ = ("context", "function", "index", "line", "is_write", "lockset")
+
+    def __init__(
+        self,
+        context: str,
+        function: str,
+        index: int,
+        line: int,
+        is_write: bool,
+        lockset: FrozenSet[str],
+    ) -> None:
+        self.context = context
+        self.function = function
+        self.index = index
+        self.line = line
+        self.is_write = is_write
+        self.lockset = lockset
+
+    def where(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"{kind} {self.function}@{self.index}"
+
+
+class Race:
+    """A pair of conflicting accesses with disjoint locksets."""
+
+    __slots__ = ("global_name", "first", "second")
+
+    def __init__(self, global_name: str, first: Access, second: Access) -> None:
+        self.global_name = global_name
+        self.first = first
+        self.second = second
+
+    def describe(self) -> str:
+        return (
+            f"global {self.global_name!r}: {self.first.where()} "
+            f"[{self.first.context}] vs {self.second.where()} "
+            f"[{self.second.context}] with no common lock"
+        )
+
+
+class LocksetReport:
+    """Everything the lockset analysis learned about one module."""
+
+    def __init__(self) -> None:
+        self.thread_entries: Dict[str, int] = {}  # entry function -> spawn count
+        self.races: List[Race] = []
+        self.racy_globals: FrozenSet[str] = frozenset()
+        # Globals with conflicting concurrent accesses even when locks
+        # serialize them: consistent locking makes a race-free program,
+        # but the *order* of lock acquisitions still depends on the
+        # schedule, so these values may diverge once anything perturbs
+        # timing.  The taint pass taints them when that happens.
+        self.shared_globals: FrozenSet[str] = frozenset()
+        self.entry_locksets: Dict[str, FrozenSet[str]] = {}
+
+    @property
+    def has_threads(self) -> bool:
+        return bool(self.thread_entries)
+
+
+def funcref_targets(function: IRFunction, register: str) -> Optional[Set[str]]:
+    """Function names the *register* may hold, traced flow-insensitively
+    through Const/Move chains inside one function.  ``None`` means the
+    register's origin is unknown (parameter, global, call result)."""
+    holds: Dict[str, Optional[Set[str]]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for instr in function.instrs:
+            if isinstance(instr, ins.Const) and isinstance(instr.value, ins.FuncRef):
+                previous = holds.get(instr.dst)
+                if previous is None and instr.dst in holds:
+                    continue  # already unknown: stay unknown
+                updated = set(previous or ()) | {instr.value.name}
+                if updated != previous:
+                    holds[instr.dst] = updated
+                    changed = True
+            elif isinstance(instr, ins.Move):
+                source = holds.get(instr.src, _missing(function, instr.src))
+                previous = holds.get(instr.dst, _missing(function, instr.dst))
+                merged = _merge(previous, source)
+                if merged != previous or instr.dst not in holds:
+                    holds[instr.dst] = merged
+                    changed = True
+            else:
+                dst = instr.defs()
+                if dst is not None and dst not in holds:
+                    holds[dst] = None  # produced by something opaque
+                    changed = True
+    return holds.get(register, _missing(function, register))
+
+
+def _missing(function: IRFunction, register: str) -> Optional[Set[str]]:
+    # Never assigned in this function: a parameter or global — unknown.
+    return None
+
+
+def _merge(
+    left: Optional[Set[str]], right: Optional[Set[str]]
+) -> Optional[Set[str]]:
+    if left is None or right is None:
+        return None
+    return left | right
+
+
+def address_taken(module: IRModule) -> Set[str]:
+    """Functions whose reference appears as a constant anywhere."""
+    taken: Set[str] = set()
+    for function in module.functions.values():
+        for instr in function.instrs:
+            if isinstance(instr, ins.Const) and isinstance(instr.value, ins.FuncRef):
+                if instr.value.name in module.functions:
+                    taken.add(instr.value.name)
+    return taken
+
+
+def spawn_sites(module: IRModule) -> List[Tuple[str, int, ins.Syscall]]:
+    """All (function, index, instr) thread_spawn sites."""
+    sites = []
+    for name, function in module.functions.items():
+        for index, instr in enumerate(function.instrs):
+            if isinstance(instr, ins.Syscall) and instr.name == "thread_spawn":
+                sites.append((name, index, instr))
+    return sites
+
+
+def resolve_spawn_targets(
+    module: IRModule, function_name: str, instr: ins.Syscall
+) -> Set[str]:
+    """Possible entry functions of one thread_spawn site."""
+    if not instr.args:
+        return set()
+    targets = funcref_targets(module.functions[function_name], instr.args[0])
+    if targets is None:
+        return address_taken(module)
+    return {name for name in targets if name in module.functions}
+
+
+def _reachable_functions(callgraph: CallGraph, roots: Set[str]) -> Set[str]:
+    module = callgraph.module
+    taken = address_taken(module)
+    reached = set(roots)
+    frontier = list(roots)
+    while frontier:
+        name = frontier.pop()
+        callees = set(callgraph.callees.get(name, ()))
+        if callgraph.indirect_sites.get(name):
+            callees |= taken
+        for callee in callees:
+            if callee in module.functions and callee not in reached:
+                reached.add(callee)
+                frontier.append(callee)
+    return reached
+
+
+def _entry_locksets(
+    module: IRModule,
+    callgraph: CallGraph,
+    roots: Set[str],
+) -> Tuple[Dict[str, FrozenSet[str]], Dict[str, object]]:
+    """Fixpoint of context locksets plus the per-function dataflow
+    results under those contexts."""
+    entry: Dict[str, Optional[FrozenSet[str]]] = {name: None for name in module.functions}
+    for root in roots:
+        entry[root] = frozenset()
+    results: Dict[str, object] = {}
+    changed = True
+    while changed:
+        changed = False
+        results = {}
+        for name, function in module.functions.items():
+            context = entry[name]
+            if context is None:
+                continue
+            results[name] = solve(HeldLocks(context), function)
+        for name, function in module.functions.items():
+            result = results.get(name)
+            if result is None:
+                continue
+            for index, instr in enumerate(function.instrs):
+                targets: Set[str] = set()
+                if isinstance(instr, ins.CallDirect):
+                    targets = {instr.func}
+                elif isinstance(instr, ins.CallIndirect):
+                    targets = address_taken(module)
+                elif isinstance(instr, ins.Syscall) and instr.name == "thread_spawn":
+                    continue  # spawned threads start lock-free
+                if not targets:
+                    continue
+                held = result.before(index)
+                if held is None:
+                    continue  # unreachable call site
+                for target in targets:
+                    if target not in module.functions:
+                        continue
+                    current = entry.get(target)
+                    updated = held if current is None else current & held
+                    if updated != current:
+                        entry[target] = updated
+                        changed = True
+    final = {name: locks for name, locks in entry.items() if locks is not None}
+    return final, results
+
+
+def _concurrent_in_spawner(function: IRFunction, index: int) -> bool:
+    """In the function that spawns threads: is instruction *index*
+    possibly concurrent with the spawned threads?"""
+    graph = function_digraph(function)
+    dominators = compute_dominators(graph, function.entry)
+    doms = dominators.get(index, set())
+    spawns = joins = 0
+    for dom in doms:
+        instr = function.instrs[dom]
+        if isinstance(instr, ins.Syscall):
+            if instr.name == "thread_spawn":
+                spawns += 1
+            elif instr.name == "thread_join":
+                joins += 1
+    return spawns > joins
+
+
+def analyze_locksets(
+    module: IRModule, callgraph: Optional[CallGraph] = None
+) -> LocksetReport:
+    """Run the full lockset race analysis over one module."""
+    report = LocksetReport()
+    callgraph = callgraph if callgraph is not None else CallGraph(module)
+    sites = spawn_sites(module)
+    if not sites:
+        return report
+    for function_name, _index, instr in sites:
+        for target in resolve_spawn_targets(module, function_name, instr):
+            report.thread_entries[target] = report.thread_entries.get(target, 0) + 1
+    if not report.thread_entries:
+        return report
+
+    global_names = frozenset(module.global_values)
+    spawners = {name for name, _i, _s in sites}
+    roots = set(report.thread_entries) | {"main"} | spawners
+    entry_locksets, results = _entry_locksets(module, callgraph, roots)
+    report.entry_locksets = dict(entry_locksets)
+
+    # Which context(s) each function runs in.
+    contexts: Dict[str, Set[str]] = {}
+    for entry_name in report.thread_entries:
+        for name in _reachable_functions(callgraph, {entry_name}):
+            contexts.setdefault(name, set()).add(entry_name)
+    if "main" in module.functions:
+        for name in _reachable_functions(callgraph, {"main"}):
+            contexts.setdefault(name, set()).add(MAIN_CONTEXT)
+
+    accesses: Dict[str, List[Access]] = {}
+    for name, function in module.functions.items():
+        function_contexts = contexts.get(name)
+        result = results.get(name)
+        if not function_contexts or result is None:
+            continue
+        for index, instr in enumerate(function.instrs):
+            held = result.before(index)
+            if held is None:
+                continue  # statically unreachable
+            touched: List[Tuple[str, bool]] = []
+            dst = instr.defs()
+            if dst in global_names:
+                touched.append((dst, True))
+            for used in instr.uses():
+                if used in global_names:
+                    touched.append((used, False))
+            if not touched:
+                continue
+            for context in sorted(function_contexts):
+                if context == MAIN_CONTEXT and name in spawners:
+                    if not _concurrent_in_spawner(function, index):
+                        continue
+                for global_name, is_write in touched:
+                    accesses.setdefault(global_name, []).append(
+                        Access(context, name, index, instr.line, is_write, held)
+                    )
+
+    racy: Set[str] = set()
+    shared: Set[str] = set()
+    for global_name in sorted(accesses):
+        entries = accesses[global_name]
+        reported: Set[Tuple] = set()
+        for i, first in enumerate(entries):
+            for second in entries[i:]:
+                if not (first.is_write or second.is_write):
+                    continue
+                if first.context == second.context:
+                    # Same context only conflicts with itself when the
+                    # entry is spawned more than once.
+                    if report.thread_entries.get(first.context, 0) < 2:
+                        continue
+                shared.add(global_name)
+                if first.lockset & second.lockset:
+                    continue
+                key = (
+                    global_name,
+                    min(first.where(), second.where()),
+                    max(first.where(), second.where()),
+                )
+                if key in reported:
+                    continue
+                reported.add(key)
+                report.races.append(Race(global_name, first, second))
+                racy.add(global_name)
+    report.racy_globals = frozenset(racy)
+    report.shared_globals = frozenset(shared)
+    return report

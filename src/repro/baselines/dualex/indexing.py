@@ -14,18 +14,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.cfg.dominators import immediate_dominators
-from repro.cfg.graph import Digraph, function_digraph
+# Re-exported for backward compatibility: the computation now lives in
+# repro.cfg.dominators next to its forward-direction sibling.
+from repro.cfg.dominators import immediate_postdominators  # noqa: F401
 from repro.ir import instructions as ins
 from repro.ir.function import IRFunction
-
-
-def immediate_postdominators(function: IRFunction) -> Dict[int, int]:
-    """ipostdom per node, computed as idom on the reversed CFG."""
-    reversed_graph = Digraph(range(len(function.instrs)))
-    for src, dst in function.edges():
-        reversed_graph.add_edge(dst, src)
-    return immediate_dominators(reversed_graph, function.exit)
 
 
 class _Entry:

@@ -1,4 +1,4 @@
-"""Content-addressed instrumentation artifact cache.
+"""Content-addressed artifact caches (instrumentation + static analysis).
 
 Every dual execution needs an :class:`~repro.instrument.pipeline.
 InstrumentedModule` — the IR module, its :class:`ModulePlan` and the
@@ -22,6 +22,12 @@ deserializing them wrongly — and every stored payload embeds the tag
 again so a stray file from another version is treated as a miss.
 Corrupted entries (truncated writes, bad pickles) also degrade to a
 miss: the artifact is recompiled and the entry rewritten.
+
+The same two-layer machinery also backs the **static analysis cache**
+(:data:`ANALYSIS_SCHEMA_TAG`): ``repro analyze`` summaries are pure
+functions of source text plus the analysis seed fingerprint, so they
+content-address the same way.  The two caches share a directory but
+never a namespace — each schema tag owns a subdirectory.
 """
 
 from __future__ import annotations
@@ -38,6 +44,9 @@ from repro.ir import compile_source
 
 # Bump when InstrumentedModule / ModulePlan / IR pickle layout changes.
 SCHEMA_TAG = "ldx-artifact-v1"
+
+# Bump when ProgramAnalysis / Diagnostic pickle layout changes.
+ANALYSIS_SCHEMA_TAG = "ldx-analysis-v1"
 
 
 class CacheStats:
@@ -72,15 +81,19 @@ class CacheStats:
         )
 
 
-def artifact_key(source: str, config: Optional[Dict[str, object]] = None) -> str:
-    """Content address of one instrumentation artifact.
+def artifact_key(
+    source: str,
+    config: Optional[Dict[str, object]] = None,
+    schema_tag: Optional[str] = None,
+) -> str:
+    """Content address of one cached artifact.
 
-    Hashes the schema tag, the instrumentation configuration (sorted,
-    so dict ordering never changes the key) and the source text.
-    Runtime state is deliberately excluded.
+    Hashes the schema tag, the configuration (sorted, so dict ordering
+    never changes the key) and the source text.  Runtime state is
+    deliberately excluded.
     """
     hasher = hashlib.sha256()
-    hasher.update(SCHEMA_TAG.encode())
+    hasher.update((SCHEMA_TAG if schema_tag is None else schema_tag).encode())
     for name, value in sorted((config or {}).items()):
         hasher.update(b"\0")
         hasher.update(f"{name}={value!r}".encode())
@@ -90,29 +103,38 @@ def artifact_key(source: str, config: Optional[Dict[str, object]] = None) -> str
 
 
 class ArtifactCache:
-    """A two-layer (memory LRU + optional disk) artifact cache."""
+    """A two-layer (memory LRU + optional disk) artifact cache.
+
+    The payload is opaque: :meth:`lookup` takes the content-address key
+    and a builder thunk, so one class serves both the instrumentation
+    cache and the analysis cache.  ``payload_type``, when given, guards
+    disk loads against entries written by a different cache that shares
+    the directory.
+    """
 
     def __init__(
         self,
         capacity: int = 128,
         cache_dir: Optional[str] = None,
         enabled: bool = True,
+        schema_tag: str = SCHEMA_TAG,
+        payload_type: Optional[type] = InstrumentedModule,
     ) -> None:
         self.capacity = max(1, capacity)
         self.cache_dir = cache_dir
         self.enabled = enabled
+        self.schema_tag = schema_tag
+        self.payload_type = payload_type
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, InstrumentedModule]" = OrderedDict()
+        self._memory: "OrderedDict[str, object]" = OrderedDict()
 
     # -- lookup ----------------------------------------------------------------
 
-    def instrumented(
-        self, source: str, config: Optional[Dict[str, object]] = None
-    ) -> InstrumentedModule:
-        """The instrumented artifact for *source*, cached."""
+    def lookup(self, key: str, builder):
+        """The artifact stored under *key*, building (and persisting)
+        it on a miss."""
         if not self.enabled:
-            return instrument_module(compile_source(source))
-        key = artifact_key(source, config)
+            return builder()
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
@@ -123,12 +145,21 @@ class ArtifactCache:
             self.stats.disk_hits += 1
         else:
             self.stats.misses += 1
-            artifact = instrument_module(compile_source(source))
+            artifact = builder()
             self._disk_store(key, artifact)
         self._remember(key, artifact)
         return artifact
 
-    def _remember(self, key: str, artifact: InstrumentedModule) -> None:
+    def instrumented(
+        self, source: str, config: Optional[Dict[str, object]] = None
+    ) -> InstrumentedModule:
+        """The instrumented artifact for *source*, cached."""
+        return self.lookup(
+            artifact_key(source, config, self.schema_tag),
+            lambda: instrument_module(compile_source(source)),
+        )
+
+    def _remember(self, key: str, artifact) -> None:
         self._memory[key] = artifact
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:
@@ -145,9 +176,9 @@ class ArtifactCache:
     def _entry_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
             return None
-        return os.path.join(self.cache_dir, SCHEMA_TAG, key + ".pkl")
+        return os.path.join(self.cache_dir, self.schema_tag, key + ".pkl")
 
-    def _disk_load(self, key: str) -> Optional[InstrumentedModule]:
+    def _disk_load(self, key: str):
         path = self._entry_path(key)
         if path is None or not os.path.exists(path):
             return None
@@ -156,12 +187,14 @@ class ArtifactCache:
                 payload = pickle.load(handle)
             if (
                 not isinstance(payload, dict)
-                or payload.get("schema") != SCHEMA_TAG
+                or payload.get("schema") != self.schema_tag
             ):
                 raise ValueError("schema tag mismatch")
             artifact = payload["artifact"]
-            if not isinstance(artifact, InstrumentedModule):
-                raise ValueError("payload is not an InstrumentedModule")
+            if self.payload_type is not None and not isinstance(
+                artifact, self.payload_type
+            ):
+                raise ValueError("payload has the wrong type")
             return artifact
         except Exception:
             # Corrupted or stale entry: drop it and recompile.
@@ -172,13 +205,13 @@ class ArtifactCache:
                 pass
             return None
 
-    def _disk_store(self, key: str, artifact: InstrumentedModule) -> None:
+    def _disk_store(self, key: str, artifact) -> None:
         path = self._entry_path(key)
         if path is None:
             return
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            payload = pickle.dumps({"schema": SCHEMA_TAG, "artifact": artifact})
+            payload = pickle.dumps({"schema": self.schema_tag, "artifact": artifact})
             # Atomic publish: a reader never sees a half-written entry.
             fd, temp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
@@ -200,14 +233,15 @@ class ArtifactCache:
             self.stats.disk_errors += 1
 
 
-# -- process-global cache ------------------------------------------------------
+# -- process-global caches -----------------------------------------------------
 #
-# The workload registry and the pool workers all route through one
-# shared instance so hit statistics and the LRU are coherent within a
-# process.  ``configure`` swaps it (e.g. per the CLI's --cache-dir /
+# The workload registry and the pool workers all route through shared
+# instances so hit statistics and the LRUs are coherent within a
+# process.  ``configure`` swaps both (e.g. per the CLI's --cache-dir /
 # --no-cache flags, or inside a freshly spawned worker).
 
 _GLOBAL = ArtifactCache()
+_ANALYSIS = ArtifactCache(schema_tag=ANALYSIS_SCHEMA_TAG, payload_type=None)
 
 
 def configure(
@@ -215,9 +249,16 @@ def configure(
     enabled: bool = True,
     capacity: int = 128,
 ) -> ArtifactCache:
-    """Replace the process-global cache; returns the new instance."""
-    global _GLOBAL
+    """Replace the process-global caches; returns the artifact one."""
+    global _GLOBAL, _ANALYSIS
     _GLOBAL = ArtifactCache(capacity=capacity, cache_dir=cache_dir, enabled=enabled)
+    _ANALYSIS = ArtifactCache(
+        capacity=capacity,
+        cache_dir=cache_dir,
+        enabled=enabled,
+        schema_tag=ANALYSIS_SCHEMA_TAG,
+        payload_type=None,
+    )
     return _GLOBAL
 
 
@@ -225,8 +266,21 @@ def get_cache() -> ArtifactCache:
     return _GLOBAL
 
 
+def get_analysis_cache() -> ArtifactCache:
+    return _ANALYSIS
+
+
 def instrumented_for(
     source: str, config: Optional[Dict[str, object]] = None
 ) -> InstrumentedModule:
     """Module-level convenience: look *source* up in the global cache."""
     return _GLOBAL.instrumented(source, config)
+
+
+def analysis_for(source: str, fingerprint: str, builder):
+    """Cached static-analysis summary of *source* under the given seed
+    fingerprint.  *builder* produces the summary on a miss."""
+    key = artifact_key(
+        source, {"seeds": fingerprint}, schema_tag=ANALYSIS_SCHEMA_TAG
+    )
+    return _ANALYSIS.lookup(key, builder)

@@ -1,8 +1,14 @@
-"""Dominator computation (iterative data-flow formulation).
+"""Dominator and postdominator computation (iterative data-flow
+formulation).
 
 Function CFGs here are instruction-granular and small, so the classic
 iterate-until-fixpoint set algorithm is plenty fast and trivially
 correct — the property tests exercise it against a brute-force check.
+
+Postdominators are dominators of the reversed CFG, rooted at the unique
+exit node every :class:`~repro.ir.function.IRFunction` guarantees.  They
+close branch regions in DualEx's execution indexing and anchor the
+control-dependence computation of the static analyzer.
 """
 
 from __future__ import annotations
@@ -71,3 +77,48 @@ def immediate_dominators(graph: Digraph, entry: int) -> Dict[int, int]:
                 idom[node] = candidate
                 break
     return idom
+
+
+# -- postdominators ------------------------------------------------------------
+
+
+def reversed_digraph(graph: Digraph) -> Digraph:
+    """The same nodes with every edge flipped."""
+    reverse = Digraph(graph.nodes)
+    for src, dst in graph.edges():
+        reverse.add_edge(dst, src)
+    return reverse
+
+
+def compute_postdominators(graph: Digraph, exit_node: int) -> Dict[int, Set[int]]:
+    """Map node -> set of its postdominators (including itself).
+
+    Nodes with no path to *exit_node* (e.g. bodies of infinite loops)
+    get an empty set, symmetric to how :func:`compute_dominators`
+    treats nodes unreachable from the entry.
+    """
+    return compute_dominators(reversed_digraph(graph), exit_node)
+
+
+def postdominates(postdominators: Dict[int, Set[int]], a: int, b: int) -> bool:
+    """True when node *a* postdominates node *b*."""
+    return a in postdominators.get(b, ())
+
+
+def immediate_postdominators_of(graph: Digraph, exit_node: int) -> Dict[int, int]:
+    """ipostdom per node, computed as idom on the reversed graph."""
+    return immediate_dominators(reversed_digraph(graph), exit_node)
+
+
+def immediate_postdominators(function) -> Dict[int, int]:
+    """ipostdom per node of an :class:`~repro.ir.function.IRFunction`.
+
+    Promoted from ``baselines/dualex/indexing.py`` (which re-exports it
+    for backward compatibility): branch regions in execution indexing
+    close at the predicate's immediate postdominator, and the static
+    analyzer's control-dependence pass walks the same tree.
+    """
+    graph = Digraph(range(len(function.instrs)))
+    for src, dst in function.edges():
+        graph.add_edge(src, dst)
+    return immediate_postdominators_of(graph, function.exit)

@@ -4,13 +4,16 @@ Usage::
 
     python -m repro leak program.mc --secret-file /etc/secret [options]
     python -m repro run  program.mc [--stdin TEXT] [--file PATH=CONTENT ...]
-    python -m repro eval [--table4-runs N]
+    python -m repro eval [--table4-runs N] [--check-static]
     python -m repro chaos [--seeds N] [--fault-rate R]
+    python -m repro analyze program.mc | --workload NAME | --all [--dump-ir]
 
 ``leak`` dual-executes a MiniC program with LDX and reports causality;
-``run`` executes it natively; ``eval`` regenerates the paper's tables;
+``run`` executes it natively; ``eval`` regenerates the paper's tables
+(``--check-static`` adds Table 5 and the soundness-oracle check);
 ``chaos`` sweeps fault-injection seeds across the workloads and checks
-the robustness invariants.
+the robustness invariants; ``analyze`` runs the static causality
+analyzer and lints without executing anything.
 """
 
 from __future__ import annotations
@@ -109,6 +112,20 @@ def _jobs(text: str) -> int:
     return value
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="on-disk artifact cache location (default: .repro-cache)",
+    )
+
+
 def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -118,17 +135,7 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the evaluation fan-out (1 = serial; "
         "output is byte-identical for any value)",
     )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the instrumentation artifact cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=".repro-cache",
-        metavar="DIR",
-        help="on-disk artifact cache location (default: .repro-cache)",
-    )
+    _add_cache_options(parser)
 
 
 def _configure_cache(args) -> None:
@@ -220,15 +227,114 @@ def _cmd_eval(args) -> int:
     from repro.eval.runner import run_all
 
     _configure_cache(args)
-    print(
-        run_all(
-            table4_runs=args.table4_runs,
-            jobs=args.jobs,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            use_cache=not args.no_cache,
-        )
+    result = run_all(
+        table4_runs=args.table4_runs,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        check_static=args.check_static,
+        table5_path=args.table5_json,
     )
+    print(result.report)
+    if not result.static_ok:
+        print(
+            "eval: soundness violations — dynamic detections outside the "
+            "static may-depend set (see Table 5)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _analysis_targets(args) -> List[tuple]:
+    """(name, source, config) triples for every requested program."""
+    from repro.workloads import ALL_WORKLOADS, get_workload
+
+    targets: List[tuple] = []
+    for path in args.programs:
+        targets.append((path, open(path).read(), None))
+    for name in args.workload or []:
+        workload = get_workload(name)
+        targets.append((workload.name, workload.source, workload.config()))
+    if args.all_workloads:
+        for workload in ALL_WORKLOADS:
+            targets.append((workload.name, workload.source, workload.config()))
+    if not targets:
+        raise SystemExit("analyze: give PROGRAM files, --workload NAME, or --all")
+    return targets
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import analyze_source, render_analysis
+    from repro.ir.printer import format_module
+
+    _configure_cache(args)
+    analyses = []
+    chunks: List[str] = []
+    for name, source, config in _analysis_targets(args):
+        analysis = analyze_source(source, config, name)
+        analyses.append(analysis)
+        chunks.append(render_analysis(analysis, verbose=args.verbose))
+        if args.dump_ir:
+            chunks.append(format_module(compile_source(source), analysis.annotate))
+    print("\n".join(chunks), end="")
+
+    if args.json:
+        import json
+
+        payload = {
+            "schema": "ldx-analyze-v1",
+            "programs": [
+                {
+                    "name": analysis.name,
+                    "diagnostics": sorted(analysis.diagnostic_keys()),
+                    "flagged_sinks": sorted(
+                        f"{fn}:{syscall}" for fn, syscall in analysis.flagged_sinks
+                    ),
+                    "sink_sites": len(analysis.sink_sites),
+                    "may_abort": analysis.may_abort,
+                    "races": list(analysis.races),
+                }
+                for analysis in analyses
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # Baseline comparison: one "<program>|<diagnostic key>" line each.
+    current = sorted(
+        {
+            f"{analysis.name}|{key}"
+            for analysis in analyses
+            for key in analysis.diagnostic_keys()
+        }
+    )
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            handle.write("\n".join(current) + ("\n" if current else ""))
+    status = 0
+    if args.baseline:
+        known = {
+            line.strip()
+            for line in open(args.baseline)
+            if line.strip() and not line.startswith("#")
+        }
+        new = [key for key in current if key not in known]
+        fixed = sorted(known - set(current))
+        for key in fixed:
+            print(f"analyze: baseline diagnostic no longer fires: {key}")
+        if new:
+            for key in new:
+                print(f"analyze: NEW diagnostic (not in baseline): {key}")
+            status = 1
+    if args.strict and any(
+        diagnostic.severity in ("error", "warn")
+        for analysis in analyses
+        for diagnostic in analysis.diagnostics
+    ):
+        status = 1
+    return status
 
 
 def _cmd_chaos(args) -> int:
@@ -273,8 +379,70 @@ def main(argv: List[str] = None) -> int:
 
     eval_parser = commands.add_parser("eval", help="regenerate the paper's tables")
     eval_parser.add_argument("--table4-runs", type=int, default=100)
+    eval_parser.add_argument(
+        "--check-static",
+        action="store_true",
+        help="append Table 5 and verify every dynamic detection against the "
+        "static may-depend oracle (exit 1 on any soundness violation)",
+    )
+    eval_parser.add_argument(
+        "--table5-json",
+        metavar="PATH",
+        default=None,
+        help="with --check-static, also write the Table 5 JSON artifact",
+    )
     _add_parallel_options(eval_parser)
     eval_parser.set_defaults(handler=_cmd_eval)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="static causality analysis and lints (no execution)",
+    )
+    analyze_parser.add_argument(
+        "programs", nargs="*", help="MiniC source files to analyze"
+    )
+    analyze_parser.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="analyze a registered workload under its config (repeatable)",
+    )
+    analyze_parser.add_argument(
+        "--all",
+        dest="all_workloads",
+        action="store_true",
+        help="analyze every registered workload",
+    )
+    analyze_parser.add_argument(
+        "--dump-ir",
+        action="store_true",
+        help="print the IR annotated with def-use and control-dependence facts",
+    )
+    analyze_parser.add_argument(
+        "--verbose", action="store_true", help="include notes and per-function stats"
+    )
+    analyze_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write a JSON summary"
+    )
+    analyze_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="known-diagnostics file; exit 1 on any diagnostic not listed",
+    )
+    analyze_parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the current diagnostic keys as a new baseline",
+    )
+    analyze_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any warning or error fires",
+    )
+    _add_cache_options(analyze_parser)
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     chaos_parser = commands.add_parser(
         "chaos", help="sweep fault-injection seeds and check robustness invariants"

@@ -89,10 +89,17 @@ class LdxEngine:
         max_instructions: int = 50_000_000,
         faults: Optional[FaultConfig] = None,
         watchdog_deadline: float = 25_000.0,
+        static_oracle=None,
     ) -> None:
         module = instrumented.module
         plan = instrumented.plan
         self.config = config
+        # Optional soundness oracle: an object with
+        # ``may_depend(function, syscall) -> bool`` (a ProgramAnalysis
+        # or StaticCausality).  Static analysis over-approximates every
+        # divergence channel, so any detection outside its may-depend
+        # set is an engine bug, recorded on the report.
+        self.static_oracle = static_oracle
         self.report = CausalityReport()
         self.degradation = DegradationReport()
         self.taints = ResourceTaintMap()
@@ -753,6 +760,16 @@ class LdxEngine:
                 self.report.syscall_diffs += 1
                 self.taints.taint(record.resource, "master-only syscall (end)")
         self.report.tainted_resources = sorted(self.taints.tainted_resources)
+        if self.static_oracle is not None:
+            for detection in self.report.detections:
+                if not self.static_oracle.may_depend(
+                    detection.where, detection.syscall
+                ):
+                    self.report.soundness_violations.append(
+                        f"{detection.kind} at {detection.where}:"
+                        f"{detection.syscall} is outside the static"
+                        " may-depend set"
+                    )
 
 
 def _sort_key(counter) -> tuple:

@@ -53,6 +53,11 @@ class CausalityReport:
         self.stall_breaks = 0
         # (role, message) for executions that died on a runtime error.
         self.crashes: List[Tuple[str, str]] = []
+        # Detections the static may-depend oracle rejects (only
+        # populated when the engine runs with a static_oracle).  A
+        # sound static analysis over-approximates the engine, so any
+        # entry here is an engine bug, not a program property.
+        self.soundness_violations: List[str] = []
 
     @property
     def causality_detected(self) -> bool:

@@ -12,44 +12,98 @@ from repro.eval.table3 import render_table3, run_table3
 from repro.eval.table4 import render_table4, run_table4
 
 
+class EvalResult:
+    """The combined report plus the ``--check-static`` verdict."""
+
+    def __init__(self, report: str, static_ok: bool = True) -> None:
+        self.report = report
+        self.static_ok = static_ok
+
+    def __str__(self) -> str:  # keeps ``print(run_all(...))`` callers working
+        return self.report
+
+    def __eq__(self, other: object) -> bool:
+        # Callers predating check_static compare reports directly.
+        if isinstance(other, EvalResult):
+            return self.report == other.report
+        if isinstance(other, str):
+            return self.report == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.report)
+
+
 def run_all(
     table4_runs: int = 100,
     verbose: bool = False,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: Optional[bool] = None,
-) -> str:
+    check_static: bool = False,
+    table5_path: Optional[str] = None,
+) -> EvalResult:
     """Run every experiment; return the combined plain-text report.
 
     With ``jobs > 1`` the experiments fan out over a process pool
     (``repro.eval.parallel``); the report is byte-identical to the
     serial path for any job count.
+
+    ``check_static=True`` appends Table 5 — every workload dual-executed
+    with the static causality analysis installed as the engine's
+    soundness oracle — and ``EvalResult.static_ok`` reports whether any
+    dynamic detection escaped the static may-depend set.  Table 5 runs
+    serially regardless of ``jobs``: each cell already reuses the cached
+    instrumentation artifacts, and the oracle check must observe the
+    exact detections of a normal engine run.  ``table5_path`` optionally
+    writes the machine-readable JSON artifact for CI.
     """
     if jobs > 1:
         from repro.eval.parallel import run_all_parallel
 
-        return run_all_parallel(
+        report = run_all_parallel(
             table4_runs=table4_runs,
             jobs=jobs,
             cache_dir=cache_dir,
             cache_enabled=use_cache,
         )
+        result = EvalResult(report)
+    else:
+        sections: List[str] = []
 
-    sections: List[str] = []
+        def add(text: str) -> None:
+            sections.append(text)
+            if verbose:
+                print(text)
+                print()
 
-    def add(text: str) -> None:
-        sections.append(text)
+        add(render_table1(run_table1()))
+        add(render_figure6(run_figure6()))
+        add(render_table2(run_table2()))
+        add(render_table3(run_table3()))
+        add(render_table4(run_table4(runs=table4_runs), table4_runs))
+        add(render_mutation_study(run_mutation_study()))
+        result = EvalResult("\n\n\n".join(sections))
+
+    if check_static:
+        from repro.eval.table5 import (
+            render_table5,
+            run_table5,
+            soundness_ok,
+            table5_json,
+        )
+
+        rows = run_table5()
+        section = render_table5(rows)
         if verbose:
-            print(text)
+            print(section)
             print()
-
-    add(render_table1(run_table1()))
-    add(render_figure6(run_figure6()))
-    add(render_table2(run_table2()))
-    add(render_table3(run_table3()))
-    add(render_table4(run_table4(runs=table4_runs), table4_runs))
-    add(render_mutation_study(run_mutation_study()))
-    return "\n\n\n".join(sections)
+        result.report = result.report + "\n\n\n" + section
+        result.static_ok = soundness_ok(rows)
+        if table5_path:
+            with open(table5_path, "w") as handle:
+                handle.write(table5_json(rows))
+    return result
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

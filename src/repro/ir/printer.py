@@ -1,22 +1,40 @@
 """Human-readable dumps of IR functions and modules (for debugging and
-for golden tests on the lowering phase)."""
+for golden tests on the lowering phase).
+
+Both entry points accept an optional *annotate* hook so analysis layers
+can decorate the dump without the printer knowing about them:
+``annotate(function_name, index, instr)`` returns a comment string (or
+``None``/empty for no comment), appended as ``; <comment>``.  The
+``repro analyze --dump-ir`` command uses it to show def-use chains and
+control-dependence facts inline.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import Instr
+
+Annotator = Callable[[str, int, Instr], Optional[str]]
 
 
-def format_function(function: IRFunction) -> str:
+def format_function(
+    function: IRFunction, annotate: Optional[Annotator] = None
+) -> str:
     """Render one function as numbered instructions."""
     lines: List[str] = [f"fn {function.name}({', '.join(function.params)}):"]
     for index, instr in enumerate(function.instrs):
-        lines.append(f"  @{index:<4} {instr!r}")
+        rendered = f"  @{index:<4} {instr!r}"
+        if annotate is not None:
+            comment = annotate(function.name, index, instr)
+            if comment:
+                rendered = f"{rendered}  ; {comment}"
+        lines.append(rendered)
     return "\n".join(lines)
 
 
-def format_module(module: IRModule) -> str:
+def format_module(module: IRModule, annotate: Optional[Annotator] = None) -> str:
     """Render a whole module."""
     parts: List[str] = []
     if module.global_values:
@@ -24,6 +42,6 @@ def format_module(module: IRModule) -> str:
             parts.append(f"global {name} = {value!r}")
         parts.append("")
     for name in sorted(module.functions):
-        parts.append(format_function(module.functions[name]))
+        parts.append(format_function(module.functions[name], annotate))
         parts.append("")
     return "\n".join(parts).rstrip() + "\n"

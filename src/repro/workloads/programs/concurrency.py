@@ -37,6 +37,8 @@ fn worker(spec) {
   // spec = [worker id, socket fd, first request idx, count]
   var wid = spec[0];
   var sock = spec[1];
+  // Worker ids are 1-based; 0 marks a malformed spec.
+  if (wid == 0) { return 0; }
   while (start_flag == 0) { sleep(1); }
   for (var k = 0; k < spec[3]; k = k + 1) {
     var req_id = spec[2] + k;

@@ -103,6 +103,9 @@ fn main() {
   var notes = open("/spec/perl/notes.txt", "r");
   var noise = read(notes, 64);
   close(notes);
+  // The notes are reference metadata (the no-leak mutation target):
+  // required to exist, but their content must not reach the output.
+  if (len(noise) == 0) { return; }
   var out = open("/spec/perl/out.txt", "w");
   var env = [[], []];
   // Pre-load the data file values as d0, d1, ...
@@ -370,6 +373,9 @@ fn main() {
   var meta = open("/spec/mcf/meta.txt", "r");
   var label = str_strip(read(meta, 32));
   close(meta);
+  // Instance label (the no-leak mutation target): must be present,
+  // must not influence the assignment result.
+  if (len(label) == 0) { return; }
   var costs = [];
   for (var i = 0; i < n * n; i = i + 1) {
     push(costs, parse_int(str_strip(read_line(f))));
@@ -437,6 +443,9 @@ fn main() {
   var book = open("/spec/gobmk/book.dat", "r");
   var opening = read(book, 32);
   close(book);
+  // Opening book (the no-leak mutation target): required, unused by
+  // the scoring below.
+  if (len(opening) == 0) { return; }
   var board = [];
   var line = read_line(f);
   while (len(line) > 0) {
@@ -572,6 +581,9 @@ fn main() {
   var book = open("/spec/sjeng/opening.bk", "r");
   var bk = read(book, 16);
   close(book);
+  // Opening book (the no-leak mutation target): required, not
+  // consulted by the midgame search below.
+  if (len(bk) == 0) { return; }
   var values = [];
   var line = read_line(f);
   while (len(line) > 0) {
@@ -685,6 +697,9 @@ fn main() {
   var trace = open("/spec/h264/trace.cfg", "r");
   var trace_tag = read(trace, 32);
   close(trace);
+  // Trace config (the no-leak mutation target): required, not part of
+  // the encoded stream.
+  if (len(trace_tag) == 0) { return; }
   var f = open("/spec/h264/frame.yuv", "r");
   var frame = read(f, 512);
   close(f);
@@ -844,7 +859,6 @@ fn main() {
   while (head < len(queue)) {
     var cell = queue[head];
     head = head + 1;
-    var r = cell / cols;
     var c = cell % cols;
     var moves = [cell - cols, cell + cols, cell - 1, cell + 1];
     for (var m = 0; m < 4; m = m + 1) {
@@ -921,6 +935,9 @@ fn main() {
   var style = open("/spec/xalanc/style.xsl", "r");
   var css = read(style, 64);
   close(style);
+  // Stylesheet (the no-leak mutation target): required, but the HTML
+  // rendering below never embeds it.
+  if (len(css) == 0) { return; }
   var out = open("/spec/xalanc/output.html", "w");
   var tags = ["bold", "item", "head"];
   var renderers = [render_bold, render_item, render_head];

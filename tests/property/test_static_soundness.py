@@ -1,0 +1,58 @@
+"""Property test of the soundness oracle: for any workload, variant and
+world seed, every detection the dual-execution engine reports must lie
+inside the static analyzer's may-depend set.
+
+This is the ``--check-static`` invariant.  The static pass is a sound
+over-approximation of LDX — it flags every (function, sink-syscall)
+pair a mutated source could possibly influence, through data flow,
+control flow, environment channels, crash divergence or schedule
+divergence.  A dynamic detection outside that set would mean either the
+engine manufactured causality out of nothing or the analyzer missed a
+divergence channel; both are bugs, and the engine records them as
+``report.soundness_violations``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_source
+from repro.core.engine import run_dual
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+WORKLOAD_NAMES = [workload.name for workload in ALL_WORKLOADS]
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    name=st.sampled_from(WORKLOAD_NAMES),
+    variant=st.sampled_from(["leak", "noleak"]),
+    seed=st.integers(min_value=0, max_value=7),
+)
+def test_dynamic_detections_within_static_may_depend(name, variant, seed):
+    workload = get_workload(name)
+    config = workload.leak_variant()
+    if variant == "noleak":
+        config = workload.noleak_variant() or config
+    analysis = analyze_source(workload.source, config, f"{name}:{variant}")
+    result = run_dual(
+        workload.instrumented,
+        workload.build_world(seed),
+        config,
+        static_oracle=analysis,
+    )
+    assert result.report.soundness_violations == []
+    for detection in result.report.detections:
+        assert analysis.may_depend(detection.where, detection.syscall)
+
+
+@settings(deadline=None, max_examples=8)
+@given(name=st.sampled_from(WORKLOAD_NAMES))
+def test_leak_verdict_implies_static_possibility(name):
+    # Contrapositive convenience: if the static pass says causality is
+    # impossible, the engine must agree.
+    workload = get_workload(name)
+    config = workload.leak_variant()
+    analysis = analyze_source(workload.source, config, name)
+    if analysis.causality_possible():
+        return
+    result = run_dual(workload.instrumented, workload.build_world(1), config)
+    assert not result.report.causality_detected

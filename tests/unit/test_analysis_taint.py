@@ -1,0 +1,300 @@
+"""Unit tests for the static taint pass: the four-point lattice, the
+per-builtin transfer functions and the divergence channels the sound
+over-approximation must cover."""
+
+from repro.analysis.taint import (
+    CLEAN,
+    MUTATED,
+    SHAPED,
+    TAINTED,
+    StaticSeeds,
+    _builtin_result_level,
+    static_causality,
+)
+from repro.core.config import LdxConfig, SinkSpec, SourceSpec
+from repro.ir import compile_source
+
+SEEDS = StaticSeeds(
+    source_syscalls=frozenset({"read", "read_line"}),
+    sink_syscalls=frozenset({"write", "print"}),
+)
+
+
+def causality(source, seeds=SEEDS):
+    return static_causality(compile_source(source), seeds)
+
+
+def levels(**named):
+    mapping = dict(named)
+    return lambda register: mapping.get(register, CLEAN)
+
+
+# -- builtin transfer functions -------------------------------------------------
+
+
+def test_len_of_mutated_is_clean():
+    # Mutators preserve string length: len() observes nothing.
+    assert _builtin_result_level("len", ["d"], levels(d=MUTATED)) == CLEAN
+    assert _builtin_result_level("len", ["d"], levels(d=TAINTED)) == CLEAN
+
+
+def test_len_of_shaped_is_tainted():
+    assert _builtin_result_level("len", ["d"], levels(d=SHAPED)) == TAINTED
+
+
+def test_chr_launders_to_arbitrary_content():
+    # chr of a perturbed code point can become a separator character.
+    assert _builtin_result_level("chr", ["n"], levels(n=MUTATED)) == TAINTED
+
+
+def test_to_str_launders_to_shaped():
+    # str(9) and str(10) differ in length.
+    assert _builtin_result_level("to_str", ["n"], levels(n=MUTATED)) == SHAPED
+
+
+def test_str_split_preserves_mutated_but_not_tainted():
+    assert (
+        _builtin_result_level("str_split", ["d", "s"], levels(d=MUTATED))
+        == MUTATED
+    )
+    assert (
+        _builtin_result_level("str_split", ["d", "s"], levels(d=TAINTED))
+        == SHAPED
+    )
+
+
+def test_str_replace_always_shapes():
+    assert (
+        _builtin_result_level("str_replace", ["d", "a", "b"], levels(d=MUTATED))
+        == SHAPED
+    )
+
+
+def test_substr_with_tainted_bounds_shapes():
+    assert (
+        _builtin_result_level("substr", ["d", "i", "j"], levels(i=MUTATED))
+        == SHAPED
+    )
+    assert (
+        _builtin_result_level("substr", ["d", "i", "j"], levels(d=MUTATED))
+        == MUTATED
+    )
+
+
+def test_scalar_results_cap_at_tainted():
+    assert _builtin_result_level("parse_int", ["d"], levels(d=SHAPED)) == TAINTED
+
+
+def test_clean_inputs_stay_clean():
+    assert _builtin_result_level("str_split", ["d", "s"], levels()) == CLEAN
+
+
+# -- whole-program flows --------------------------------------------------------
+
+
+def test_direct_flow_flags_sink():
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var d = read(f, 8);
+          close(f);
+          var o = open("/out", "w");
+          write(o, d);
+          close(o);
+        }
+        """
+    )
+    assert ("main", "write") in result.flagged
+    assert not result.may_abort
+    assert "fs" in result.tainted_channels
+
+
+def test_no_flow_means_no_flag():
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var d = read(f, 8);
+          close(f);
+          var o = open("/out", "w");
+          write(o, "constant");
+          close(o);
+        }
+        """
+    )
+    # The write precedes nothing tainted and carries clean args — but
+    # the fs channel was NOT tainted before it, so it stays unflagged.
+    assert not result.causality_possible()
+
+
+def test_control_dependence_flags_guarded_sink():
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var d = parse_int(read(f, 8));
+          close(f);
+          var o = open("/out", "w");
+          if (d > 0) { write(o, "big"); }
+          close(o);
+        }
+        """
+    )
+    assert ("main", "write") in result.flagged
+
+
+def test_tainted_index_is_a_crash_channel():
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var i = parse_int(read(f, 4));
+          close(f);
+          var table = [10, 20, 30];
+          var o = open("/out", "w");
+          write(o, "v" + table[i]);
+          close(o);
+        }
+        """
+    )
+    assert result.may_abort
+    assert any("index" in reason for reason in result.abort_reasons)
+    # Crash divergence truncates everything: every sink site is flagged.
+    assert result.flagged == result.sink_sites
+
+
+def test_mutator_contract_keeps_split_indexing_safe():
+    # A mutated value keeps its separators and length: splitting it and
+    # indexing the fields with clean indices cannot trap in one run only.
+    # The sink is a network send so the tainted output cannot feed back
+    # into the (flow-insensitive) fs channel.
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var d = read(f, 32);
+          close(f);
+          var parts = str_split(d, ",");
+          var s = socket();
+          connect(s, "peer", 80);
+          if (len(parts) > 1) { send(s, parts[0]); }
+          close(s);
+        }
+        """,
+        seeds=StaticSeeds(
+            source_syscalls=frozenset({"read", "read_line"}),
+            sink_syscalls=frozenset({"send"}),
+        ),
+    )
+    assert not result.may_abort
+    assert ("main", "send") in result.flagged
+
+
+def test_laundered_content_shapes_split_results():
+    # chr() can manufacture separators, so splitting its output has a
+    # divergent field count and indexing it may trap.
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var c = chr(parse_int(read(f, 4)));
+          close(f);
+          var parts = str_split(c, ":");
+          var o = open("/out", "w");
+          write(o, parts[0]);
+          close(o);
+        }
+        """
+    )
+    assert result.may_abort
+
+
+def test_environment_channel_roundtrip():
+    # Writing tainted data to a file taints the fs channel; any read
+    # after that may return divergent (arbitrary-shape) data.
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var d = read(f, 8);
+          close(f);
+          var tmp = open("/tmp/x", "w");
+          write(tmp, d);
+          close(tmp);
+          var back = open("/tmp/x", "r");
+          var echoed = read_line(back);
+          close(back);
+          var o = open("/out", "w");
+          print(len(echoed));
+          close(o);
+        }
+        """
+    )
+    # len() of a SHAPED value is observable: the print is flagged.
+    assert ("main", "print") in result.flagged
+
+
+def test_interprocedural_flow_through_return():
+    result = causality(
+        """
+        fn fetch() {
+          var f = open("/in", "r");
+          var d = read(f, 8);
+          close(f);
+          return d;
+        }
+        fn main() {
+          var v = fetch();
+          var o = open("/out", "w");
+          write(o, v);
+          close(o);
+        }
+        """
+    )
+    assert ("main", "write") in result.flagged
+
+
+def test_may_depend_and_causality_possible():
+    result = causality(
+        """
+        fn main() {
+          var f = open("/in", "r");
+          var d = read(f, 8);
+          close(f);
+          var o = open("/out", "w");
+          write(o, d);
+          close(o);
+        }
+        """
+    )
+    assert result.may_depend("main", "write")
+    assert not result.may_depend("main", "print")
+    assert result.causality_possible()
+
+
+# -- seed derivation ------------------------------------------------------------
+
+
+def test_seeds_from_config_projects_source_kinds():
+    config = LdxConfig(
+        sources=SourceSpec(file_paths={"/etc/secret"}),
+        sinks=SinkSpec.network_out(),
+    )
+    seeds = StaticSeeds.from_config(config)
+    assert "read" in seeds.source_syscalls
+    assert "read_line" in seeds.source_syscalls
+    assert "recv" not in seeds.source_syscalls
+    assert "send" in seeds.sink_syscalls
+    assert "sink_observe" in seeds.sink_syscalls
+
+
+def test_seed_fingerprint_ignores_derived_globals():
+    base = StaticSeeds(frozenset({"read"}), frozenset({"write"}))
+    enriched = StaticSeeds(
+        frozenset({"read"}),
+        frozenset({"write"}),
+        racy_globals=frozenset({"g"}),
+        shared_globals=frozenset({"h"}),
+    )
+    assert base.fingerprint() == enriched.fingerprint()

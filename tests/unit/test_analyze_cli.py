@@ -1,0 +1,160 @@
+"""Unit tests for ``repro analyze``: report rendering, IR annotation,
+baseline comparison and the cold/warm cache byte-identity contract."""
+
+import json
+
+import pytest
+
+from repro import cache
+from repro.analysis import analyze_source, render_analysis
+from repro.cli import main
+from repro.ir import compile_source
+from repro.ir.printer import format_function, format_module
+
+WARNY = """
+fn main() {
+  var secret = 0;
+  var fd = open("/in", "r");
+  var data = read(fd, 8);
+  close(fd);
+  var out = open("/out", "w");
+  write(out, data);
+  close(out);
+}
+"""
+
+CLEAN = """
+fn main() {
+  var fd = open("/in", "r");
+  var data = read(fd, 8);
+  close(fd);
+  print(data);
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    cache.configure(cache_dir=str(tmp_path / "cache"))
+    yield
+    cache.configure(enabled=True)
+
+
+@pytest.fixture
+def warny_program(tmp_path):
+    path = tmp_path / "warny.mc"
+    path.write_text(WARNY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_program(tmp_path):
+    path = tmp_path / "clean.mc"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+def test_analyze_reports_diagnostics_and_causality(warny_program, capsys):
+    assert main(["analyze", warny_program, "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "never-read-var" in out and "'secret'" in out
+    assert "sink main:write" in out
+
+
+def test_analyze_requires_a_target():
+    with pytest.raises(SystemExit):
+        main(["analyze"])
+
+
+def test_analyze_strict_fails_on_warning(warny_program, clean_program):
+    assert main(["analyze", warny_program, "--strict", "--no-cache"]) == 1
+    assert main(["analyze", clean_program, "--strict", "--no-cache"]) == 0
+
+
+def test_analyze_baseline_accepts_known_and_flags_new(
+    warny_program, tmp_path, capsys
+):
+    baseline = str(tmp_path / "baseline.txt")
+    assert (
+        main(["analyze", warny_program, "--write-baseline", baseline]) == 0
+    )
+    capsys.readouterr()
+    # Known finding: accepted.
+    assert main(["analyze", warny_program, "--baseline", baseline]) == 0
+    # Empty baseline: the same finding is new.
+    (tmp_path / "empty.txt").write_text("# nothing known\n")
+    assert (
+        main(
+            ["analyze", warny_program, "--baseline", str(tmp_path / "empty.txt")]
+        )
+        == 1
+    )
+    assert "NEW diagnostic" in capsys.readouterr().out
+
+
+def test_analyze_workload_and_json(tmp_path, capsys):
+    out_path = tmp_path / "analysis.json"
+    assert main(["analyze", "--workload", "gzip", "--json", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["schema"] == "ldx-analyze-v1"
+    (entry,) = payload["programs"]
+    assert entry["name"] == "gzip"
+    assert entry["sink_sites"] >= 1
+
+
+def test_analyze_dump_ir_shows_annotations(warny_program, capsys):
+    assert main(["analyze", warny_program, "--dump-ir", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "fn main():" in out
+    assert "<-" in out  # def-use chains rendered as comments
+
+
+def test_cold_and_warm_cache_reports_are_byte_identical(
+    warny_program, tmp_path, capsys
+):
+    cache_dir = str(tmp_path / "c2")
+    cache.configure(cache_dir=cache_dir)
+    assert main(["analyze", warny_program, "--cache-dir", cache_dir]) == 0
+    cold = capsys.readouterr().out
+    # Fresh in-memory caches, same disk dir: the warm run loads the
+    # pickled summary instead of re-analyzing.
+    cache.configure(cache_dir=cache_dir)
+    assert main(["analyze", warny_program, "--cache-dir", cache_dir]) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert cache.get_analysis_cache().stats.disk_hits >= 1
+
+
+def test_analysis_cache_returns_equal_summary(tmp_path):
+    cache.configure(cache_dir=str(tmp_path / "c3"))
+    first = analyze_source(WARNY, name="prog")
+    cache.configure(cache_dir=str(tmp_path / "c3"))
+    second = analyze_source(WARNY, name="prog")
+    assert render_analysis(first) == render_analysis(second)
+    assert first.flagged_sinks == second.flagged_sinks
+    assert first.annotations == second.annotations
+
+
+# -- printer annotation hook ----------------------------------------------------
+
+
+def test_printer_annotate_hook_appends_comments():
+    module = compile_source("fn main() { var x = 1; print(x); }")
+    main_fn = module.function("main")
+
+    def annotate(function_name, index, instr):
+        if index == 1:
+            return f"{function_name} note"
+        return None
+
+    text = format_function(main_fn, annotate)
+    lines = text.splitlines()
+    assert lines[2].endswith("; main note")
+    assert all("; main note" not in line for line in lines[3:])
+    # The module-level renderer threads the hook through too.
+    assert "; main note" in format_module(module, annotate)
+
+
+def test_printer_without_annotator_unchanged():
+    module = compile_source("fn main() { print(1); }")
+    assert ";" not in format_module(module)

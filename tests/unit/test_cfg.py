@@ -3,7 +3,16 @@
 import pytest
 
 from repro.cfg.callgraph import CallGraph
-from repro.cfg.dominators import compute_dominators, dominates, immediate_dominators
+from repro.cfg.dominators import (
+    compute_dominators,
+    compute_postdominators,
+    dominates,
+    immediate_dominators,
+    immediate_postdominators,
+    immediate_postdominators_of,
+    postdominates,
+    reversed_digraph,
+)
 from repro.cfg.graph import Digraph, function_digraph
 from repro.cfg.loops import find_back_edges, find_loops, loops_in_nesting_order
 from repro.errors import InstrumentationError
@@ -75,6 +84,91 @@ def test_dominators_linear_chain():
     graph.add_edge(1, 2)
     doms = compute_dominators(graph, 0)
     assert doms[2] == {0, 1, 2}
+
+
+def test_dominators_unreachable_block_empty_set():
+    graph = diamond()
+    graph.add_edge(8, 9)  # island, never reached from 0
+    doms = compute_dominators(graph, 0)
+    assert doms[8] == set() and doms[9] == set()
+    assert not dominates(doms, 0, 9)
+    # Reachable nodes are unaffected by the island.
+    assert doms[3] == {0, 3}
+
+
+def test_reversed_digraph_flips_every_edge():
+    reverse = reversed_digraph(diamond())
+    assert sorted(reverse.edges()) == [(1, 0), (2, 0), (3, 1), (3, 2)]
+
+
+def test_postdominators_diamond():
+    pdoms = compute_postdominators(diamond(), 3)
+    assert pdoms[0] == {0, 3}
+    assert pdoms[1] == {1, 3}
+    assert postdominates(pdoms, 3, 0)
+    assert not postdominates(pdoms, 1, 0)
+    ipdom = immediate_postdominators_of(diamond(), 3)
+    assert ipdom[0] == 3 and ipdom[1] == 3 and ipdom[2] == 3
+
+
+def test_postdominators_of_infinite_loop_body_empty():
+    # 0 -> 1 <-> 2 with exit 3 reached only from 0: the loop body has
+    # no path to the exit, so its postdominator sets are empty.
+    graph = Digraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 1)
+    graph.add_edge(0, 3)
+    pdoms = compute_postdominators(graph, 3)
+    assert pdoms[1] == set() and pdoms[2] == set()
+    assert pdoms[0] == {0, 3}
+
+
+def test_function_ipostdom_joins_branches():
+    source = """
+    fn main() {
+      var x = 1;
+      if (x > 0) { x = 2; } else { x = 3; }
+      print(x);
+    }
+    """
+    main = compile_source(source).function("main")
+    ipdom = immediate_postdominators(main)
+    # Every non-exit instruction has an immediate postdominator, and
+    # following the chain from the entry reaches the structural exit.
+    assert set(ipdom) == set(range(len(main.instrs))) - {main.exit}
+    node = main.entry
+    seen = set()
+    while node != main.exit:
+        assert node not in seen
+        seen.add(node)
+        node = ipdom[node]
+
+
+def test_function_ipostdom_multi_exit_returns():
+    # Two return statements: both funnel into the unique structural
+    # exit nop, so the branch's ipostdom is the exit itself.
+    source = """
+    fn main() {
+      var x = 1;
+      if (x > 0) { return; }
+      print(x);
+    }
+    """
+    main = compile_source(source).function("main")
+    ipdom = immediate_postdominators(main)
+    branch = next(
+        index
+        for index, instr in enumerate(main.instrs)
+        if type(instr).__name__ == "CJump"
+    )
+    assert ipdom[branch] == main.exit
+
+
+def test_dualex_indexing_reexports_promoted_helper():
+    from repro.baselines.dualex import indexing
+
+    assert indexing.immediate_postdominators is immediate_postdominators
 
 
 def test_back_edge_detection_simple_loop():

@@ -1,0 +1,175 @@
+"""Unit tests for the worklist dataflow framework and its instances."""
+
+from repro.analysis.dataflow import (
+    FORWARD,
+    MUST,
+    PARAM_DEF,
+    UNINIT_DEF,
+    DataflowProblem,
+    LiveVariables,
+    ReachingDefinitions,
+    dead_stores,
+    local_names,
+    solve,
+)
+from repro.ir import compile_source
+from repro.ir import instructions as ins
+
+
+def compile_main(source):
+    return compile_source(source).function("main")
+
+
+def syscall_index(function, name):
+    return next(
+        index
+        for index, instr in enumerate(function.instrs)
+        if isinstance(instr, ins.Syscall) and instr.name == name
+    )
+
+
+def test_reaching_definitions_merge_at_join():
+    main = compile_main(
+        """
+        fn main() {
+          var x = 1;
+          if (x > 0) { x = 2; } else { x = 3; }
+          print(x);
+        }
+        """
+    )
+    problem = ReachingDefinitions(main)
+    result = solve(problem, main)
+    at_print = syscall_index(main, "print")
+    sites = problem.defs_reaching(result, at_print, "x")
+    # Both branch assignments reach the print; the initial x = 1 is
+    # killed on every path, and x was never a parameter or uninit.
+    assert len(sites) == 2
+    assert PARAM_DEF not in sites and UNINIT_DEF not in sites
+    for site in sites:
+        assert main.instrs[site].defs() == "x"
+
+
+def test_reaching_definitions_params_at_entry():
+    module = compile_source("fn f(a) { return a + 1; } fn main() { f(1); }")
+    function = module.function("f")
+    problem = ReachingDefinitions(function)
+    result = solve(problem, function)
+    use = next(
+        index
+        for index, instr in enumerate(function.instrs)
+        if "a" in instr.uses()
+    )
+    assert problem.defs_reaching(result, use, "a") == frozenset({PARAM_DEF})
+
+
+def test_uninitialized_read_reached_by_uninit_def():
+    main = compile_main(
+        """
+        fn main() {
+          var c = 0;
+          if (c == 1) { var y = 5; }
+          var z = y + 1;
+          print(z);
+        }
+        """
+    )
+    problem = ReachingDefinitions(main)
+    result = solve(problem, main)
+    use = next(
+        index
+        for index, instr in enumerate(main.instrs)
+        if isinstance(instr, ins.Binop) and "y" in instr.uses()
+    )
+    sites = problem.defs_reaching(result, use, "y")
+    assert UNINIT_DEF in sites
+    assert len(sites) == 2  # the guarded y = 5 may also reach
+
+
+def test_dead_store_found_and_live_chain_not():
+    main = compile_main(
+        """
+        fn main() {
+          var unused = 41;
+          var a = 1;
+          var b = a + 1;
+          print(b);
+        }
+        """
+    )
+    dead = dead_stores(main)
+    dead_names = {main.instrs[index].defs() for index in dead}
+    assert "unused" in dead_names
+    assert "b" not in dead_names and "a" not in dead_names
+
+
+def test_live_variables_globals_live_at_exit():
+    module = compile_source(
+        """
+        var g = 0;
+        fn main() { g = 7; }
+        """
+    )
+    main = module.function("main")
+    result = solve(LiveVariables(main, frozenset({"g"})), main)
+    store = next(
+        index
+        for index, instr in enumerate(main.instrs)
+        if instr.defs() == "g"
+    )
+    # The global write is live (other functions/threads may read it)...
+    assert "g" in result.after(store)
+    # ...so it is not a dead store either.
+    assert dead_stores(main, frozenset({"g"})) == []
+
+
+def test_local_names_exclude_globals():
+    module = compile_source(
+        """
+        var g = 0;
+        fn main() { var x = g + 1; print(x); }
+        """
+    )
+    names = local_names(module.function("main"), frozenset({"g"}))
+    assert "x" in names
+    assert "g" not in names
+
+
+class _Reached(DataflowProblem):
+    """Forward/must probe: any node still at TOP is must-unreached."""
+
+    direction = FORWARD
+    kind = MUST
+
+    def boundary(self):
+        return frozenset({"start"})
+
+    def transfer(self, index, instr, fact):
+        return fact
+
+
+def test_must_problem_reports_unreachable_as_none():
+    main = compile_main(
+        """
+        fn main() {
+          var x = 1;
+          return;
+          print(x);
+        }
+        """
+    )
+    result = solve(_Reached(), main)
+    reachable = set()
+    pending = [main.entry]
+    while pending:
+        node = pending.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        pending.extend(main.successors(node))
+    assert reachable != set(range(len(main.instrs)))  # the print is dead
+    for index in range(len(main.instrs)):
+        if index in reachable:
+            assert result.before(index) == frozenset({"start"})
+        else:
+            assert result.before(index) is None

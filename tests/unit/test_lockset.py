@@ -1,0 +1,164 @@
+"""Unit tests for the Eraser-style lockset race detector."""
+
+from repro.analysis.lockset import analyze_locksets
+from repro.ir import compile_source
+
+
+def locksets(source):
+    return analyze_locksets(compile_source(source))
+
+
+UNLOCKED = """
+var counter = 0;
+fn worker(arg) {
+  counter = counter + 1;
+  return 0;
+}
+fn main() {
+  var t1 = thread_spawn(worker, 0);
+  var t2 = thread_spawn(worker, 0);
+  thread_join(t1);
+  thread_join(t2);
+  print(counter);
+}
+"""
+
+
+def test_unlocked_concurrent_writes_race():
+    report = locksets(UNLOCKED)
+    assert report.has_threads
+    assert report.thread_entries == {"worker": 2}
+    assert "counter" in report.racy_globals
+    assert any(race.global_name == "counter" for race in report.races)
+
+
+def test_reads_after_join_do_not_race():
+    # main's print(counter) happens after both joins: the spawner
+    # heuristic must not pair it against the workers' writes.
+    report = locksets(UNLOCKED)
+    for race in report.races:
+        assert "main" not in race.first.where()
+        assert "main" not in race.second.where()
+
+
+LOCKED = """
+var counter = 0;
+var lock = 0;
+fn worker(arg) {
+  mutex_lock(lock);
+  counter = counter + 1;
+  mutex_unlock(lock);
+  return 0;
+}
+fn main() {
+  lock = mutex_create();
+  var t1 = thread_spawn(worker, 0);
+  var t2 = thread_spawn(worker, 0);
+  thread_join(t1);
+  thread_join(t2);
+  print(counter);
+}
+"""
+
+
+def test_consistently_locked_accesses_do_not_race():
+    report = locksets(LOCKED)
+    assert report.races == []
+    assert "counter" not in report.racy_globals
+    # ...but the accesses still conflict concurrently: lock-acquisition
+    # order can diverge, so the global is shared.
+    assert "counter" in report.shared_globals
+
+
+ENTRY_LOCKSET = """
+var shared = 0;
+var lock = 0;
+fn bump() {
+  shared = shared + 1;
+  return 0;
+}
+fn worker(arg) {
+  mutex_lock(lock);
+  bump();
+  mutex_unlock(lock);
+  return 0;
+}
+fn main() {
+  lock = mutex_create();
+  var t1 = thread_spawn(worker, 0);
+  var t2 = thread_spawn(worker, 0);
+  mutex_lock(lock);
+  bump();
+  mutex_unlock(lock);
+  thread_join(t1);
+  thread_join(t2);
+}
+"""
+
+
+def test_entry_locksets_propagate_through_calls():
+    # Every call site of bump() holds the lock, so bump's accesses to
+    # the shared global inherit it and no race is reported.
+    report = locksets(ENTRY_LOCKSET)
+    assert report.races == []
+    assert "shared" not in report.racy_globals
+    assert "shared" in report.shared_globals
+
+
+PARTIAL = """
+var shared = 0;
+var lock = 0;
+fn worker(arg) {
+  mutex_lock(lock);
+  shared = shared + 1;
+  mutex_unlock(lock);
+  shared = shared + 1;
+  return 0;
+}
+fn main() {
+  lock = mutex_create();
+  var t1 = thread_spawn(worker, 0);
+  var t2 = thread_spawn(worker, 0);
+  thread_join(t1);
+  thread_join(t2);
+}
+"""
+
+
+def test_partially_locked_accesses_race():
+    report = locksets(PARTIAL)
+    assert "shared" in report.racy_globals
+
+
+def test_unthreaded_program_has_no_races():
+    report = locksets(
+        """
+        var g = 0;
+        fn main() { g = g + 1; print(g); }
+        """
+    )
+    assert not report.has_threads
+    assert report.races == []
+    assert report.racy_globals == frozenset()
+
+
+INDIRECT_SPAWN = """
+var hits = 0;
+fn handler(arg) {
+  hits = hits + 1;
+  return 0;
+}
+fn main() {
+  var target = handler;
+  var t1 = thread_spawn(target, 0);
+  var t2 = thread_spawn(target, 0);
+  thread_join(t1);
+  thread_join(t2);
+}
+"""
+
+
+def test_indirect_spawn_targets_resolved():
+    report = locksets(INDIRECT_SPAWN)
+    assert "handler" in report.thread_entries
+    assert "hits" in report.racy_globals
