@@ -119,12 +119,17 @@ class ArtifactCache:
         enabled: bool = True,
         schema_tag: str = SCHEMA_TAG,
         payload_type: Optional[type] = InstrumentedModule,
+        use_memory: bool = True,
     ) -> None:
         self.capacity = max(1, capacity)
         self.cache_dir = cache_dir
         self.enabled = enabled
         self.schema_tag = schema_tag
         self.payload_type = payload_type
+        # Callers whose payloads are merged destructively after lookup
+        # (e.g. checkpoint rows) disable the memory layer so every load
+        # is a fresh unpickle, never a shared object.
+        self.use_memory = use_memory
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, object]" = OrderedDict()
 
@@ -150,6 +155,35 @@ class ArtifactCache:
         self._remember(key, artifact)
         return artifact
 
+    def load(self, key: str):
+        """The artifact stored under *key*, or None — no builder.
+
+        Checks the memory layer first (when enabled), then disk.  Lets
+        callers distinguish "cached" from "must compute" (e.g. resume
+        logic skipping completed cells).
+        """
+        if not self.enabled:
+            return None
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return cached
+        artifact = self._disk_load(key)
+        if artifact is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, artifact)
+        else:
+            self.stats.misses += 1
+        return artifact
+
+    def store(self, key: str, artifact) -> None:
+        """Persist *artifact* under *key* without a lookup."""
+        if not self.enabled:
+            return
+        self._disk_store(key, artifact)
+        self._remember(key, artifact)
+
     def instrumented(
         self, source: str, config: Optional[Dict[str, object]] = None
     ) -> InstrumentedModule:
@@ -160,6 +194,8 @@ class ArtifactCache:
         )
 
     def _remember(self, key: str, artifact) -> None:
+        if not self.use_memory:
+            return
         self._memory[key] = artifact
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:

@@ -1,0 +1,110 @@
+"""Checkpoint persistence for dual executions and chaos sweeps.
+
+Two kinds of state land under ``.repro-cache/checkpoints/``:
+
+* **world checkpoints** — :meth:`World.snapshot` dicts saved by the
+  engine supervisor at each degradation-ladder rung (before a thread
+  is abandoned, or when the engine fails terminally).  These make the
+  slave's overlay delta inspectable after the fact and let a future
+  run re-materialize the execution point;
+* **chaos cells** — the finished :class:`ChaosRow` chunk for one
+  (workload, seed-chunk) cell.  ``repro chaos --resume`` loads the
+  completed cells and re-runs only the incomplete ones, then merges in
+  the same deterministic order as an uninterrupted sweep — so the
+  resumed report is byte-identical.
+
+Storage reuses :class:`repro.cache.ArtifactCache` (content-addressed
+keys, schema-versioned directory, atomic writes, corrupt-entry
+recovery) with two deliberate differences: its own schema tag — a
+checkpoint is runtime state, never mixed with instrumentation
+artifacts — and **no memory layer**.  Chaos rows are merged
+destructively after lookup; a shared in-memory object would be merged
+twice on the second resume.  Every load is a fresh unpickle.
+
+Keying *includes* runtime identity (workload name, seeds, fault rate,
+rung label): unlike instrumentation artifacts, a checkpoint is only
+meaningful for the exact run configuration that produced it.  The
+workload's MiniC source is hashed in too, so editing a workload
+orphans its stale cells instead of resuming from them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.cache import ArtifactCache, artifact_key
+
+# Bump when World.snapshot / ChaosRow pickle layout changes.
+CHECKPOINT_SCHEMA_TAG = "ldx-checkpoint-v1"
+
+DEFAULT_CHECKPOINT_DIR = os.path.join(".repro-cache", "checkpoints")
+
+
+def chaos_cell_key(
+    name: str,
+    seeds: Sequence[int],
+    rate: float,
+    watchdog_deadline: float,
+    source: str = "",
+) -> str:
+    """Content address of one finished chaos (workload, seed-chunk) cell."""
+    return artifact_key(
+        source,
+        {
+            "kind": "chaos-cell",
+            "workload": name,
+            "seeds": tuple(seeds),
+            "rate": rate,
+            "watchdog_deadline": watchdog_deadline,
+        },
+        schema_tag=CHECKPOINT_SCHEMA_TAG,
+    )
+
+
+def world_key(label: str, seed: int, rung: str, source: str = "") -> str:
+    """Content address of one world snapshot taken at a ladder rung."""
+    return artifact_key(
+        source,
+        {"kind": "world", "label": label, "seed": seed, "rung": rung},
+        schema_tag=CHECKPOINT_SCHEMA_TAG,
+    )
+
+
+class CheckpointStore:
+    """On-disk checkpoint persistence (no in-memory sharing)."""
+
+    def __init__(
+        self,
+        checkpoint_dir: Optional[str] = DEFAULT_CHECKPOINT_DIR,
+        enabled: bool = True,
+    ) -> None:
+        self.checkpoint_dir = checkpoint_dir
+        self._cache = ArtifactCache(
+            cache_dir=checkpoint_dir,
+            enabled=enabled,
+            schema_tag=CHECKPOINT_SCHEMA_TAG,
+            payload_type=None,
+            use_memory=False,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self._cache.enabled
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def save(self, key: str, payload) -> None:
+        """Persist *payload* under *key* (atomic publish)."""
+        self._cache.store(key, payload)
+
+    def load(self, key: str):
+        """The payload under *key*, or None (missing/corrupt = None)."""
+        return self._cache.load(key)
+
+    def load_or_run(self, key: str, builder):
+        """Completed-cell gate: return the stored payload, or run
+        *builder* and persist its result."""
+        return self._cache.lookup(key, builder)

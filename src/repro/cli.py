@@ -5,15 +5,16 @@ Usage::
     python -m repro leak program.mc --secret-file /etc/secret [options]
     python -m repro run  program.mc [--stdin TEXT] [--file PATH=CONTENT ...]
     python -m repro eval [--table4-runs N] [--check-static]
-    python -m repro chaos [--seeds N] [--fault-rate R]
+    python -m repro chaos [--seeds N] [--fault-rate R] [--resume]
     python -m repro analyze program.mc | --workload NAME | --all [--dump-ir]
 
 ``leak`` dual-executes a MiniC program with LDX and reports causality;
 ``run`` executes it natively; ``eval`` regenerates the paper's tables
 (``--check-static`` adds Table 5 and the soundness-oracle check);
 ``chaos`` sweeps fault-injection seeds across the workloads and checks
-the robustness invariants; ``analyze`` runs the static causality
-analyzer and lints without executing anything.
+the robustness invariants (``--resume`` checkpoints finished cells and
+restarts an interrupted sweep where it left off); ``analyze`` runs the
+static causality analyzer and lints without executing anything.
 """
 
 from __future__ import annotations
@@ -338,15 +339,20 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    from repro.checkpoint import DEFAULT_CHECKPOINT_DIR
     from repro.eval.robustness import chaos_ok, render_chaos, run_chaos
 
     _configure_cache(args)
+    checkpoint_dir = args.checkpoint_dir
+    if args.resume and checkpoint_dir is None:
+        checkpoint_dir = DEFAULT_CHECKPOINT_DIR
     rows = run_chaos(
         names=args.workload or None,
         seeds=args.seeds,
         rate=args.fault_rate,
         watchdog_deadline=args.watchdog_deadline,
         jobs=args.jobs,
+        checkpoint_dir=checkpoint_dir,
     )
     print(render_chaos(rows, args.seeds, args.fault_rate))
     return 0 if chaos_ok(rows) else 1
@@ -455,6 +461,20 @@ def main(argv: List[str] = None) -> int:
         action="append",
         metavar="NAME",
         help="restrict the sweep to a workload (repeatable; default: all)",
+    )
+    chaos_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="persist finished (workload, seed-chunk) cells and resume an "
+        "interrupted sweep at the first incomplete cell (report "
+        "byte-identical to an uninterrupted run)",
+    )
+    chaos_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="where checkpoints live (default: .repro-cache/checkpoints; "
+        "implies --resume)",
     )
     _add_fault_options(chaos_parser, default_rate=0.1)
     _add_parallel_options(chaos_parser)

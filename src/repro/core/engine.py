@@ -42,7 +42,7 @@ from repro.core.report import (
     Detection,
     DualResult,
 )
-from repro.core.supervisor import EngineWatchdog
+from repro.core.supervisor import Checkpointer, EngineWatchdog
 from repro.errors import EngineStallError, InterpreterError
 from repro.instrument.pipeline import InstrumentedModule
 from repro.interp.costs import CostModel
@@ -90,6 +90,7 @@ class LdxEngine:
         faults: Optional[FaultConfig] = None,
         watchdog_deadline: float = 25_000.0,
         static_oracle=None,
+        checkpointer: Optional[Checkpointer] = None,
     ) -> None:
         module = instrumented.module
         plan = instrumented.plan
@@ -105,6 +106,8 @@ class LdxEngine:
         self.taints = ResourceTaintMap()
         self.locks = LockTaintMap()
         self._watchdog = EngineWatchdog(deadline=watchdog_deadline)
+        # Optional: snapshots the slave world at degradation rungs.
+        self._checkpointer = checkpointer
         # Each side draws an independent deterministic fault schedule.
         self._fault_config = faults
         master_faults = faults.plan_for(MASTER) if faults is not None else None
@@ -167,6 +170,7 @@ class LdxEngine:
             self.degradation.engine_failures.append(
                 f"{type(failure).__name__}: {failure}"
             )
+            self._checkpoint_slave("engine-failure")
             for side in (self._master, self._slave):
                 side.waiting.clear()
                 if not side.machine.finished:
@@ -194,6 +198,12 @@ class LdxEngine:
                 )
             if watchdog.exhausted():  # pragma: no cover - safety net
                 raise EngineStallError("stall-breaking did not converge")
+
+    def _checkpoint_slave(self, rung: str) -> None:
+        """Snapshot the slave world at a degradation rung (no-op
+        without an attached checkpointer)."""
+        if self._checkpointer is not None:
+            self._checkpointer.checkpoint(self.slave.kernel.world, rung)
 
     def _progress_marker(self) -> tuple:
         """Anything that advances when the engine is genuinely moving."""
@@ -720,6 +730,9 @@ class LdxEngine:
         the machine releases its mutexes so peers make progress.
         """
         machine = side.machine
+        # The slave world's last consistent state, captured before the
+        # abandonment mutates it (taint, clock charge, mutex release).
+        self._checkpoint_slave(f"abandon-{side.role}-t{tid}")
         event = side.waiting.pop(tid, None)
         if isinstance(event, SyscallEvent):
             self.taints.taint(
@@ -749,6 +762,8 @@ class LdxEngine:
                 (side.role, syscall) for syscall in plan.exhausted
             )
         degradation.watchdog_fires = self._watchdog.fires
+        if self._checkpointer is not None:
+            degradation.checkpoints = list(self._checkpointer.taken)
         if degradation.degraded:
             degradation.decoupled_resources = sorted(self.taints.tainted_resources)
 

@@ -120,6 +120,10 @@ class DegradationReport:
         self.engine_failures: List[str] = []
         # Resources no longer coupled once degradation set in.
         self.decoupled_resources: List[str] = []
+        # (rung, checkpoint key) per slave-world snapshot the
+        # supervisor persisted before degrading.  Empty unless a
+        # Checkpointer was attached.
+        self.checkpoints: List[Tuple[str, str]] = []
 
     @property
     def faults_masked(self) -> int:
@@ -152,7 +156,7 @@ class DegradationReport:
         return "full"
 
     def summary(self) -> str:
-        return (
+        text = (
             f"confidence={self.verdict_confidence}: "
             f"{len(self.faults_injected)} faults injected "
             f"({self.faults_masked} masked, {self.retries} retries, "
@@ -162,6 +166,11 @@ class DegradationReport:
             f"{len(self.abandoned_threads)} threads abandoned, "
             f"{len(self.engine_failures)} engine failures"
         )
+        # Only mentioned when present, so checkpoint-free summaries
+        # stay byte-identical to earlier versions.
+        if self.checkpoints:
+            text += f", {len(self.checkpoints)} checkpoints"
+        return text
 
 
 class FsDivergence:
@@ -234,15 +243,15 @@ class DualResult:
         slave_paths = set(slave_fs.paths())
         for path in sorted(master_paths - slave_paths):
             divergences.append(
-                FsDivergence(path, "only-in-master", master_fs.file(path).content, None)
+                FsDivergence(path, "only-in-master", master_fs.read_file(path).content, None)
             )
         for path in sorted(slave_paths - master_paths):
             divergences.append(
-                FsDivergence(path, "only-in-slave", None, slave_fs.file(path).content)
+                FsDivergence(path, "only-in-slave", None, slave_fs.read_file(path).content)
             )
         for path in sorted(master_paths & slave_paths):
-            master_file = master_fs.file(path)
-            slave_file = slave_fs.file(path)
+            master_file = master_fs.read_file(path)
+            slave_file = slave_fs.read_file(path)
             if master_file.content != slave_file.content:
                 divergences.append(
                     FsDivergence(

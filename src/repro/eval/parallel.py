@@ -95,11 +95,29 @@ def _cell_mutation(strategy: str, names: Tuple[str, ...]):
 
 
 def _cell_chaos(
-    name: str, seeds: Tuple[int, ...], rate: float, watchdog_deadline: float
+    name: str,
+    seeds: Tuple[int, ...],
+    rate: float,
+    watchdog_deadline: float,
+    checkpoint_dir: Optional[str] = None,
 ):
     from repro.eval.robustness import chaos_workload
 
-    return chaos_workload(name, seeds, rate, watchdog_deadline)
+    if checkpoint_dir is None:
+        return chaos_workload(name, seeds, rate, watchdog_deadline)
+    # Resume mode: a completed cell is served from its checkpoint, an
+    # incomplete one runs and persists.  The key hashes the workload's
+    # source, so editing a workload orphans its stale cells.
+    from repro.checkpoint import CheckpointStore, chaos_cell_key
+    from repro.workloads import get_workload
+
+    store = CheckpointStore(checkpoint_dir)
+    key = chaos_cell_key(
+        name, seeds, rate, watchdog_deadline, get_workload(name).source
+    )
+    return store.load_or_run(
+        key, lambda: chaos_workload(name, seeds, rate, watchdog_deadline)
+    )
 
 
 _CELL_RUNNERS = {
@@ -262,8 +280,16 @@ def run_chaos_parallel(
     cache_dir: Optional[str] = None,
     cache_enabled: Optional[bool] = None,
     seed_chunk: int = CHAOS_CHUNK,
+    checkpoint_dir: Optional[str] = None,
 ):
-    """The chaos sweep, fanned out; rows identical to a serial sweep."""
+    """The chaos sweep, fanned out; rows identical to a serial sweep.
+
+    With *checkpoint_dir* each finished (workload, seed-chunk) cell is
+    persisted there, and already-persisted cells are loaded instead of
+    re-run — an interrupted sweep resumes at the first incomplete cell.
+    Loaded or re-run, cells merge in the same planned order, so the
+    resumed report is byte-identical to an uninterrupted one.
+    """
     from repro.eval.robustness import ChaosRow
     from repro.workloads import ALL_WORKLOADS
 
@@ -273,7 +299,16 @@ def run_chaos_parallel(
     for name in names:
         for start, stop in _chunks(seeds, seed_chunk):
             cells.append(
-                ("chaos", (name, tuple(range(start, stop)), rate, watchdog_deadline))
+                (
+                    "chaos",
+                    (
+                        name,
+                        tuple(range(start, stop)),
+                        rate,
+                        watchdog_deadline,
+                        checkpoint_dir,
+                    ),
+                )
             )
     results = fan_out(cells, jobs, cache_dir, cache_enabled)
 

@@ -193,19 +193,25 @@ def run_chaos(
     rate: float = DEFAULT_RATE,
     watchdog_deadline: float = 25_000.0,
     jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ChaosRow]:
     """Sweep fault seeds across workloads; one row per workload.
 
     With ``jobs > 1`` the (workload, seed-chunk) cells fan out over a
     process pool; the merged rows are identical to a serial sweep.
+    With *checkpoint_dir* finished cells persist there and a re-run
+    resumes at the first incomplete cell (``repro chaos --resume``) —
+    both paths go through the cell decomposition, whose merge is
+    byte-identical to this serial loop for any job count.
     """
     names = names or [workload.name for workload in ALL_WORKLOADS]
-    if jobs > 1:
+    if jobs > 1 or checkpoint_dir is not None:
         from repro.eval.parallel import run_chaos_parallel
 
         return run_chaos_parallel(
             names, seeds=seeds, rate=rate,
             watchdog_deadline=watchdog_deadline, jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
         )
     return [
         chaos_workload(name, range(seeds), rate, watchdog_deadline) for name in names

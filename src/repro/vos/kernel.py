@@ -162,7 +162,7 @@ class Kernel:
                     return -1
         handle = _OpenFile(path, mode)
         if mode == "a":
-            handle.pos = len(fs.file(path).content)
+            handle.pos = len(fs.read_file(path).content)
         fd = self._next_fd
         self._next_fd += 1
         self._files[fd] = handle
@@ -183,7 +183,9 @@ class Kernel:
         handle = self._files.get(fd)
         if handle is None:
             return None
-        vfile = self.world.fs.file(handle.path)
+        # read_file: no copy-up, so pure reads never grow the overlay
+        # delta (writes go through _sys_write, which uses fs.file()).
+        vfile = self.world.fs.read_file(handle.path)
         if vfile is None:
             return None
         return handle, vfile
@@ -249,7 +251,7 @@ class Kernel:
         return pos
 
     def _sys_stat(self, path):
-        vfile = self.world.fs.file(path) if isinstance(path, str) else None
+        vfile = self.world.fs.read_file(path) if isinstance(path, str) else None
         if vfile is None:
             return None
         return [len(vfile.content), vfile.mtime]
@@ -304,6 +306,10 @@ class Kernel:
             return -1
         text = stringify(data)
         count = connection.send(text)
+        if count is None:
+            # Use-after-close: EBADF-style failure.  Nothing reached
+            # the endpoint, so nothing lands in the output log either.
+            return -1
         self.output_log.append(("send", (fd, text), count))
         return count
 
@@ -311,6 +317,8 @@ class Kernel:
         connection = self._sockets.get(fd)
         if connection is None or not isinstance(count, int) or count < 0:
             return None
+        # A closed connection yields None (EBADF), distinct from the
+        # empty string an open-but-drained stream returns.
         return connection.recv(count)
 
     # -- nondeterminism and process services --------------------------------------

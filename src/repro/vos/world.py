@@ -3,19 +3,28 @@
 A :class:`World` bundles the virtual filesystem, the scripted network,
 environment variables, stdin content and the nondeterminism sources
 (clock, PRNG, pid).  Workloads build a world; an execution's kernel
-owns a live world instance.  Worlds clone deeply, which is how the
-slave execution gets a side-effect-free private environment (the
-paper's slave never performs externally visible outputs; here its
-outputs land in a private clone).
+owns a live world instance.  Worlds clone isolated copies — the FS via
+copy-on-write overlays, the network via per-connection script
+instances — which is how the slave execution gets a side-effect-free
+private environment (the paper's slave never performs externally
+visible outputs; here its outputs land in a private clone).
+:meth:`World.snapshot`/:meth:`World.restore` serialize the overlay
+delta plus clock/RNG/network cursors so a dual can checkpoint and
+resume.
 """
 
 from __future__ import annotations
 
+import copy as copy_module
 from typing import Dict
 
 from repro.vos.clock import DeterministicRng, VirtualClock
 from repro.vos.filesystem import VirtualFS
 from repro.vos.network import Network
+
+# Bump when the snapshot dict layout changes; restore refuses other
+# versions instead of misreading them.
+SNAPSHOT_VERSION = 1
 
 
 class World:
@@ -45,10 +54,63 @@ class World:
         copy.network = self.network.clone()
         copy.env = dict(self.env)
         copy.stdin = self.stdin
-        copy.sources = dict(self.sources)
+        # Deep copy: a mutable source value (list/dict served by
+        # source_read) aliased between master and slave would let slave
+        # mutations leak into master reads.
+        copy.sources = copy_module.deepcopy(self.sources)
         if new_seed is None:
             copy.clock = self.clock.clone()
             copy.rng = self.rng.clone()
             copy.pid = self.pid
             copy.heap_base = self.heap_base
         return copy
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable (picklable) state of this world.
+
+        Captures the FS overlay delta, network cursors, clock/RNG
+        state, env/stdin/sources and identity fields.  Endpoint-script
+        closures are *not* captured — :meth:`restore` rebuilds them
+        from a freshly built workload world, which is why restore takes
+        a base world rather than resurrecting one from nothing.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "seed": self.seed,
+            "fs_delta": self.fs.delta(),
+            "network": self.network.snapshot(),
+            "env": dict(self.env),
+            "stdin": self.stdin,
+            "sources": copy_module.deepcopy(self.sources),
+            "clock": self.clock.state(),
+            "rng": self.rng.state(),
+            "pid": self.pid,
+            "heap_base": self.heap_base,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> "World":
+        """Apply *snapshot* onto this world, in place; returns self.
+
+        ``self`` must be a freshly built world from the same workload
+        definition (same registered endpoints and initial FS): the FS
+        delta is replayed over the pristine tree and network scripts
+        are re-instantiated from this world's registry.
+        """
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {version!r} != {SNAPSHOT_VERSION}"
+            )
+        self.seed = snapshot["seed"]
+        self.fs.apply_delta(snapshot["fs_delta"])
+        self.network.restore(snapshot["network"])
+        self.env = dict(snapshot["env"])
+        self.stdin = snapshot["stdin"]
+        self.sources = copy_module.deepcopy(snapshot["sources"])
+        self.clock = VirtualClock.from_state(snapshot["clock"])
+        self.rng = DeterministicRng.from_state(snapshot["rng"])
+        self.pid = snapshot["pid"]
+        self.heap_base = snapshot["heap_base"]
+        return self

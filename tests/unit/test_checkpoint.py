@@ -1,0 +1,139 @@
+"""Unit tests for checkpoint persistence and the supervisor hook."""
+
+import os
+import pickle
+
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA_TAG,
+    CheckpointStore,
+    chaos_cell_key,
+    world_key,
+)
+from repro.core.supervisor import Checkpointer
+from repro.vos.world import World
+
+
+# -- keys ----------------------------------------------------------------------
+
+
+def test_chaos_cell_keys_distinguish_every_dimension():
+    base = chaos_cell_key("gzip", (0, 1), 0.1, 25_000.0, "src")
+    assert chaos_cell_key("gzip", (0, 1), 0.1, 25_000.0, "src") == base
+    assert chaos_cell_key("bzip2", (0, 1), 0.1, 25_000.0, "src") != base
+    assert chaos_cell_key("gzip", (2, 3), 0.1, 25_000.0, "src") != base
+    assert chaos_cell_key("gzip", (0, 1), 0.2, 25_000.0, "src") != base
+    assert chaos_cell_key("gzip", (0, 1), 0.1, 30_000.0, "src") != base
+    # Editing the workload's source orphans its cells.
+    assert chaos_cell_key("gzip", (0, 1), 0.1, 25_000.0, "edited") != base
+
+
+def test_world_keys_distinguish_rungs():
+    base = world_key("run", 1, "abandon-slave-t0#0")
+    assert world_key("run", 1, "abandon-slave-t0#1") != base
+    assert world_key("run", 2, "abandon-slave-t0#0") != base
+    assert world_key("other", 1, "abandon-slave-t0#0") != base
+
+
+# -- store ---------------------------------------------------------------------
+
+
+def test_store_roundtrip_and_missing(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    assert store.load("absent" * 8) is None
+    store.save("k" * 8, {"payload": [1, 2]})
+    assert store.load("k" * 8) == {"payload": [1, 2]}
+    # Entries land under the checkpoint schema's own directory.
+    assert os.path.isdir(os.path.join(str(tmp_path), CHECKPOINT_SCHEMA_TAG))
+
+
+def test_store_loads_are_fresh_objects(tmp_path):
+    """No memory layer: resumed chaos rows are merged destructively, so
+    two loads of the same key must never alias one object."""
+    store = CheckpointStore(str(tmp_path))
+    store.save("key" * 4, {"rows": [1]})
+    first = store.load("key" * 4)
+    second = store.load("key" * 4)
+    assert first == second
+    assert first is not second
+    first["rows"].append(2)
+    assert store.load("key" * 4) == {"rows": [1]}
+
+
+def test_store_load_or_run_skips_builder_when_cached(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    calls = []
+
+    def build():
+        calls.append(1)
+        return {"built": len(calls)}
+
+    assert store.load_or_run("cell" * 4, build) == {"built": 1}
+    assert store.load_or_run("cell" * 4, build) == {"built": 1}
+    assert len(calls) == 1
+
+
+def test_store_corrupt_entry_degrades_to_rerun(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.save("bad" * 4, {"ok": True})
+    entry = os.path.join(
+        str(tmp_path), CHECKPOINT_SCHEMA_TAG, "bad" * 4 + ".pkl"
+    )
+    with open(entry, "wb") as handle:
+        handle.write(b"garbage")
+    assert store.load("bad" * 4) is None
+    assert store.stats.disk_errors == 1
+
+
+def test_store_disabled_is_inert(tmp_path):
+    store = CheckpointStore(str(tmp_path), enabled=False)
+    store.save("k" * 4, {"x": 1})
+    assert store.load("k" * 4) is None
+    assert not os.path.exists(os.path.join(str(tmp_path), CHECKPOINT_SCHEMA_TAG))
+
+
+# -- the supervisor's checkpointer ---------------------------------------------
+
+
+def _world():
+    world = World(seed=2)
+    world.fs.add_file("/etc/conf", "x")
+    return world
+
+
+def test_checkpointer_persists_restorable_snapshots(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    checkpointer = Checkpointer(store, label="t", seed=2)
+    world = _world()
+    world.fs.add_file("/scratch", "mid-run")
+    key = checkpointer.checkpoint(world, "abandon-slave-t1")
+    assert checkpointer.taken == [("abandon-slave-t1#0", key)]
+    restored = _world().restore(store.load(key))
+    assert restored.fs.read_file("/scratch").content == "mid-run"
+
+
+def test_checkpointer_ordinals_keep_repeated_rungs_distinct(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    checkpointer = Checkpointer(store, label="t", seed=2)
+    world = _world()
+    first = checkpointer.checkpoint(world, "abandon-slave-t1")
+    world.fs.add_file("/second", "2")
+    second = checkpointer.checkpoint(world, "abandon-slave-t1")
+    assert first != second
+    assert store.load(first)["fs_delta"] != store.load(second)["fs_delta"]
+
+
+def test_checkpointer_swallows_store_failures():
+    class Exploding:
+        def save(self, key, payload):
+            raise OSError("disk on fire")
+
+    checkpointer = Checkpointer(Exploding())
+    checkpointer.checkpoint(_world(), "abandon-master-t0")
+    assert checkpointer.taken == []
+
+
+def test_snapshot_payload_is_picklable_without_scripts():
+    world = _world()
+    world.network.register("srv", 1, lambda req: "r")  # closure: unpicklable
+    world.network.connect("srv", 1).send("x")
+    pickle.dumps(world.snapshot())  # must not try to pickle the script

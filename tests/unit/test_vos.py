@@ -164,6 +164,77 @@ def test_network_clone_preserves_connections():
     assert conn.sent == ["a"]
 
 
+def _counting_endpoint():
+    """A stateful endpoint: each response carries a request counter."""
+    count = [0]
+
+    def script(req):
+        count[0] += 1
+        return f"r{count[0]}:{req};"
+
+    return script
+
+
+def test_stateful_endpoint_clone_isolation_regression():
+    """The clone-isolation bug: a slave send on a cloned network must
+    not advance endpoint state the master's later responses depend on.
+
+    Master responses must be identical with and without slave sends.
+    """
+
+    def run_master(with_slave_sends):
+        net = Network()
+        net.register_factory("srv", 1, _counting_endpoint)
+        master = net.connect("srv", 1)
+        master.send("m1")
+        slave_net = net.clone()
+        if with_slave_sends:
+            slave_net.connections[0].send("s1")
+            slave_net.connections[0].send("s2")
+        master.send("m2")
+        return master.recv(1000)
+
+    assert run_master(False) == run_master(True) == "r1:m1;r2:m2;"
+
+
+def test_stateful_endpoint_clone_replays_sent_state():
+    """The clone's fresh script instance continues from the replayed
+    state, not from zero — and past responses are carried verbatim."""
+    net = Network()
+    net.register_factory("srv", 1, _counting_endpoint)
+    conn = net.connect("srv", 1)
+    conn.send("a")
+    conn.send("b")
+    clone = net.clone()
+    clone.connections[0].send("c")
+    assert clone.connections[0].recv(1000) == "r1:a;r2:b;r3:c;"
+    # The original's counter was untouched by the clone's send.
+    conn.send("c")
+    assert conn.recv(1000) == "r1:a;r2:b;r3:c;"
+
+
+def test_stateful_endpoint_fresh_instance_per_connection():
+    net = Network()
+    net.register_factory("srv", 1, _counting_endpoint)
+    first = net.connect("srv", 1)
+    second = net.connect("srv", 1)
+    first.send("x")
+    second.send("y")
+    assert first.recv(100) == "r1:x;"
+    assert second.recv(100) == "r1:y;"
+
+
+def test_send_recv_after_close_fail():
+    net = Network()
+    net.register("h", 1, lambda req: "resp")
+    conn = net.connect("h", 1)
+    conn.send("a")
+    conn.closed = True
+    assert conn.send("b") is None
+    assert conn.recv(10) is None
+    assert conn.sent == ["a"]  # the rejected send left no trace
+
+
 # -- clock / rng ------------------------------------------------------------------
 
 
@@ -427,6 +498,40 @@ def test_resource_resolution():
     assert kernel.resource_of("send", (sock, "x")) == "conn:srv:9"
 
 
+def test_send_after_close_is_ebadf():
+    """Use-after-close must fail like EBADF, not silently succeed (and
+    keep mutating endpoint state)."""
+    kernel = make_kernel()
+    fd = kernel.execute("socket", ())
+    kernel.execute("connect", (fd, "srv", 9))
+    connection = kernel._sockets[fd]
+    assert kernel.execute("send", (fd, "ping")) == 4
+    connection.closed = True
+    log_before = list(kernel.output_log)
+    assert kernel.execute("send", (fd, "late")) == -1
+    # A failed send is not an output: the sink log must not grow.
+    assert kernel.output_log == log_before
+    assert connection.sent == ["ping"]
+
+
+def test_recv_after_close_is_ebadf():
+    kernel = make_kernel()
+    fd = kernel.execute("socket", ())
+    kernel.execute("connect", (fd, "srv", 9))
+    kernel.execute("send", (fd, "ping"))
+    kernel._sockets[fd].closed = True
+    assert kernel.execute("recv", (fd, 10)) is None
+
+
+def test_send_recv_on_kernel_closed_fd():
+    kernel = make_kernel()
+    fd = kernel.execute("socket", ())
+    kernel.execute("connect", (fd, "srv", 9))
+    kernel.execute("close", (fd,))
+    assert kernel.execute("send", (fd, "x")) == -1
+    assert kernel.execute("recv", (fd, 4)) is None
+
+
 def test_world_clone_independent():
     world = World(seed=1)
     world.fs.add_file("/f", "a")
@@ -441,6 +546,117 @@ def test_world_reseed_changes_nondeterminism():
     world = World(seed=1)
     reseeded = world.clone(new_seed=2)
     assert world.rng.next_int(10**9) != reseeded.rng.next_int(10**9)
+
+
+def test_world_clone_deep_copies_mutable_sources():
+    """Regression: sources were shallow-copied, so a mutable value
+    served by source_read was aliased between master and slave."""
+    world = World(seed=1)
+    world.sources["list"] = [1, 2, 3]
+    world.sources["dict"] = {"k": ["nested"]}
+    clone = world.clone()
+    clone.sources["list"].append(99)
+    clone.sources["dict"]["k"].append("slave")
+    assert world.sources["list"] == [1, 2, 3]
+    assert world.sources["dict"] == {"k": ["nested"]}
+    world.sources["list"].append(-1)
+    assert clone.sources["list"] == [1, 2, 3, 99]
+
+
+def test_clock_and_rng_state_roundtrip():
+    clock = VirtualClock(start=123, step=7)
+    clock.read()
+    restored = VirtualClock.from_state(clock.state())
+    assert restored.read() == clock.read()
+    rng = DeterministicRng(9)
+    rng.next_int(100)
+    thawed = DeterministicRng.from_state(rng.state())
+    assert [thawed.next_int(1000) for _ in range(10)] == [
+        rng.next_int(1000) for _ in range(10)
+    ]
+
+
+def _busy_world():
+    world = World(seed=3)
+    world.fs.add_file("/etc/secret", "42")
+    world.env["HOME"] = "/home"
+    world.stdin = "piped"
+    world.sources["s"] = ["mutable"]
+    world.network.register("srv", 9, lambda req: f"ok:{req}")
+    return world
+
+
+def test_world_snapshot_restore_roundtrip():
+    world = _busy_world()
+    # Mutate past the initial build: writes, deletions, network and
+    # nondeterminism-stream progress.
+    world.fs.add_file("/log/out", "line")
+    world.fs.unlink("/etc/secret")
+    conn = world.network.connect("srv", 9)
+    conn.send("ping")
+    assert conn.recv(2) == "ok"
+    world.clock.read()
+    world.rng.next_int(100)
+    world.sources["s"].append("later")
+
+    snap = world.snapshot()
+    import pickle
+
+    snap = pickle.loads(pickle.dumps(snap))  # must survive the disk trip
+    restored = _busy_world().restore(snap)
+
+    assert restored.fs.paths() == world.fs.paths()
+    for path in world.fs.paths():
+        assert restored.fs.read_file(path).content == world.fs.read_file(path).content
+    assert not restored.fs.exists("/etc/secret")
+    assert restored.env == world.env
+    assert restored.stdin == world.stdin
+    assert restored.sources == world.sources
+    assert restored.pid == world.pid and restored.heap_base == world.heap_base
+    # Streams continue in lockstep from the restore point.
+    assert restored.clock.read() == world.clock.read()
+    assert restored.rng.next_int(1000) == world.rng.next_int(1000)
+    # The restored connection resumes mid-stream with rebuilt script state.
+    twin = restored.network.connections[0]
+    assert twin.sent == ["ping"]
+    assert twin.recv(100) == conn.recv(100) == ":ping"
+    twin.send("again")
+    conn.send("again")
+    assert twin.recv(100) == conn.recv(100)
+
+
+def test_world_snapshot_rejects_other_versions():
+    world = _busy_world()
+    snap = world.snapshot()
+    snap["version"] = 999
+    with pytest.raises(ValueError):
+        _busy_world().restore(snap)
+
+
+def test_world_snapshot_restores_stateful_endpoints_by_replay():
+    world = World(seed=1)
+
+    def factory():
+        state = [0]
+
+        def script(req):
+            state[0] += 1
+            return f"n{state[0]};"
+
+        return script
+
+    world.network.register_factory("srv", 1, factory)
+    conn = world.network.connect("srv", 1)
+    conn.send("a")
+    conn.send("b")
+    snap = world.snapshot()
+
+    fresh = World(seed=1)
+    fresh.network.register_factory("srv", 1, factory)
+    restored = fresh.restore(snap)
+    twin = restored.network.connections[0]
+    twin.send("c")
+    assert twin.recv(1000) == "n1;n2;n3;"
 
 
 def test_taint_map_covers_parent_directories():
