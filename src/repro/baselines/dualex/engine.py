@@ -59,6 +59,7 @@ def _trace_execution(
         costs=costs,
         name="dualex-slave" if mutate else "dualex-master",
         max_instructions=max_instructions,
+        backend="switch",  # instr_hook requires the switch driver
     )
     tracker = IndexTracker()
     tracker.attach(machine)

@@ -50,6 +50,8 @@ def run_native(
     seed: int = 0,
     name: str = "native",
     max_instructions: int = 50_000_000,
+    backend: Optional[str] = None,
+    profile: bool = False,
 ) -> RunResult:
     """Execute *module* to completion against *world*."""
     machine = Machine(
@@ -60,6 +62,8 @@ def run_native(
         name=name,
         schedule_seed=seed,
         max_instructions=max_instructions,
+        backend=backend,
+        profile=profile,
     )
     while True:
         event = machine.next_event()

@@ -60,6 +60,7 @@ class TaintRunner:
             costs=costs,
             name=policy.name,
             max_instructions=max_instructions,
+            backend="switch",  # instr_hook requires the switch driver
         )
         self.tracker.attach(self.machine)
 

@@ -48,6 +48,12 @@ SCHEMA_TAG = "ldx-artifact-v1"
 # Bump when ProgramAnalysis / Diagnostic pickle layout changes.
 ANALYSIS_SCHEMA_TAG = "ldx-analysis-v1"
 
+# Bump when the threaded-code compiler's closure layout / fusion rules
+# change.  Compiled modules are arrays of Python closures and cannot be
+# pickled, so this cache is memory-only — the tag still participates in
+# the content address to keep keys disjoint from other artifact kinds.
+COMPILED_SCHEMA_TAG = "ldx-threaded-v1"
+
 
 class CacheStats:
     """Hit/miss accounting for one cache instance."""
@@ -278,6 +284,8 @@ class ArtifactCache:
 
 _GLOBAL = ArtifactCache()
 _ANALYSIS = ArtifactCache(schema_tag=ANALYSIS_SCHEMA_TAG, payload_type=None)
+# Closures are unpicklable: no cache_dir, ever.
+_COMPILED = ArtifactCache(schema_tag=COMPILED_SCHEMA_TAG, payload_type=None)
 
 
 def configure(
@@ -286,13 +294,21 @@ def configure(
     capacity: int = 128,
 ) -> ArtifactCache:
     """Replace the process-global caches; returns the artifact one."""
-    global _GLOBAL, _ANALYSIS
+    global _GLOBAL, _ANALYSIS, _COMPILED
     _GLOBAL = ArtifactCache(capacity=capacity, cache_dir=cache_dir, enabled=enabled)
     _ANALYSIS = ArtifactCache(
         capacity=capacity,
         cache_dir=cache_dir,
         enabled=enabled,
         schema_tag=ANALYSIS_SCHEMA_TAG,
+        payload_type=None,
+    )
+    # Deliberately ignores cache_dir: closures never round-trip pickle.
+    _COMPILED = ArtifactCache(
+        capacity=capacity,
+        cache_dir=None,
+        enabled=enabled,
+        schema_tag=COMPILED_SCHEMA_TAG,
         payload_type=None,
     )
     return _GLOBAL
@@ -306,11 +322,40 @@ def get_analysis_cache() -> ArtifactCache:
     return _ANALYSIS
 
 
+def get_compiled_cache() -> ArtifactCache:
+    return _COMPILED
+
+
 def instrumented_for(
     source: str, config: Optional[Dict[str, object]] = None
 ) -> InstrumentedModule:
     """Module-level convenience: look *source* up in the global cache."""
     return _GLOBAL.instrumented(source, config)
+
+
+def compiled_for(
+    source: str,
+    config: Optional[Dict[str, object]] = None,
+    fuse: bool = True,
+):
+    """Content-addressed threaded-code compilation of *source*.
+
+    Key: source text + instrumentation config + backend schema tag +
+    the fusion switch.  Routes through the instrumentation cache first
+    (the compiled artifact is a pure function of the instrumented
+    module), then through the per-module weak memo inside the compiler,
+    so repeated lookups within one process never recompile.
+    """
+    from repro.interp.compile import compiled_for_module  # cycle-free local import
+
+    full_config = dict(config or {})
+    full_config["fuse"] = fuse
+    key = artifact_key(source, full_config, schema_tag=COMPILED_SCHEMA_TAG)
+    instrumented = instrumented_for(source, config)
+    return _COMPILED.lookup(
+        key,
+        lambda: compiled_for_module(instrumented.module, instrumented.plan, fuse=fuse),
+    )
 
 
 def analysis_for(source: str, fingerprint: str, builder):

@@ -7,6 +7,7 @@ Usage::
     python -m repro eval [--table4-runs N] [--check-static]
     python -m repro chaos [--seeds N] [--fault-rate R] [--resume]
     python -m repro analyze program.mc | --workload NAME | --all [--dump-ir]
+    python -m repro profile WORKLOAD [--top N] [--json PATH]
 
 ``leak`` dual-executes a MiniC program with LDX and reports causality;
 ``run`` executes it natively; ``eval`` regenerates the paper's tables
@@ -14,7 +15,14 @@ Usage::
 ``chaos`` sweeps fault-injection seeds across the workloads and checks
 the robustness invariants (``--resume`` checkpoints finished cells and
 restarts an interrupted sweep where it left off); ``analyze`` runs the
-static causality analyzer and lints without executing anything.
+static causality analyzer and lints without executing anything;
+``profile`` runs one workload with the opcode-level profiler and
+prints per-opcode count / virtual-time histograms.
+
+``run``, ``eval``, ``chaos`` and ``profile`` accept ``--interp-backend
+{switch,threaded}`` to pick the interpreter dispatch strategy (default
+``threaded``).  Events, verdicts, clocks and reports are byte-identical
+across backends; only wall-clock speed differs.
 """
 
 from __future__ import annotations
@@ -148,6 +156,24 @@ def _configure_cache(args) -> None:
         cache.configure(cache_dir=args.cache_dir)
 
 
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    from repro.interp import BACKENDS
+
+    parser.add_argument(
+        "--interp-backend",
+        choices=sorted(BACKENDS),
+        default="threaded",
+        help="interpreter dispatch strategy (results are identical; "
+        "threaded is faster)",
+    )
+
+
+def _apply_backend(args) -> None:
+    from repro.interp import set_default_backend
+
+    set_default_backend(args.interp_backend)
+
+
 def _rate(text: str) -> float:
     try:
         value = float(text)
@@ -180,11 +206,19 @@ def _add_fault_options(parser: argparse.ArgumentParser, default_rate: float) -> 
 
 
 def _cmd_run(args) -> int:
+    _apply_backend(args)
     source = open(args.program).read()
-    result = run_native(compile_source(source), _build_world(args))
+    result = run_native(
+        compile_source(source), _build_world(args), profile=args.profile_interp
+    )
     sys.stdout.write(result.stdout)
     if result.exit_code:
         print(f"\n[exit code {result.exit_code}]")
+    if args.profile_interp:
+        from repro.interp import render_profile
+
+        # Keep stdout reserved for the program's own output.
+        print(render_profile(result.stats, "native", top=args.top), file=sys.stderr)
     return 0
 
 
@@ -224,9 +258,46 @@ def _cmd_leak(args) -> int:
     return 1 if result.report.causality_detected else 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.interp import profiles_payload, render_profiles
+    from repro.workloads import get_workload
+
+    _apply_backend(args)
+    workload = get_workload(args.workload)
+    instrumented = workload.instrumented
+    world = workload.build_world(args.seed)
+
+    native = run_native(
+        instrumented.module,
+        workload.build_world(args.seed),
+        plan=instrumented.plan,
+        profile=True,
+    )
+    dual = run_dual(instrumented, world, workload.config(), profile=True)
+
+    sections = [
+        ("native (instrumented)", native.stats),
+        ("master", dual.master.stats),
+        ("slave", dual.slave.stats),
+    ]
+    print(f"workload: {workload.name}  backend: {args.interp_backend}")
+    print(render_profiles(sections, top=args.top))
+    if args.json:
+        payload = profiles_payload(
+            sections, workload=workload.name, backend=args.interp_backend
+        )
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
 def _cmd_eval(args) -> int:
     from repro.eval.runner import run_all
 
+    _apply_backend(args)
     _configure_cache(args)
     result = run_all(
         table4_runs=args.table4_runs,
@@ -342,6 +413,7 @@ def _cmd_chaos(args) -> int:
     from repro.checkpoint import DEFAULT_CHECKPOINT_DIR
     from repro.eval.robustness import chaos_ok, render_chaos, run_chaos
 
+    _apply_backend(args)
     _configure_cache(args)
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:
@@ -366,6 +438,16 @@ def main(argv: List[str] = None) -> int:
 
     run_parser = commands.add_parser("run", help="execute a MiniC program natively")
     _add_world_options(run_parser)
+    _add_backend_option(run_parser)
+    run_parser.add_argument(
+        "--profile-interp",
+        action="store_true",
+        help="record per-opcode counts and virtual time; print a top-N "
+        "report to stderr after the program's output",
+    )
+    run_parser.add_argument(
+        "--top", type=int, default=10, metavar="N", help="profile rows to show"
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     leak_parser = commands.add_parser(
@@ -398,7 +480,23 @@ def main(argv: List[str] = None) -> int:
         help="with --check-static, also write the Table 5 JSON artifact",
     )
     _add_parallel_options(eval_parser)
+    _add_backend_option(eval_parser)
     eval_parser.set_defaults(handler=_cmd_eval)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="run one workload with the opcode-level interpreter profiler",
+    )
+    profile_parser.add_argument("workload", help="registered workload name")
+    profile_parser.add_argument("--seed", type=int, default=1, help="world seed")
+    profile_parser.add_argument(
+        "--top", type=int, default=10, metavar="N", help="profile rows to show"
+    )
+    profile_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write the JSON artifact"
+    )
+    _add_backend_option(profile_parser)
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     analyze_parser = commands.add_parser(
         "analyze",
@@ -478,6 +576,7 @@ def main(argv: List[str] = None) -> int:
     )
     _add_fault_options(chaos_parser, default_rate=0.1)
     _add_parallel_options(chaos_parser)
+    _add_backend_option(chaos_parser)
     chaos_parser.set_defaults(handler=_cmd_chaos)
 
     args = parser.parse_args(argv)

@@ -91,9 +91,11 @@ class LdxEngine:
         watchdog_deadline: float = 25_000.0,
         static_oracle=None,
         checkpointer: Optional[Checkpointer] = None,
+        profile: bool = False,
     ) -> None:
         module = instrumented.module
         plan = instrumented.plan
+        backend = config.interp_backend
         self.config = config
         # Optional soundness oracle: an object with
         # ``may_depend(function, syscall) -> bool`` (a ProgramAnalysis
@@ -123,6 +125,8 @@ class LdxEngine:
                 name="master",
                 schedule_seed=master_seed,
                 max_instructions=max_instructions,
+                backend=backend,
+                profile=profile,
             ),
         )
         self._slave = _Side(
@@ -135,6 +139,8 @@ class LdxEngine:
                 name="slave",
                 schedule_seed=slave_seed,
                 max_instructions=max_instructions,
+                backend=backend,
+                profile=profile,
             ),
         )
         # Per-thread-pair outcome queues (threads pair up by tid).

@@ -47,15 +47,22 @@ def default_jobs() -> int:
 # -- cell execution (runs inside pool workers) ---------------------------------
 
 
-def _worker_init(cache_dir: Optional[str], cache_enabled: bool) -> None:
-    """Configure the worker's process-global artifact cache.
+def _worker_init(
+    cache_dir: Optional[str], cache_enabled: bool, backend: str
+) -> None:
+    """Configure the worker's process-global artifact cache and
+    interpreter backend.
 
     Workers spawned fresh (no fork inheritance) warm up from the
-    on-disk layer instead of re-lowering every workload.
+    on-disk layer instead of re-lowering every workload, and inherit
+    the parent's dispatch strategy so a ``--interp-backend`` choice
+    applies to every cell regardless of --jobs.
     """
     from repro import cache
+    from repro.interp import set_default_backend
 
     cache.configure(cache_dir=cache_dir, enabled=cache_enabled)
+    set_default_backend(backend)
 
 
 def _cell_table1(name: str):
@@ -164,12 +171,14 @@ def fan_out(
     """Run *cells*, results in cell order regardless of completion order."""
     if jobs <= 1 or len(cells) <= 1:
         return [run_cell(cell) for cell in cells]
+    from repro.interp import get_default_backend
+
     cache_dir, cache_enabled = _cache_settings(cache_dir, cache_enabled)
     workers = min(jobs, len(cells))
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(cache_dir, cache_enabled),
+        initargs=(cache_dir, cache_enabled, get_default_backend()),
     ) as pool:
         return list(pool.map(run_cell, cells, chunksize=1))
 

@@ -83,6 +83,24 @@ class LoopExit(EdgeAction):
         return isinstance(other, LoopExit) and self.head == other.head
 
 
+def fold_counter_adds(actions: List[EdgeAction]) -> Optional[Tuple[int, int]]:
+    """Compile-time folding hook for pure counter edges.
+
+    When *actions* is a run of :class:`CounterAdd` only, return the
+    ``(total_delta, action_count)`` pair so a backend can apply the
+    whole edge as one integer add (the count is kept because the cost
+    model charges, and the stats count, per original action).  Edges
+    carrying barrier or loop bookkeeping return None — they must run
+    through the general action machinery.
+    """
+    total = 0
+    for action in actions:
+        if type(action) is not CounterAdd:
+            return None
+        total += action.delta
+    return total, len(actions)
+
+
 class FunctionPlan:
     """Instrumentation of one function."""
 
@@ -108,6 +126,14 @@ class FunctionPlan:
     def actions_for(self, src: int, dst: int) -> Optional[List[EdgeAction]]:
         """Actions on edge src->dst, or None."""
         return self.actions.get((src, dst))
+
+    def folded_actions_for(self, src: int, dst: int) -> Optional[Tuple[int, int]]:
+        """``(total_delta, count)`` when edge src->dst is pure counter
+        math, else None (no actions, or barrier/loop actions)."""
+        actions = self.actions.get((src, dst))
+        if not actions:
+            return None
+        return fold_counter_adds(actions)
 
     def add_action(self, edge: Edge, action: EdgeAction) -> None:
         self.actions.setdefault(edge, []).append(action)

@@ -1,0 +1,1115 @@
+"""Closure-compiled ("threaded code") interpreter backend.
+
+The switch backend walks a ``type(instr)`` if/elif chain, resolves
+operator strings, looks up builtins and consults the instrumentation
+plan on **every** executed instruction.  This module pays all of that
+once, at compile time: each :class:`~repro.ir.function.IRFunction` plus
+its :class:`~repro.instrument.plan.FunctionPlan` becomes a flat array
+of per-instruction *step closures*
+
+    ``step(machine, thread, frame) -> Optional[Event]``
+
+with everything pre-resolved:
+
+* operators come from :data:`~repro.ir.ops.BINOP_FUNCS` /
+  :data:`UNOP_FUNCS` (no op-string comparison per execution);
+* builtins are captured handlers (no registry lookup per call);
+* successor indices are captured constants;
+* edge-action lists are classified at compile time — action-free edges
+  become a plain index store, pure ``CounterAdd`` runs are folded into
+  one integer add (via :func:`~repro.instrument.plan.fold_counter_adds`),
+  and edges carrying ``LoopSync``/``LoopExit`` barrier bookkeeping stay
+  thunks into the machine's general action machinery;
+* names that are provably frame-local (module globals form a fixed key
+  set) read and write ``frame.locals`` directly, skipping the
+  locals-then-globals probe;
+* maximal straight-line chains of event-free instructions (consts,
+  moves, arithmetic, jumps, pure builtins, index loads/stores) become
+  *superinstruction runs*: one ``exec``-generated closure executes the
+  whole chain with per-instruction prologues inlined and the virtual
+  clock and instruction count held in Python locals, so the driver
+  loop runs once per chain instead of once per instruction.
+
+The contract is **byte identity**: a compiled run must produce the
+same events, counter stacks, virtual clocks and MachineStats as the
+switch interpreter, bit for bit.  That drives three non-obvious rules:
+
+* virtual-clock charges are floats, and float addition is not
+  associative — a folded counter edge still charges
+  ``costs.edge_action`` once per original action, in sequence, never as
+  one multiplied add;
+* a run pre-checks the instruction budget for its whole chain and, on
+  possible overflow, replays through the unfused base steps so the
+  budget error fires at the exact instruction with the exact state;
+* members whose errors embed a code location (index loads/stores)
+  sync ``frame.index`` first, keeping crash surfaces identical.
+
+Rare or complex operations (calls, returns, syscalls, indexing) keep
+delegating to the machine's existing helpers, so hook points, scoping
+and error surfaces stay single-sourced.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import LoweringError
+from repro.instrument.plan import FunctionPlan, ModulePlan, fold_counter_adds
+from repro.interp.builtins import BUILTINS
+from repro.interp.events import SyscallEvent
+from repro.ir import instructions as ins
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.ops import BINOP_FUNCS, UNOP_FUNCS, truthy
+
+BACKEND_SWITCH = "switch"
+BACKEND_THREADED = "threaded"
+BACKENDS = (BACKEND_SWITCH, BACKEND_THREADED)
+
+# A step executes one (possibly fused) instruction and applies its
+# out-edge; it returns an event when the thread must yield.
+Step = Callable[["Machine", "ThreadState", "Frame"], Optional[object]]
+
+# Longest superinstruction run; bounds generated-code size (a chain
+# cycle is cut by the revisit check before this matters in practice).
+CHAIN_CAP = 32
+
+
+def _make_slow(first: Step, rest: Tuple[Step, ...], final: Step) -> Step:
+    """Exact replay of a run through its base steps.
+
+    Used when a run's batched budget pre-check trips: stepping one
+    instruction at a time makes the budget error fire at the precise
+    instruction, with stats, clock and frame.index all exact.
+    """
+
+    def slow(machine, thread, frame):
+        first(machine, thread, frame)
+        stats = machine.stats
+        limit = machine.max_instructions
+        instruction_cost = machine.costs.instruction
+        for step in rest:
+            stats.instructions += 1
+            if stats.instructions > limit:
+                machine._budget_exceeded()
+            thread.clock += instruction_cost
+            step(machine, thread, frame)
+        stats.instructions += 1
+        if stats.instructions > limit:
+            machine._budget_exceeded()
+        thread.clock += instruction_cost
+        return final(machine, thread, frame)
+
+    return slow
+
+# -- backend selection ----------------------------------------------------------
+
+_DEFAULT_BACKEND = BACKEND_THREADED
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide backend used when a Machine gets none."""
+    global _DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(f"unknown interpreter backend {name!r}")
+    _DEFAULT_BACKEND = name
+
+
+def get_default_backend() -> str:
+    return _DEFAULT_BACKEND
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Validate an explicit choice, or fall back to the process default."""
+    if name is None:
+        return _DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(f"unknown interpreter backend {name!r}")
+    return name
+
+
+# -- compiled artifacts ----------------------------------------------------------
+
+
+class CompiledFunction:
+    """One function's step array, index-aligned with its instructions."""
+
+    __slots__ = ("name", "steps", "fused_indices")
+
+    def __init__(self, name: str, steps: List[Step], fused_indices: Tuple[int, ...]):
+        self.name = name
+        self.steps = steps
+        self.fused_indices = fused_indices
+
+
+class CompiledModule:
+    """Compiled form of a whole module under one plan.
+
+    Holds strong references to the module and plan it was compiled
+    against so the identity-keyed memo below can never serve a stale
+    entry for a recycled object id.
+    """
+
+    __slots__ = ("functions", "module", "plan", "fuse")
+
+    def __init__(
+        self,
+        functions: Dict[str, CompiledFunction],
+        module: IRModule,
+        plan: Optional[ModulePlan],
+        fuse: bool,
+    ) -> None:
+        self.functions = functions
+        self.module = module
+        self.plan = plan
+        self.fuse = fuse
+
+    def steps_for(self, name: str) -> List[Step]:
+        return self.functions[name].steps
+
+    @property
+    def fused_count(self) -> int:
+        return sum(len(f.fused_indices) for f in self.functions.values())
+
+
+# -- the compiler ----------------------------------------------------------------
+
+
+class _FunctionCompiler:
+    def __init__(
+        self,
+        module: IRModule,
+        function: IRFunction,
+        plan: Optional[FunctionPlan],
+        global_names: frozenset,
+        fuse: bool,
+    ) -> None:
+        self.module = module
+        self.function = function
+        self.plan = plan
+        self.global_names = global_names
+        self.fuse = fuse
+
+    def compile(self) -> CompiledFunction:
+        instrs = self.function.instrs
+        base: List[Step] = [
+            self._compile_one(index, instr) for index, instr in enumerate(instrs)
+        ]
+        steps = list(base)
+        fused: List[int] = []
+        if self.fuse:
+            # Overlay superinstruction runs.  Every member index gets its
+            # own run (not just chain leaders): calls, syscall resumes and
+            # branch targets can land the driver mid-chain, and the step
+            # at that index must execute exactly the instructions from
+            # there.  Runs reference *base* steps for their slow path and
+            # terminator, never other runs.
+            for index in range(len(instrs)):
+                run = self._compile_run(index, base)
+                if run is not None:
+                    steps[index] = run
+                    fused.append(index)
+        return CompiledFunction(self.function.name, steps, tuple(fused))
+
+    # -- name access -------------------------------------------------------------
+
+    def _is_local(self, name: str) -> bool:
+        """True when *name* can never resolve to a module global.
+
+        ``Machine.globals`` is seeded from ``module.global_values`` and
+        its key set never grows, so any name outside that set is
+        provably frame-local.
+        """
+        return name not in self.global_names
+
+    def _reader(self, name: str):
+        if name not in self.global_names:
+            def read(machine, frame, _name=name):
+                return frame.locals.get(_name)
+        else:
+            def read(machine, frame, _name=name):
+                frame_locals = frame.locals
+                if _name in frame_locals:
+                    return frame_locals[_name]
+                return machine.globals[_name]
+        return read
+
+    def _writer(self, name: str):
+        if name not in self.global_names:
+            def write(machine, frame, value, _name=name):
+                frame.locals[_name] = value
+        else:
+            def write(machine, frame, value, _name=name):
+                if _name in frame.locals:
+                    frame.locals[_name] = value
+                else:
+                    machine.globals[_name] = value
+        return write
+
+    # -- edges -------------------------------------------------------------------
+
+    def _edge_actions(self, src: int, dst: int):
+        if self.plan is None:
+            return None
+        return self.plan.actions_for(src, dst)
+
+    def _edge_is_free(self, src: int, dst: int) -> bool:
+        return not self._edge_actions(src, dst)
+
+    def _edge(self, src: int, dst: int) -> Optional[Step]:
+        """Compiled crossing of edge src->dst; None when action-free
+        (callers inline the index store)."""
+        actions = self._edge_actions(src, dst)
+        if not actions:
+            return None
+        folded = fold_counter_adds(actions)
+        if folded is not None:
+            delta, count = folded
+            if count == 1:
+                def cross(machine, thread, frame, _dst=dst, _delta=delta):
+                    thread.counter_stack[-1] += _delta
+                    thread.clock += machine.costs.edge_action
+                    machine.stats.edge_actions += 1
+                    frame.index = _dst
+                    return None
+            else:
+                # The clock is charged per original action: one
+                # multiplied float add would drift from the switch
+                # backend by ulps.
+                def cross(machine, thread, frame, _dst=dst, _delta=delta, _count=count):
+                    thread.counter_stack[-1] += _delta
+                    edge_cost = machine.costs.edge_action
+                    for _ in range(_count):
+                        thread.clock += edge_cost
+                    machine.stats.edge_actions += _count
+                    frame.index = _dst
+                    return None
+            return cross
+
+        # Barrier / loop bookkeeping: the machine's action machinery
+        # owns the pending-transition protocol — delegate to it.
+        frozen = tuple(actions)
+
+        def cross(machine, thread, frame, _dst=dst, _actions=frozen):
+            return machine._apply_actions(thread, frame, _dst, list(_actions))
+
+        return cross
+
+    # -- per-instruction compilation -----------------------------------------------
+
+    def _compile_one(self, index: int, instr: ins.Instr) -> Step:
+        kind = type(instr)
+        if kind is ins.Const:
+            return self._compile_const(index, instr)
+        if kind is ins.Move:
+            return self._compile_move(index, instr)
+        if kind is ins.Binop:
+            return self._compile_binop(index, instr)
+        if kind is ins.Unop:
+            return self._compile_unop(index, instr)
+        if kind is ins.Jump:
+            return self._compile_jump(index, instr)
+        if kind is ins.CJump:
+            return self._compile_cjump(index, instr)
+        if kind is ins.CallBuiltin:
+            return self._compile_builtin(index, instr)
+        if kind is ins.LoadIndex:
+            return self._compile_loadindex(index, instr)
+        if kind is ins.StoreIndex:
+            return self._compile_storeindex(index, instr)
+        if kind is ins.CallDirect:
+            return self._compile_calldirect(index, instr)
+        if kind is ins.CallIndirect:
+            def step(machine, thread, frame, _instr=instr):
+                return machine._execute(thread, frame, _instr)
+
+            return step
+        if kind is ins.Syscall:
+            return self._compile_syscall(index, instr)
+        if kind is ins.Ret:
+            return self._compile_ret(index, instr)
+        if kind is ins.Nop and index != self.function.exit:
+            return self._compile_nop(index)
+        # Everything else (NewList, the exit nop, unknown kinds) runs
+        # through the switch executor — identical semantics by
+        # construction, just paying the dispatch chain.
+        def step(machine, thread, frame, _instr=instr):
+            return machine._execute(thread, frame, _instr)
+
+        return step
+
+    def _compile_const(self, index: int, instr: ins.Const) -> Step:
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        if self._is_local(instr.dst):
+            if cross is None:
+                def step(machine, thread, frame, _dst=instr.dst, _value=instr.value, _next=nxt):
+                    frame.locals[_dst] = _value
+                    frame.index = _next
+                    return None
+            else:
+                def step(machine, thread, frame, _dst=instr.dst, _value=instr.value, _cross=cross):
+                    frame.locals[_dst] = _value
+                    return _cross(machine, thread, frame)
+        else:
+            write = self._writer(instr.dst)
+            if cross is None:
+                def step(machine, thread, frame, _write=write, _value=instr.value, _next=nxt):
+                    _write(machine, frame, _value)
+                    frame.index = _next
+                    return None
+            else:
+                def step(machine, thread, frame, _write=write, _value=instr.value, _cross=cross):
+                    _write(machine, frame, _value)
+                    return _cross(machine, thread, frame)
+        return step
+
+    def _compile_move(self, index: int, instr: ins.Move) -> Step:
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        if self._is_local(instr.dst) and self._is_local(instr.src):
+            if cross is None:
+                def step(machine, thread, frame, _dst=instr.dst, _src=instr.src, _next=nxt):
+                    frame_locals = frame.locals
+                    frame_locals[_dst] = frame_locals.get(_src)
+                    frame.index = _next
+                    return None
+            else:
+                def step(machine, thread, frame, _dst=instr.dst, _src=instr.src, _cross=cross):
+                    frame_locals = frame.locals
+                    frame_locals[_dst] = frame_locals.get(_src)
+                    return _cross(machine, thread, frame)
+        else:
+            read = self._reader(instr.src)
+            write = self._writer(instr.dst)
+            if cross is None:
+                def step(machine, thread, frame, _read=read, _write=write, _next=nxt):
+                    _write(machine, frame, _read(machine, frame))
+                    frame.index = _next
+                    return None
+            else:
+                def step(machine, thread, frame, _read=read, _write=write, _cross=cross):
+                    _write(machine, frame, _read(machine, frame))
+                    return _cross(machine, thread, frame)
+        return step
+
+    def _compile_binop(self, index: int, instr: ins.Binop) -> Step:
+        op_func = BINOP_FUNCS.get(instr.op)
+        if op_func is None:
+            # Unknown operator: surface the switch backend's runtime
+            # error, at runtime.
+            def step(machine, thread, frame, _instr=instr):
+                return machine._execute(thread, frame, _instr)
+
+            return step
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        if (
+            self._is_local(instr.dst)
+            and self._is_local(instr.left)
+            and self._is_local(instr.right)
+        ):
+            if cross is None:
+                def step(
+                    machine, thread, frame,
+                    _op=op_func, _dst=instr.dst, _left=instr.left,
+                    _right=instr.right, _next=nxt,
+                ):
+                    frame_locals = frame.locals
+                    frame_locals[_dst] = _op(
+                        frame_locals.get(_left), frame_locals.get(_right)
+                    )
+                    frame.index = _next
+                    return None
+            else:
+                def step(
+                    machine, thread, frame,
+                    _op=op_func, _dst=instr.dst, _left=instr.left,
+                    _right=instr.right, _cross=cross,
+                ):
+                    frame_locals = frame.locals
+                    frame_locals[_dst] = _op(
+                        frame_locals.get(_left), frame_locals.get(_right)
+                    )
+                    return _cross(machine, thread, frame)
+        else:
+            read_left = self._reader(instr.left)
+            read_right = self._reader(instr.right)
+            write = self._writer(instr.dst)
+            if cross is None:
+                def step(
+                    machine, thread, frame,
+                    _op=op_func, _rl=read_left, _rr=read_right,
+                    _write=write, _next=nxt,
+                ):
+                    _write(
+                        machine, frame,
+                        _op(_rl(machine, frame), _rr(machine, frame)),
+                    )
+                    frame.index = _next
+                    return None
+            else:
+                def step(
+                    machine, thread, frame,
+                    _op=op_func, _rl=read_left, _rr=read_right,
+                    _write=write, _cross=cross,
+                ):
+                    _write(
+                        machine, frame,
+                        _op(_rl(machine, frame), _rr(machine, frame)),
+                    )
+                    return _cross(machine, thread, frame)
+        return step
+
+    def _compile_unop(self, index: int, instr: ins.Unop) -> Step:
+        op_func = UNOP_FUNCS.get(instr.op)
+        if op_func is None:
+            def step(machine, thread, frame, _instr=instr):
+                return machine._execute(thread, frame, _instr)
+
+            return step
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        if self._is_local(instr.dst) and self._is_local(instr.operand):
+            if cross is None:
+                def step(
+                    machine, thread, frame,
+                    _op=op_func, _dst=instr.dst, _operand=instr.operand, _next=nxt,
+                ):
+                    frame_locals = frame.locals
+                    frame_locals[_dst] = _op(frame_locals.get(_operand))
+                    frame.index = _next
+                    return None
+            else:
+                def step(
+                    machine, thread, frame,
+                    _op=op_func, _dst=instr.dst, _operand=instr.operand, _cross=cross,
+                ):
+                    frame_locals = frame.locals
+                    frame_locals[_dst] = _op(frame_locals.get(_operand))
+                    return _cross(machine, thread, frame)
+        else:
+            read = self._reader(instr.operand)
+            write = self._writer(instr.dst)
+            if cross is None:
+                def step(machine, thread, frame, _op=op_func, _read=read, _write=write, _next=nxt):
+                    _write(machine, frame, _op(_read(machine, frame)))
+                    frame.index = _next
+                    return None
+            else:
+                def step(machine, thread, frame, _op=op_func, _read=read, _write=write, _cross=cross):
+                    _write(machine, frame, _op(_read(machine, frame)))
+                    return _cross(machine, thread, frame)
+        return step
+
+    def _compile_nop(self, index: int) -> Step:
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        if cross is None:
+            def step(machine, thread, frame, _next=nxt):
+                frame.index = _next
+                return None
+        else:
+            def step(machine, thread, frame, _cross=cross):
+                return _cross(machine, thread, frame)
+        return step
+
+    def _compile_jump(self, index: int, instr: ins.Jump) -> Step:
+        target = instr.target
+        cross = self._edge(index, target)
+        if cross is None:
+            def step(machine, thread, frame, _target=target):
+                frame.index = _target
+                return None
+        else:
+            def step(machine, thread, frame, _cross=cross):
+                return _cross(machine, thread, frame)
+        return step
+
+    def _compile_cjump(self, index: int, instr: ins.CJump) -> Step:
+        true_cross = self._edge(index, instr.true_target)
+        false_cross = self._edge(index, instr.false_target)
+        if self._is_local(instr.cond):
+            def step(
+                machine, thread, frame,
+                _cond=instr.cond, _truthy=truthy,
+                _true=instr.true_target, _false=instr.false_target,
+                _tc=true_cross, _fc=false_cross,
+            ):
+                if _truthy(frame.locals.get(_cond)):
+                    if _tc is None:
+                        frame.index = _true
+                        return None
+                    return _tc(machine, thread, frame)
+                if _fc is None:
+                    frame.index = _false
+                    return None
+                return _fc(machine, thread, frame)
+        else:
+            read = self._reader(instr.cond)
+
+            def step(
+                machine, thread, frame,
+                _read=read, _truthy=truthy,
+                _true=instr.true_target, _false=instr.false_target,
+                _tc=true_cross, _fc=false_cross,
+            ):
+                if _truthy(_read(machine, frame)):
+                    if _tc is None:
+                        frame.index = _true
+                        return None
+                    return _tc(machine, thread, frame)
+                if _fc is None:
+                    frame.index = _false
+                    return None
+                return _fc(machine, thread, frame)
+        return step
+
+    def _compile_builtin(self, index: int, instr: ins.CallBuiltin) -> Step:
+        handler = BUILTINS.get(instr.name)
+        all_local = (
+            handler is not None
+            and self._is_local(instr.dst)
+            and all(self._is_local(arg) for arg in instr.args)
+        )
+        if not all_local:
+            def step(machine, thread, frame, _instr=instr):
+                return machine._execute(thread, frame, _instr)
+
+            return step
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        arg_names = tuple(instr.args)
+        if cross is None:
+            def step(
+                machine, thread, frame,
+                _handler=handler, _args=arg_names, _dst=instr.dst, _next=nxt,
+            ):
+                frame_locals = frame.locals
+                frame_locals[_dst] = _handler(
+                    [frame_locals.get(arg) for arg in _args]
+                )
+                frame.index = _next
+                return None
+        else:
+            def step(
+                machine, thread, frame,
+                _handler=handler, _args=arg_names, _dst=instr.dst, _cross=cross,
+            ):
+                frame_locals = frame.locals
+                frame_locals[_dst] = _handler(
+                    [frame_locals.get(arg) for arg in _args]
+                )
+                return _cross(machine, thread, frame)
+        return step
+
+    def _compile_loadindex(self, index: int, instr: ins.LoadIndex) -> Step:
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        write = self._writer(instr.dst)
+        if cross is None:
+            def step(machine, thread, frame, _instr=instr, _write=write, _next=nxt):
+                _write(machine, frame, machine._load_index(thread, frame, _instr))
+                frame.index = _next
+                return None
+        else:
+            def step(machine, thread, frame, _instr=instr, _write=write, _cross=cross):
+                _write(machine, frame, machine._load_index(thread, frame, _instr))
+                return _cross(machine, thread, frame)
+        return step
+
+    def _compile_storeindex(self, index: int, instr: ins.StoreIndex) -> Step:
+        nxt = index + 1
+        cross = self._edge(index, nxt)
+        if cross is None:
+            def step(machine, thread, frame, _instr=instr, _next=nxt):
+                machine._store_index(thread, frame, _instr)
+                frame.index = _next
+                return None
+        else:
+            def step(machine, thread, frame, _instr=instr, _cross=cross):
+                machine._store_index(thread, frame, _instr)
+                return _cross(machine, thread, frame)
+        return step
+
+    def _compile_calldirect(self, index: int, instr: ins.CallDirect) -> Step:
+        try:
+            target = self.module.function(instr.func)
+        except LoweringError:
+            # Unknown callee: keep the switch backend's runtime error.
+            def step(machine, thread, frame, _instr=instr):
+                return machine._enter_call(
+                    thread, frame, _instr, machine.module.function(_instr.func)
+                )
+
+            return step
+        if len(instr.args) != len(target.params) or not all(
+            self._is_local(arg) for arg in instr.args
+        ):
+            # Arity mismatches and global-name arguments go through the
+            # machine helper, which owns those error/lookup paths.
+            def step(machine, thread, frame, _instr=instr, _target=target):
+                return machine._enter_call(thread, frame, _instr, _target)
+
+            return step
+        # Resolved at compile time: whether this call site opens a fresh
+        # counter scope, and the param <- arg binding list.
+        scoped = self.plan is not None and index in self.plan.scoped_calls
+        pairs = tuple(zip(target.params, instr.args))
+
+        def step(
+            machine, thread, frame,
+            _instr=instr, _target=target, _dst=instr.dst,
+            _scoped=scoped, _pairs=pairs,
+        ):
+            frame_locals = frame.locals
+            callee = machine._new_frame(_target, _dst, _scoped)
+            callee_locals = callee.locals
+            for param, arg in _pairs:
+                callee_locals[param] = frame_locals.get(arg)
+            if _scoped:
+                counter_stack = thread.counter_stack
+                counter_stack.append(0)
+                stats = machine.stats
+                depth = len(counter_stack)
+                if depth > stats.max_stack_depth:
+                    stats.max_stack_depth = depth
+            thread.frames.append(callee)
+            if machine.call_hook is not None:
+                machine.call_hook(thread, frame, callee, _instr)
+            return None
+
+        return step
+
+    def _compile_syscall(self, index: int, instr: ins.Syscall) -> Step:
+        if not all(self._is_local(arg) for arg in instr.args):
+            def step(machine, thread, frame, _instr=instr):
+                return machine._raise_syscall(thread, frame, _instr)
+
+            return step
+        # Deferred import: machine.py imports this module at load time.
+        from repro.interp.machine import WAIT_SYSCALL
+
+        def step(
+            machine, thread, frame,
+            _args=tuple(instr.args), _name=instr.name,
+            _fname=self.function.name, _index=index,
+            _event_cls=SyscallEvent, _wait=WAIT_SYSCALL,
+        ):
+            frame_locals = frame.locals
+            args = tuple(frame_locals.get(arg) for arg in _args)
+            stats = machine.stats
+            stats.syscalls += 1
+            counter_stack = thread.counter_stack
+            stats.counter_samples.append(counter_stack[-1])
+            depth = len(counter_stack)
+            if depth > stats.max_stack_depth:
+                stats.max_stack_depth = depth
+            event = _event_cls(
+                machine, thread.tid, _fname, _index,
+                tuple(counter_stack), _name, args,
+            )
+            thread.status = _wait
+            thread.pending_event = event
+            return event
+
+        return step
+
+    def _compile_ret(self, index: int, instr: ins.Ret) -> Step:
+        actions = self._edge_actions(index, self.function.exit)
+        folded = fold_counter_adds(actions) if actions else None
+        if (actions and folded is None) or (
+            instr.src is not None and not self._is_local(instr.src)
+        ):
+            # Barrier-on-return (guarded error) or global result name:
+            # the machine helper owns those paths.
+            def step(machine, thread, frame, _instr=instr):
+                return machine._return(thread, frame, _instr)
+
+            return step
+        from repro.interp.machine import DONE
+
+        delta, count = folded if folded else (0, 0)
+
+        def step(
+            machine, thread, frame,
+            _src=instr.src, _delta=delta, _count=count,
+            _exit=self.function.exit, _done=DONE,
+        ):
+            value = frame.locals.get(_src) if _src is not None else None
+            # The ret -> exit edge's folded compensations, then the
+            # index store — the order _apply_actions uses.
+            if _count:
+                thread.counter_stack[-1] += _delta
+                edge_cost = machine.costs.edge_action
+                for _ in range(_count):
+                    thread.clock += edge_cost
+                machine.stats.edge_actions += _count
+            frame.index = _exit
+            if frame.scoped:
+                thread.counter_stack.pop()
+            frames = thread.frames
+            if thread.loop_stack:
+                depth = len(frames)
+                thread.loop_stack = [
+                    record for record in thread.loop_stack if record[0] < depth
+                ]
+            frames.pop()
+            if not frames:
+                thread.result = value
+                thread.status = _done
+                return None
+            caller = frames[-1]
+            call_instr = caller.function.instrs[caller.index]
+            machine._write(thread, caller, call_instr.dst, value)
+            if machine.return_hook is not None:
+                machine.return_hook(thread, frame, caller, call_instr.dst, value)
+            return machine._advance(thread, caller, caller.index, caller.index + 1)
+
+        return step
+
+    # -- superinstruction runs -----------------------------------------------------
+    #
+    # Pairwise fusion (Const->Binop, Binop->CJump, Move->Ret) generalizes
+    # to *maximal straight-line runs*: a chain of event-free instructions
+    # connected by free or counter-folded edges compiles — via source
+    # generation — into ONE closure that executes the whole chain with
+    # the per-instruction prologue inlined and the virtual clock kept in
+    # a Python local.  The driver loop then runs once per run instead of
+    # once per instruction.  The chain's terminator (the first
+    # instruction that can yield an event, transfer control non-locally
+    # or carry a barrier edge) executes through its ordinary base step.
+
+    def _member_successor(self, index: int, instr: ins.Instr) -> Optional[int]:
+        """The chain successor of *instr*, or None when it must
+        terminate a run.
+
+        A chain member provably cannot yield an event, block, change
+        ``thread.status`` or push/pop frames, and its outgoing edge is
+        action-free or a foldable ``CounterAdd`` sequence.
+        """
+        kind = type(instr)
+        if kind is ins.Jump:
+            succ = instr.target
+        elif kind is ins.Const or kind is ins.Move:
+            succ = index + 1
+        elif kind is ins.Binop:
+            if instr.op not in BINOP_FUNCS:
+                return None
+            succ = index + 1
+        elif kind is ins.Unop:
+            if instr.op not in UNOP_FUNCS:
+                return None
+            succ = index + 1
+        elif kind is ins.Nop:
+            if index == self.function.exit:
+                return None
+            succ = index + 1
+        elif kind is ins.CallBuiltin:
+            if (
+                BUILTINS.get(instr.name) is None
+                or not self._is_local(instr.dst)
+                or not all(self._is_local(arg) for arg in instr.args)
+            ):
+                return None
+            succ = index + 1
+        elif kind is ins.LoadIndex or kind is ins.StoreIndex:
+            succ = index + 1
+        else:
+            return None
+        actions = self._edge_actions(index, succ)
+        if actions and fold_counter_adds(actions) is None:
+            return None
+        return succ
+
+    def _compile_run(self, start: int, base: List[Step]) -> Optional[Step]:
+        """A generated run step starting at *start*, or None when the
+        instruction there cannot begin a chain."""
+        instrs = self.function.instrs
+        succ = self._member_successor(start, instrs[start])
+        if succ is None:
+            return None
+        chain = [start]
+        seen = {start}
+        nxt = succ
+        while len(chain) < CHAIN_CAP and nxt not in seen:
+            follower_succ = self._member_successor(nxt, instrs[nxt])
+            if follower_succ is None:
+                break
+            chain.append(nxt)
+            seen.add(nxt)
+            nxt = follower_succ
+        return self._emit_run(chain, nxt, base)
+
+    def _emit_member(
+        self, pos: int, index: int, instr: ins.Instr, env: Dict[str, object]
+    ) -> Tuple[List[str], bool]:
+        """(body lines, needs frame.index) for one chain member.
+
+        ``fl`` (frame.locals) is a local in the generated function;
+        captured objects land in *env* and surface as default args.
+        Members whose errors embed a location (index loads/stores) get
+        ``frame.index`` synced first — crash surfaces must match the
+        switch backend exactly.
+        """
+        kind = type(instr)
+        if kind is ins.Nop or kind is ins.Jump:
+            return [], False
+        if kind is ins.Const:
+            env[f"v{pos}"] = instr.value
+            if self._is_local(instr.dst):
+                return [f"fl[{instr.dst!r}] = v{pos}"], False
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [f"w{pos}(machine, frame, v{pos})"], False
+        if kind is ins.Move:
+            if self._is_local(instr.dst) and self._is_local(instr.src):
+                return [f"fl[{instr.dst!r}] = fl.get({instr.src!r})"], False
+            env[f"r{pos}"] = self._reader(instr.src)
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [f"w{pos}(machine, frame, r{pos}(machine, frame))"], False
+        if kind is ins.Binop:
+            env[f"b{pos}"] = BINOP_FUNCS[instr.op]
+            if (
+                self._is_local(instr.dst)
+                and self._is_local(instr.left)
+                and self._is_local(instr.right)
+            ):
+                return [
+                    f"fl[{instr.dst!r}] = b{pos}"
+                    f"(fl.get({instr.left!r}), fl.get({instr.right!r}))"
+                ], False
+            env[f"rl{pos}"] = self._reader(instr.left)
+            env[f"rr{pos}"] = self._reader(instr.right)
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [
+                f"w{pos}(machine, frame, b{pos}"
+                f"(rl{pos}(machine, frame), rr{pos}(machine, frame)))"
+            ], False
+        if kind is ins.Unop:
+            env[f"u{pos}"] = UNOP_FUNCS[instr.op]
+            if self._is_local(instr.dst) and self._is_local(instr.operand):
+                return [
+                    f"fl[{instr.dst!r}] = u{pos}(fl.get({instr.operand!r}))"
+                ], False
+            env[f"r{pos}"] = self._reader(instr.operand)
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [
+                f"w{pos}(machine, frame, u{pos}(r{pos}(machine, frame)))"
+            ], False
+        if kind is ins.CallBuiltin:
+            env[f"h{pos}"] = BUILTINS[instr.name]
+            args = ", ".join(f"fl.get({arg!r})" for arg in instr.args)
+            return [f"fl[{instr.dst!r}] = h{pos}([{args}])"], False
+        if kind is ins.LoadIndex:
+            env[f"i{pos}"] = instr
+            if self._is_local(instr.dst):
+                line = (
+                    f"fl[{instr.dst!r}] = "
+                    f"machine._load_index(thread, frame, i{pos})"
+                )
+            else:
+                env[f"w{pos}"] = self._writer(instr.dst)
+                line = (
+                    f"w{pos}(machine, frame, "
+                    f"machine._load_index(thread, frame, i{pos}))"
+                )
+            return [line], True
+        if kind is ins.StoreIndex:
+            env[f"i{pos}"] = instr
+            return [f"machine._store_index(thread, frame, i{pos})"], True
+        raise AssertionError(f"unexpected chain member {instr!r}")
+
+    def _emit_run(
+        self, chain: List[int], terminator: int, base: List[Step]
+    ) -> Step:
+        instrs = self.function.instrs
+        head = chain[0]
+        env: Dict[str, object] = {
+            "slow": _make_slow(
+                base[head],
+                tuple(base[i] for i in chain[1:]),
+                base[terminator],
+            ),
+            "final": base[terminator],
+        }
+        term = instrs[terminator]
+
+        # Terminator shape.  A chain cycling straight back to its own
+        # head, or a CJump whose out-edges are both free/foldable and
+        # one of whose targets is the head, turns into a `while True`
+        # in the generated code: whole loop iterations execute without
+        # returning to the driver (budget permitting).
+        cycle = terminator == head
+        t_act = f_act = None
+        inline_cjump = False
+        if not cycle and type(term) is ins.CJump:
+            t_act = self._edge_actions(terminator, term.true_target)
+            f_act = self._edge_actions(terminator, term.false_target)
+            inline_cjump = (
+                not t_act or fold_counter_adds(t_act) is not None
+            ) and (not f_act or fold_counter_adds(f_act) is not None)
+        loops_back = cycle or (
+            inline_cjump and head in (term.true_target, term.false_target)
+        )
+
+        chain_edges = [
+            self._edge_actions(src, dst)
+            for src, dst in zip(chain, chain[1:] + [terminator])
+        ]
+        has_folded = any(chain_edges) or (
+            inline_cjump and (bool(t_act) or bool(f_act))
+        )
+
+        lines: List[str] = []
+
+        def emit(depth: int, text: str) -> None:
+            lines.append("    " * (depth + 1) + text)
+
+        def emit_edge(depth: int, actions) -> None:
+            if not actions:
+                return
+            delta, count = fold_counter_adds(actions)
+            emit(depth, f"cs[-1] += {delta}")
+            # One float add per original action, in sequence: clock
+            # charges must match the switch backend bit for bit.
+            for _ in range(count):
+                emit(depth, "clock += ec")
+            emit(depth, f"st.edge_actions += {count}")
+
+        def emit_spill(depth: int, target: int) -> None:
+            emit(depth, "st.instructions = n")
+            emit(depth, "thread.clock = clock")
+            emit(depth, f"frame.index = {target}")
+            emit(depth, "return None")
+
+        def emit_reenter(depth: int, budget: int) -> None:
+            # The next full iteration may overflow the budget: hand
+            # back to the driver, whose prologue + the run's own slow
+            # path reproduce the exact overflow state.
+            emit(depth, f"if n + {budget} > limit:")
+            emit_spill(depth + 1, head)
+            emit(depth, "n += 1")
+            emit(depth, "clock += icost")
+            emit(depth, "continue")
+
+        emit(0, "st = machine.stats")
+        emit(0, "n = st.instructions")
+        emit(0, "limit = machine.max_instructions")
+        # Budget overflow anywhere in the chain: replay through the
+        # base steps so the error fires at the exact instruction with
+        # the exact machine state.
+        emit(0, f"if n + {len(chain)} > limit:")
+        emit(1, "return slow(machine, thread, frame)")
+        emit(0, "icost = machine.costs.instruction")
+        emit(0, "clock = thread.clock")
+        emit(0, "fl = frame.locals")
+        if has_folded:
+            emit(0, "ec = machine.costs.edge_action")
+            emit(0, "cs = thread.counter_stack")
+        depth = 0
+        if loops_back:
+            emit(0, "while True:")
+            depth = 1
+
+        for pos, index in enumerate(chain):
+            if pos:
+                # The driver ran the first member's prologue; the run
+                # runs every later one, clock kept in a local.
+                emit(depth, "n += 1")
+                emit(depth, "clock += icost")
+            member_lines, needs_index = self._emit_member(
+                pos, index, instrs[index], env
+            )
+            if needs_index:
+                emit(depth, f"frame.index = {index}")
+            for text in member_lines:
+                emit(depth, text)
+            emit_edge(depth, chain_edges[pos])
+
+        if cycle:
+            emit_reenter(depth, len(chain))
+        elif inline_cjump:
+            emit(depth, "n += 1")
+            emit(depth, "clock += icost")
+            env["truthy"] = truthy
+            if self._is_local(term.cond):
+                cond = f"truthy(fl.get({term.cond!r}))"
+            else:
+                env["rc"] = self._reader(term.cond)
+                cond = "truthy(rc(machine, frame))"
+            def emit_branch(target: int, actions) -> None:
+                emit_edge(depth + 1, actions)
+                if loops_back and target == head:
+                    emit_reenter(depth + 1, len(chain) + 1)
+                else:
+                    emit_spill(depth + 1, target)
+
+            emit(depth, f"if {cond}:")
+            emit_branch(term.true_target, t_act)
+            emit(depth, "else:")
+            emit_branch(term.false_target, f_act)
+        else:
+            emit(depth, "n += 1")
+            emit(depth, "clock += icost")
+            emit(depth, "st.instructions = n")
+            emit(depth, "thread.clock = clock")
+            emit(depth, f"frame.index = {terminator}")
+            emit(depth, "return final(machine, thread, frame)")
+
+        params = ", ".join(f"{name}={name}" for name in env)
+        source = (
+            f"def run(machine, thread, frame, {params}):\n"
+            + "".join(f"{line}\n" for line in lines)
+        )
+        namespace = dict(env)
+        exec(compile(source, "<ldx-run>", "exec"), namespace)
+        return namespace["run"]
+
+
+def compile_module(
+    module: IRModule, plan: Optional[ModulePlan] = None, fuse: bool = True
+) -> CompiledModule:
+    """Compile every function of *module* under *plan*."""
+    global_names = frozenset(module.global_values)
+    functions: Dict[str, CompiledFunction] = {}
+    for name, function in module.functions.items():
+        function_plan = plan.functions.get(name) if plan is not None else None
+        functions[name] = _FunctionCompiler(
+            module, function, function_plan, global_names, fuse
+        ).compile()
+    return CompiledModule(functions, module, plan, fuse)
+
+
+# -- in-process compilation memo --------------------------------------------------
+#
+# Step closures are unpicklable, so compiled modules can never ride the
+# artifact cache's disk layer; this weak memo is the in-process
+# equivalent.  Master and slave machines built from one instrumented
+# artifact (and every run of a cached workload) share one compilation.
+# Keys are object identities: the CompiledModule pins the plan alive,
+# so a recycled id can never alias a stale entry.
+
+_MEMO: "weakref.WeakKeyDictionary[IRModule, Dict[Tuple[int, bool], CompiledModule]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_for_module(
+    module: IRModule, plan: Optional[ModulePlan] = None, fuse: bool = True
+) -> CompiledModule:
+    """Compile (or reuse the memoized compilation of) *module*."""
+    per_module = _MEMO.get(module)
+    if per_module is None:
+        per_module = {}
+        _MEMO[module] = per_module
+    key = (id(plan), fuse)
+    compiled = per_module.get(key)
+    if compiled is None:
+        compiled = compile_module(module, plan, fuse)
+        per_module[key] = compiled
+    return compiled
+
+
+def clear_compile_memo() -> None:
+    """Drop every memoized compilation (benchmarks measure cold paths)."""
+    _MEMO.clear()

@@ -13,6 +13,7 @@ every instruction.  Nothing in here knows about dual execution.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import FaultInjected, InterpreterError
@@ -24,6 +25,12 @@ from repro.instrument.plan import (
     ModulePlan,
 )
 from repro.interp.builtins import call_builtin
+from repro.interp.compile import (
+    BACKEND_THREADED,
+    CompiledModule,
+    compiled_for_module,
+    resolve_backend,
+)
 from repro.interp.costs import DEFAULT_COSTS, CostModel
 from repro.interp.events import BarrierEvent, Event, SyscallEvent
 from repro.ir import instructions as ins
@@ -44,7 +51,7 @@ DONE = "done"
 class Frame:
     """One activation record."""
 
-    __slots__ = ("function", "plan", "index", "locals", "return_dst", "scoped")
+    __slots__ = ("function", "plan", "index", "locals", "return_dst", "scoped", "code")
 
     def __init__(
         self,
@@ -59,6 +66,8 @@ class Frame:
         self.locals: Dict[str, object] = {}
         self.return_dst = return_dst
         self.scoped = scoped
+        # Step-closure array under the threaded backend, else None.
+        self.code = None
 
 
 class ThreadState:
@@ -103,6 +112,20 @@ class MachineStats:
         self.barriers = 0
         self.counter_samples: List[int] = []
         self.max_stack_depth = 1
+        # Per-opcode histograms, populated only when the machine runs
+        # with profiling enabled (None keeps the hot path allocation-
+        # and branch-free).
+        self.opcode_counts: Optional[Dict[str, int]] = None
+        self.opcode_time: Optional[Dict[str, float]] = None
+
+    def enable_profiling(self) -> None:
+        if self.opcode_counts is None:
+            self.opcode_counts = defaultdict(int)
+            self.opcode_time = defaultdict(float)
+
+    @property
+    def profiled(self) -> bool:
+        return self.opcode_counts is not None
 
     @property
     def avg_counter(self) -> float:
@@ -127,6 +150,8 @@ class Machine:
         name: str = "exec",
         schedule_seed: int = 0,
         max_instructions: int = 50_000_000,
+        backend: Optional[str] = None,
+        profile: bool = False,
     ) -> None:
         self.module = module
         self.kernel = kernel
@@ -160,6 +185,18 @@ class Machine:
         #   return_hook(thread, popped_frame, caller_frame, dst, value)
         self.call_hook = None
         self.return_hook = None
+        # Interpreter backend: "switch" walks the type-dispatch chain;
+        # "threaded" executes pre-compiled step closures.  Profiling
+        # runs unfused code so each step is exactly one instruction.
+        self.backend = resolve_backend(backend)
+        self._profile = profile
+        if profile:
+            self.stats.enable_profiling()
+        self._code: Optional[CompiledModule] = (
+            compiled_for_module(module, plan, fuse=not profile)
+            if self.backend == BACKEND_THREADED
+            else None
+        )
         self._spawn_main()
 
     # -- setup -------------------------------------------------------------------
@@ -169,10 +206,21 @@ class Machine:
             return None
         return self.plan.functions.get(function_name)
 
+    def _new_frame(
+        self,
+        function: IRFunction,
+        return_dst: Optional[str],
+        scoped: bool,
+    ) -> Frame:
+        frame = Frame(function, self._plan_for(function.name), return_dst, scoped)
+        if self._code is not None:
+            frame.code = self._code.steps_for(function.name)
+        return frame
+
     def _spawn_main(self) -> None:
         main = self.module.function("main")
         thread = ThreadState(0)
-        thread.frames.append(Frame(main, self._plan_for("main"), None, False))
+        thread.frames.append(self._new_frame(main, None, False))
         self.threads.append(thread)
 
     # -- public driving API ---------------------------------------------------------
@@ -209,6 +257,25 @@ class Machine:
         threads blocked on machine-internal conditions).
         """
         while not self.finished:
+            threads = self.threads
+            if len(threads) == 1 and not self._deferred_events:
+                # Single-thread fast path: no joiners to wake, no
+                # scheduling choice to make (and no RNG draw — the
+                # general path only draws on ties between >= 2
+                # candidates), so behaviour is identical.
+                thread = threads[0]
+                status = thread.status
+                if status == RUNNABLE:
+                    event = self._run_thread(thread)
+                    if event is not None:
+                        return event
+                    continue
+                if status == DONE:
+                    self.finished = True
+                    return None
+                if status in (WAIT_SYSCALL, WAIT_BARRIER):
+                    return None
+                raise InterpreterError(f"{self.name}: thread deadlock")
             self._wake_joiners()
             if self._deferred_events:
                 return self._deferred_events.pop(0)
@@ -345,8 +412,12 @@ class Machine:
         budget = plan.config.max_retries
         attempts = min(fault.failures, budget)
         for attempt in range(attempts):
+            # Unjittered syscall entry cost: drawing jitter here would
+            # consume the scheduling RNG stream, desyncing every later
+            # syscall's jitter from the fault-free run — fault overhead
+            # must be strictly additive on top of identical baselines.
             self.charge(
-                tid, self.syscall_cost() + self.costs.retry_backoff * (2 ** attempt)
+                tid, self.costs.syscall + self.costs.retry_backoff * (2 ** attempt)
             )
         if fault.failures > budget:
             plan.note_exhausted(event.name)
@@ -384,7 +455,7 @@ class Machine:
         if len(function.params) != 1:
             raise InterpreterError("thread entry function must take 1 parameter")
         thread = ThreadState(len(self.threads))
-        frame = Frame(function, self._plan_for(function.name), None, False)
+        frame = self._new_frame(function, None, False)
         frame.locals[function.params[0]] = arg
         thread.frames.append(frame)
         # The child starts at the spawner's current virtual time.
@@ -475,8 +546,30 @@ class Machine:
 
     # -- interpretation ----------------------------------------------------------------
 
+    def _budget_exceeded(self) -> None:
+        raise InterpreterError(
+            f"{self.name}: instruction budget exceeded "
+            f"({self.max_instructions})"
+        )
+
     def _run_thread(self, thread: ThreadState) -> Optional[Event]:
-        """Run one thread until it produces an event, blocks or ends."""
+        """Run one thread until it produces an event, blocks or ends.
+
+        Dispatches to one of four driver loops: {switch, threaded} x
+        {plain, profiled}.  Per-instruction hooks (the taint/DualEx
+        baselines) need the original instruction objects, so a machine
+        with ``instr_hook`` always takes the switch loop regardless of
+        backend.
+        """
+        if self._code is not None and self.instr_hook is None:
+            if self._profile:
+                return self._run_thread_threaded_profiled(thread)
+            return self._run_thread_threaded(thread)
+        if self._profile:
+            return self._run_thread_switch_profiled(thread)
+        return self._run_thread_switch(thread)
+
+    def _run_thread_switch(self, thread: ThreadState) -> Optional[Event]:
         costs = self.costs
         while thread.status == RUNNABLE:
             if thread.pending_transition is not None:
@@ -488,14 +581,90 @@ class Machine:
             instr = frame.function.instrs[frame.index]
             self.stats.instructions += 1
             if self.stats.instructions > self.max_instructions:
-                raise InterpreterError(
-                    f"{self.name}: instruction budget exceeded "
-                    f"({self.max_instructions})"
-                )
+                self._budget_exceeded()
             thread.clock += costs.instruction
             if self.instr_hook is not None:
                 self.instr_hook(thread, frame, instr)
             event = self._execute(thread, frame, instr)
+            if event is not None:
+                return event
+        return None
+
+    def _run_thread_threaded(self, thread: ThreadState) -> Optional[Event]:
+        """The threaded-code driver: the per-instruction prologue is
+        hoisted here and everything else lives in the step closures."""
+        stats = self.stats
+        limit = self.max_instructions
+        instruction_cost = self.costs.instruction
+        frames = thread.frames
+        while thread.status == RUNNABLE:
+            if thread.pending_transition is not None:
+                event = self._resume_transition(thread)
+                if event is not None:
+                    return event
+                continue
+            frame = frames[-1]
+            stats.instructions += 1
+            if stats.instructions > limit:
+                self._budget_exceeded()
+            thread.clock += instruction_cost
+            event = frame.code[frame.index](self, thread, frame)
+            if event is not None:
+                return event
+        return None
+
+    def _run_thread_switch_profiled(self, thread: ThreadState) -> Optional[Event]:
+        costs = self.costs
+        counts = self.stats.opcode_counts
+        times = self.stats.opcode_time
+        while thread.status == RUNNABLE:
+            if thread.pending_transition is not None:
+                event = self._resume_transition(thread)
+                if event is not None:
+                    return event
+                continue
+            frame = thread.frames[-1]
+            instr = frame.function.instrs[frame.index]
+            opname = instr.opname
+            before = thread.clock
+            self.stats.instructions += 1
+            if self.stats.instructions > self.max_instructions:
+                self._budget_exceeded()
+            thread.clock += costs.instruction
+            if self.instr_hook is not None:
+                self.instr_hook(thread, frame, instr)
+            event = self._execute(thread, frame, instr)
+            counts[opname] += 1
+            times[opname] += thread.clock - before
+            if event is not None:
+                return event
+        return None
+
+    def _run_thread_threaded_profiled(self, thread: ThreadState) -> Optional[Event]:
+        # Profiled machines compile with fuse=False, so one step is
+        # exactly one instruction and attribution is exact.
+        stats = self.stats
+        counts = stats.opcode_counts
+        times = stats.opcode_time
+        limit = self.max_instructions
+        instruction_cost = self.costs.instruction
+        frames = thread.frames
+        while thread.status == RUNNABLE:
+            if thread.pending_transition is not None:
+                event = self._resume_transition(thread)
+                if event is not None:
+                    return event
+                continue
+            frame = frames[-1]
+            opname = frame.function.instrs[frame.index].opname
+            before = thread.clock
+            stats.instructions += 1
+            if stats.instructions > limit:
+                self._budget_exceeded()
+            thread.clock += instruction_cost
+            event = frame.code[frame.index](self, thread, frame)
+            counts[opname] += 1
+            times[opname] += thread.clock - before
             if event is not None:
                 return event
         return None
@@ -740,7 +909,7 @@ class Machine:
                 frame.function.name,
                 frame.index,
             )
-        callee = Frame(function, self._plan_for(function.name), instr.dst, scoped)
+        callee = self._new_frame(function, instr.dst, scoped)
         for param, value in zip(function.params, args):
             callee.locals[param] = value
         if scoped:

@@ -1,0 +1,96 @@
+"""Opcode-level profile rendering.
+
+A machine run with ``profile=True`` records, per opcode, how many
+instructions executed and how much virtual time their execution charged
+(the instruction cost plus any edge actions applied on the instruction's
+outgoing transfer; barrier waits resumed later by the driver are not
+attributed).  Both backends produce bit-identical histograms — the
+profile is a property of the execution, not of the dispatch strategy.
+
+This module turns those histograms into the ``repro profile`` top-N
+text report and the JSON artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.interp.machine import MachineStats
+
+
+def profile_rows(stats: MachineStats) -> List[Tuple[str, int, float]]:
+    """(opcode, count, virtual_time) rows, busiest first.
+
+    Sorted by count, then virtual time, then name, so the report is
+    deterministic even for opcodes that tie.
+    """
+    if not stats.profiled:
+        return []
+    counts = stats.opcode_counts
+    times = stats.opcode_time
+    return sorted(
+        ((op, counts[op], times.get(op, 0.0)) for op in counts),
+        key=lambda row: (-row[1], -row[2], row[0]),
+    )
+
+
+def render_profile(stats: MachineStats, title: str, top: int = 10) -> str:
+    """A top-N text table for one machine's opcode histogram."""
+    rows = profile_rows(stats)
+    lines = [f"{title} — {stats.instructions} instructions"]
+    if not rows:
+        lines.append("  (no profile recorded — run with profiling enabled)")
+        return "\n".join(lines)
+    total_count = sum(count for _op, count, _t in rows)
+    total_time = sum(time for _op, _count, time in rows)
+    lines.append(
+        f"  {'opcode':<12} {'count':>10} {'%':>6}   {'vtime':>12} {'%':>6}"
+    )
+    for op, count, time in rows[:top]:
+        count_share = 100.0 * count / total_count if total_count else 0.0
+        time_share = 100.0 * time / total_time if total_time else 0.0
+        lines.append(
+            f"  {op:<12} {count:>10} {count_share:>5.1f}%   "
+            f"{time:>12.2f} {time_share:>5.1f}%"
+        )
+    hidden = len(rows) - min(top, len(rows))
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more opcode(s)")
+    return "\n".join(lines)
+
+
+def profile_payload(stats: MachineStats) -> Dict[str, object]:
+    """JSON-ready summary of one machine's histogram."""
+    return {
+        "instructions": stats.instructions,
+        "edge_actions": stats.edge_actions,
+        "syscalls": stats.syscalls,
+        "barriers": stats.barriers,
+        "opcodes": {
+            op: {"count": count, "vtime": time}
+            for op, count, time in profile_rows(stats)
+        },
+    }
+
+
+def render_profiles(
+    sections: List[Tuple[str, MachineStats]], top: int = 10
+) -> str:
+    """Concatenated reports for several executions (native/master/slave)."""
+    return "\n\n".join(render_profile(stats, title, top) for title, stats in sections)
+
+
+def profiles_payload(
+    sections: List[Tuple[str, MachineStats]],
+    workload: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "schema": "ldx-profile-v1",
+        "executions": {title: profile_payload(stats) for title, stats in sections},
+    }
+    if workload is not None:
+        payload["workload"] = workload
+    if backend is not None:
+        payload["backend"] = backend
+    return payload

@@ -9,7 +9,7 @@ makes Algorithm 1's ``FCNT[F] = cnt[exit]`` well defined.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import LoweringError
 from repro.ir import instructions as ins
@@ -22,6 +22,9 @@ class IRFunction:
         self.name = name
         self.params = params
         self.instrs: List[ins.Instr] = []
+        # Per-index successor tuples, frozen by seal() once jump targets
+        # are backpatched (None while the function is under construction).
+        self._succ_cache: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -32,6 +35,7 @@ class IRFunction:
 
     def seal(self) -> None:
         """Validate structural invariants after lowering."""
+        self._succ_cache = None
         if not self.instrs:
             raise LoweringError(f"{self.name}: empty function body")
         exit_instr = self.instrs[-1]
@@ -49,6 +53,12 @@ class IRFunction:
             if index == last - 1 and not instr.is_terminator():
                 # The instruction just before exit may fall through into it.
                 continue
+        # Freeze the successor table: control flow is final after seal,
+        # and the interpreter asks for successors on every syscall
+        # completion and call return.
+        self._succ_cache = tuple(
+            self._compute_successors(index) for index in range(len(self.instrs))
+        )
 
     # -- graph views ----------------------------------------------------------
 
@@ -62,6 +72,12 @@ class IRFunction:
 
     def successors(self, index: int) -> Tuple[int, ...]:
         """Control-flow successors of the instruction at *index*."""
+        cache = self._succ_cache
+        if cache is not None:
+            return cache[index]
+        return self._compute_successors(index)
+
+    def _compute_successors(self, index: int) -> Tuple[int, ...]:
         instr = self.instrs[index]
         if isinstance(instr, ins.Jump):
             return (instr.target,)

@@ -36,51 +36,119 @@ def _require_int(value, op: str) -> int:
     raise InterpreterError(f"operator {op!r} needs an int, got {type(value).__name__}")
 
 
+def _binop_add(left, right):
+    if isinstance(left, str) or isinstance(right, str):
+        # String concatenation stringifies the other side, which the
+        # workload programs rely on for message building.
+        return _stringify(left) + _stringify(right)
+    if isinstance(left, list) and isinstance(right, list):
+        return left + right
+    return _require_int(left, "+") + _require_int(right, "+")
+
+
+def _binop_sub(left, right):
+    return _require_int(left, "-") - _require_int(right, "-")
+
+
+def _binop_mul(left, right):
+    # String repetition is commutative, as in Python/C string libs.
+    if isinstance(left, str) and isinstance(right, int):
+        return left * right
+    if isinstance(right, str) and isinstance(left, int):
+        return right * left
+    return _require_int(left, "*") * _require_int(right, "*")
+
+
+def _binop_div(left, right):
+    divisor = _require_int(right, "/")
+    if divisor == 0:
+        raise InterpreterError("division by zero")
+    # C-style truncating division in pure integer math: routing through
+    # float (``int(a / b)``) silently loses precision past 2**53.
+    dividend = _require_int(left, "/")
+    quotient = abs(dividend) // abs(divisor)
+    return quotient if (dividend >= 0) == (divisor >= 0) else -quotient
+
+
+def _binop_mod(left, right):
+    divisor = _require_int(right, "%")
+    if divisor == 0:
+        raise InterpreterError("modulo by zero")
+    dividend = _require_int(left, "%")
+    result = abs(dividend) % abs(divisor)
+    return result if dividend >= 0 else -result
+
+
+def _binop_eq(left, right):
+    return _equals(left, right)
+
+
+def _binop_ne(left, right):
+    return not _equals(left, right)
+
+
+def _binop_lt(left, right):
+    return _compare("<", left, right)
+
+
+def _binop_le(left, right):
+    return _compare("<=", left, right)
+
+
+def _binop_gt(left, right):
+    return _compare(">", left, right)
+
+
+def _binop_ge(left, right):
+    return _compare(">=", left, right)
+
+
+def _unop_neg(operand):
+    return -_require_int(operand, "-")
+
+
+def _unop_not(operand):
+    return not truthy(operand)
+
+
+# Operator tables: the single source of operator semantics.  The switch
+# interpreter dispatches through apply_binop/apply_unop; the threaded
+# backend resolves the handler once at compile time and calls it
+# directly per execution.
+BINOP_FUNCS = {
+    "+": _binop_add,
+    "-": _binop_sub,
+    "*": _binop_mul,
+    "/": _binop_div,
+    "%": _binop_mod,
+    "==": _binop_eq,
+    "!=": _binop_ne,
+    "<": _binop_lt,
+    "<=": _binop_le,
+    ">": _binop_gt,
+    ">=": _binop_ge,
+}
+
+UNOP_FUNCS = {
+    "-": _unop_neg,
+    "not": _unop_not,
+}
+
+
 def apply_binop(op: str, left, right):
     """Evaluate ``left op right`` with MiniC semantics."""
-    if op == "+":
-        if isinstance(left, str) or isinstance(right, str):
-            # String concatenation stringifies the other side, which the
-            # workload programs rely on for message building.
-            return _stringify(left) + _stringify(right)
-        if isinstance(left, list) and isinstance(right, list):
-            return left + right
-        return _require_int(left, op) + _require_int(right, op)
-    if op == "-":
-        return _require_int(left, op) - _require_int(right, op)
-    if op == "*":
-        if isinstance(left, str) and isinstance(right, int):
-            return left * right
-        return _require_int(left, op) * _require_int(right, op)
-    if op == "/":
-        divisor = _require_int(right, op)
-        if divisor == 0:
-            raise InterpreterError("division by zero")
-        # C-style truncating division.
-        return int(_require_int(left, op) / divisor)
-    if op == "%":
-        divisor = _require_int(right, op)
-        if divisor == 0:
-            raise InterpreterError("modulo by zero")
-        dividend = _require_int(left, op)
-        result = abs(dividend) % abs(divisor)
-        return result if dividend >= 0 else -result
-    if op == "==":
-        return _equals(left, right)
-    if op == "!=":
-        return not _equals(left, right)
-    if op in ("<", "<=", ">", ">="):
-        return _compare(op, left, right)
-    raise InterpreterError(f"unknown binary operator {op!r}")
+    func = BINOP_FUNCS.get(op)
+    if func is None:
+        raise InterpreterError(f"unknown binary operator {op!r}")
+    return func(left, right)
 
 
 def apply_unop(op: str, operand):
     """Evaluate a unary operator with MiniC semantics."""
-    if op == "-":
-        return -_require_int(operand, op)
-    if op == "not":
-        return not truthy(operand)
-    raise InterpreterError(f"unknown unary operator {op!r}")
+    func = UNOP_FUNCS.get(op)
+    if func is None:
+        raise InterpreterError(f"unknown unary operator {op!r}")
+    return func(operand)
 
 
 def _stringify(value) -> str:

@@ -29,6 +29,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 
+# Normalization is pure and the kernel re-resolves paths on every
+# syscall, so workloads hammer the same few strings; the memo is
+# bounded to stay harmless under adversarial path churn.
+_NORMALIZE_MEMO: Dict[str, str] = {}
+_NORMALIZE_MEMO_LIMIT = 4096
+
+
 def _normalize(path: str) -> str:
     """Normalize a path: collapse slashes, resolve ``.``/``..`` segments
     (clamping ``..`` at the root), ensure a leading slash.
@@ -37,6 +44,9 @@ def _normalize(path: str) -> str:
     must be the *same* file, or aliased writes escape both
     copy-on-divergence cloning and master/slave FS diffing.
     """
+    cached = _NORMALIZE_MEMO.get(path)
+    if cached is not None:
+        return cached
     parts: List[str] = []
     for part in path.split("/"):
         if not part or part == ".":
@@ -46,7 +56,10 @@ def _normalize(path: str) -> str:
                 parts.pop()
             continue  # ".." at the root stays at the root
         parts.append(part)
-    return "/" + "/".join(parts)
+    result = "/" + "/".join(parts)
+    if len(_NORMALIZE_MEMO) < _NORMALIZE_MEMO_LIMIT:
+        _NORMALIZE_MEMO[path] = result
+    return result
 
 
 def parent_dir(path: str) -> str:

@@ -40,6 +40,39 @@ def test_division_by_zero_raises():
         run("fn main() { print(1 / 0); }")
 
 
+def test_huge_int_division_is_exact():
+    # Regression: int(a / b) routed through a float and lost precision
+    # for dividends beyond 2**53.  Division must stay pure-int.
+    big = 2**63 + 1
+    result = run(f"fn main() {{ print({big} / 3); }}")
+    assert result.stdout == str(big // 3)  # sign-agreeing case: floor == trunc
+
+
+def test_huge_int_division_truncates_toward_zero():
+    big = 2**63 + 2  # not a multiple of 3, so trunc != floor
+    assert big % 3 != 0
+    # MiniC has no negative literals; (0 - big) / 3 builds the value.
+    result = run(f"fn main() {{ print((0 - {big}) / 3); }}")
+    assert result.stdout == str(-(big // 3))  # C-style: trunc, not floor
+
+
+def test_huge_int_modulo_is_exact():
+    big = 2**63 + 1
+    result = run(f"fn main() {{ print({big} % 7); }}")
+    assert result.stdout == str(big % 7)
+
+
+def test_string_repetition_is_commutative():
+    # Regression: "ab" * 3 worked but 3 * "ab" raised.
+    result = run('fn main() { print("ab" * 3); print(3 * "ab"); }')
+    assert result.stdout == "abababababab"
+
+
+def test_string_repetition_rejects_two_strings():
+    with pytest.raises(InterpreterError):
+        run('fn main() { print("a" * "b"); }')
+
+
 def test_if_else():
     result = run(
         'fn main() { var x = 5; if (x > 3) { print("big"); } else { print("small"); } }'
