@@ -23,6 +23,20 @@ again so a stray file from another version is treated as a miss.
 Corrupted entries (truncated writes, bad pickles) also degrade to a
 miss: the artifact is recompiled and the entry rewritten.
 
+**Concurrent writers are safe.**  The serve daemon's worker threads
+and the eval harness's pool processes share these caches:
+
+* every disk publish goes through a private temp file, ``fsync`` and
+  an atomic ``os.replace`` — a reader sees either the old entry, the
+  new entry, or nothing, never a torn write;
+* every stored payload embeds a SHA-256 digest of the pickled
+  artifact, verified on load — an entry corrupted *after* publish
+  (bit rot, a partial copy, an interrupted writer from a foreign
+  version) is detected, unlinked and rebuilt instead of deserialized
+  into a wrong artifact;
+* the in-process memory LRU takes a lock around every mutation, so
+  concurrent daemon workers can share one cache instance.
+
 The same two-layer machinery also backs the **static analysis cache**
 (:data:`ANALYSIS_SCHEMA_TAG`): ``repro analyze`` summaries are pure
 functions of source text plus the analysis seed fingerprint, so they
@@ -36,6 +50,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -43,10 +58,11 @@ from repro.instrument import InstrumentedModule, instrument_module
 from repro.ir import compile_source
 
 # Bump when InstrumentedModule / ModulePlan / IR pickle layout changes.
-SCHEMA_TAG = "ldx-artifact-v1"
+# v2: payload embeds a SHA-256 digest of the pickled artifact.
+SCHEMA_TAG = "ldx-artifact-v2"
 
 # Bump when ProgramAnalysis / Diagnostic pickle layout changes.
-ANALYSIS_SCHEMA_TAG = "ldx-analysis-v1"
+ANALYSIS_SCHEMA_TAG = "ldx-analysis-v2"
 
 # Bump when the threaded-code compiler's closure layout / fusion rules
 # change.  Compiled modules are arrays of Python closures and cannot be
@@ -138,6 +154,9 @@ class ArtifactCache:
         self.use_memory = use_memory
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, object]" = OrderedDict()
+        # Guards the memory LRU and the stats counters: one instance is
+        # shared by all of the serve daemon's worker threads.
+        self._lock = threading.RLock()
 
     # -- lookup ----------------------------------------------------------------
 
@@ -146,20 +165,24 @@ class ArtifactCache:
         it on a miss."""
         if not self.enabled:
             return builder()
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return cached
+        # Build outside the lock: compilation is slow and two racing
+        # builders produce content-identical artifacts anyway.
         artifact = self._disk_load(key)
         if artifact is not None:
-            self.stats.disk_hits += 1
+            with self._lock:
+                self.stats.disk_hits += 1
         else:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             artifact = builder()
             self._disk_store(key, artifact)
-        self._remember(key, artifact)
-        return artifact
+        return self._remember(key, artifact)
 
     def load(self, key: str):
         """The artifact stored under *key*, or None — no builder.
@@ -170,17 +193,20 @@ class ArtifactCache:
         """
         if not self.enabled:
             return None
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return cached
         artifact = self._disk_load(key)
+        with self._lock:
+            if artifact is not None:
+                self.stats.disk_hits += 1
+            else:
+                self.stats.misses += 1
         if artifact is not None:
-            self.stats.disk_hits += 1
-            self._remember(key, artifact)
-        else:
-            self.stats.misses += 1
+            artifact = self._remember(key, artifact)
         return artifact
 
     def store(self, key: str, artifact) -> None:
@@ -199,19 +225,30 @@ class ArtifactCache:
             lambda: instrument_module(compile_source(source)),
         )
 
-    def _remember(self, key: str, artifact) -> None:
+    def _remember(self, key: str, artifact):
+        """Install *artifact* in the LRU; returns the canonical object
+        for *key* (a racing thread's insert wins, so all callers share
+        one in-memory artifact per key)."""
         if not self.use_memory:
-            return
-        self._memory[key] = artifact
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
+            return artifact
+        with self._lock:
+            existing = self._memory.get(key)
+            if existing is not None:
+                self._memory.move_to_end(key)
+                return existing
+            self._memory[key] = artifact
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+        return artifact
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear_memory(self) -> None:
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # -- disk layer ------------------------------------------------------------
 
@@ -232,7 +269,14 @@ class ArtifactCache:
                 or payload.get("schema") != self.schema_tag
             ):
                 raise ValueError("schema tag mismatch")
-            artifact = payload["artifact"]
+            blob = payload["artifact"]
+            if not isinstance(blob, bytes):
+                raise ValueError("artifact blob must be bytes")
+            # Verify before deserializing: a corrupt blob must become a
+            # miss, never a plausible-but-wrong artifact.
+            if hashlib.sha256(blob).hexdigest() != payload.get("digest"):
+                raise ValueError("payload digest mismatch")
+            artifact = pickle.loads(blob)
             if self.payload_type is not None and not isinstance(
                 artifact, self.payload_type
             ):
@@ -253,7 +297,12 @@ class ArtifactCache:
             return
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            payload = pickle.dumps({"schema": self.schema_tag, "artifact": artifact})
+            blob = pickle.dumps(artifact)
+            payload = pickle.dumps({
+                "schema": self.schema_tag,
+                "digest": hashlib.sha256(blob).hexdigest(),
+                "artifact": blob,
+            })
             # Atomic publish: a reader never sees a half-written entry.
             fd, temp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
@@ -261,6 +310,8 @@ class ArtifactCache:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(temp_path, path)
             except BaseException:
                 try:

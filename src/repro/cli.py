@@ -8,16 +8,24 @@ Usage::
     python -m repro chaos [--seeds N] [--fault-rate R] [--resume]
     python -m repro analyze program.mc | --workload NAME | --all [--dump-ir]
     python -m repro profile WORKLOAD [--top N] [--json PATH]
+    python -m repro serve [--http PORT] [--workers N] [--queue-capacity N]
+    python -m repro serve-chaos [--requests N] [--fault-rate R] [--url URL]
+    python -m repro checkpoints prune [--max-entries N] [--max-age-hours H]
 
 ``leak`` dual-executes a MiniC program with LDX and reports causality;
 ``run`` executes it natively; ``eval`` regenerates the paper's tables
 (``--check-static`` adds Table 5 and the soundness-oracle check);
 ``chaos`` sweeps fault-injection seeds across the workloads and checks
 the robustness invariants (``--resume`` checkpoints finished cells and
-restarts an interrupted sweep where it left off); ``analyze`` runs the
-static causality analyzer and lints without executing anything;
-``profile`` runs one workload with the opcode-level profiler and
-prints per-opcode count / virtual-time histograms.
+restarts an interrupted sweep where it left off; Ctrl-C exits cleanly
+with a resume hint); ``analyze`` runs the static causality analyzer
+and lints without executing anything; ``profile`` runs one workload
+with the opcode-level profiler and prints per-opcode count /
+virtual-time histograms; ``serve`` runs the causality-as-a-service
+daemon (stdin JSONL by default, localhost HTTP with ``--http``; see
+docs/SERVICE.md); ``serve-chaos`` storms a service with concurrent
+requests under injected faults and checks the service invariants;
+``checkpoints prune`` garbage-collects the checkpoint store.
 
 ``run``, ``eval``, ``chaos`` and ``profile`` accept ``--interp-backend
 {switch,threaded}`` to pick the interpreter dispatch strategy (default
@@ -418,16 +426,96 @@ def _cmd_chaos(args) -> int:
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:
         checkpoint_dir = DEFAULT_CHECKPOINT_DIR
-    rows = run_chaos(
-        names=args.workload or None,
-        seeds=args.seeds,
-        rate=args.fault_rate,
-        watchdog_deadline=args.watchdog_deadline,
-        jobs=args.jobs,
-        checkpoint_dir=checkpoint_dir,
-    )
+    try:
+        rows = run_chaos(
+            names=args.workload or None,
+            seeds=args.seeds,
+            rate=args.fault_rate,
+            watchdog_deadline=args.watchdog_deadline,
+            jobs=args.jobs,
+            checkpoint_dir=checkpoint_dir,
+        )
+    except KeyboardInterrupt:
+        # Graceful Ctrl-C: finished cells are already on disk (when
+        # checkpointing), so tell the user how to pick the sweep back
+        # up instead of dumping a traceback.
+        if checkpoint_dir is not None:
+            print(
+                "\nchaos: interrupted — finished cells are checkpointed "
+                f"under {checkpoint_dir}; rerun with --resume to continue "
+                "where the sweep left off",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\nchaos: interrupted — nothing was checkpointed (use "
+                "--resume to make interruptions resumable)",
+                file=sys.stderr,
+            )
+        return 130
     print(render_chaos(rows, args.seeds, args.fault_rate))
     return 0 if chaos_ok(rows) else 1
+
+
+def _cmd_checkpoints(args) -> int:
+    from repro.checkpoint import prune_checkpoints
+
+    max_age = None
+    if args.max_age_hours is not None:
+        max_age = args.max_age_hours * 3600.0
+    summary = prune_checkpoints(
+        args.checkpoint_dir,
+        max_entries=args.max_entries,
+        max_age_seconds=max_age,
+    )
+    print(
+        f"checkpoints: scanned {summary['scanned']}, "
+        f"removed {summary['removed']}, kept {summary['kept']}, "
+        f"reclaimed {summary['reclaimed_bytes']} bytes"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import HttpTransport, LdxService, ServeConfig, StdioTransport
+
+    _apply_backend(args)
+    _configure_cache(args)
+    service = LdxService(
+        ServeConfig(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            high_watermark=args.high_watermark,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            max_factories=args.max_factories,
+            checkpoint_dir=args.serve_checkpoint_dir,
+        )
+    )
+    if args.http is not None:
+        transport = HttpTransport(service, port=args.http)
+    else:
+        transport = StdioTransport(service)
+    return transport.serve_forever()
+
+
+def _cmd_serve_chaos(args) -> int:
+    from repro.eval.serve_chaos import render_storm, run_storm, storm_ok
+
+    _apply_backend(args)
+    _configure_cache(args)
+    outcome = run_storm(
+        requests=args.requests,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        tiny_deadline_every=args.tiny_deadline_every,
+        poison_every=args.poison_every,
+        url=args.url,
+    )
+    print(render_storm(outcome))
+    return 0 if storm_ok(outcome) else 1
 
 
 def main(argv: List[str] = None) -> int:
@@ -578,6 +666,120 @@ def main(argv: List[str] = None) -> int:
     _add_parallel_options(chaos_parser)
     _add_backend_option(chaos_parser)
     chaos_parser.set_defaults(handler=_cmd_chaos)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the causality-as-a-service daemon (stdin JSONL or HTTP)",
+    )
+    serve_parser.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="listen on 127.0.0.1:PORT instead of stdin JSONL (0 = "
+        "ephemeral; the bound port is announced on stdout)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=_jobs, default=2, metavar="N",
+        help="worker threads draining the admission queue",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="admission queue bound (beyond it requests shed as overloaded)",
+    )
+    serve_parser.add_argument(
+        "--high-watermark", type=int, default=None, metavar="N",
+        help="queue depth above which cold requests shed (default: 3/4 capacity)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive engine failures before a workload's breaker opens",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe is admitted",
+    )
+    serve_parser.add_argument(
+        "--max-factories", type=int, default=32, metavar="N",
+        help="warm engine-factory LRU capacity",
+    )
+    serve_parser.add_argument(
+        "--serve-checkpoint-dir", metavar="DIR", default=None,
+        help="checkpoint degraded in-flight requests here (drain protocol)",
+    )
+    _add_cache_options(serve_parser)
+    _add_backend_option(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    serve_chaos_parser = commands.add_parser(
+        "serve-chaos",
+        help="storm a service with concurrent faulty requests and check "
+        "the service invariants (verdicts never change; failures are "
+        "always explicit)",
+    )
+    serve_chaos_parser.add_argument(
+        "--requests", type=int, default=60, metavar="N",
+        help="requests in the storm",
+    )
+    serve_chaos_parser.add_argument(
+        "--workers", type=_jobs, default=2, metavar="N",
+        help="service worker threads (in-process mode)",
+    )
+    serve_chaos_parser.add_argument(
+        "--queue-capacity", type=int, default=8, metavar="N",
+        help="admission queue bound (small by default to exercise shedding)",
+    )
+    serve_chaos_parser.add_argument(
+        "--tiny-deadline-every", type=int, default=7, metavar="N",
+        help="every Nth request gets a near-zero deadline (0 disables)",
+    )
+    serve_chaos_parser.add_argument(
+        "--poison-every", type=int, default=11, metavar="N",
+        help="every Nth request is malformed/oversized (0 disables)",
+    )
+    serve_chaos_parser.add_argument(
+        "--url", metavar="URL", default=None,
+        help="storm a running daemon at URL instead of an in-process service",
+    )
+    serve_chaos_parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault-injection plan",
+    )
+    serve_chaos_parser.add_argument(
+        "--fault-rate", type=_rate, default=0.1,
+        help="transient-fault probability per eligible syscall (0 disables)",
+    )
+    _add_cache_options(serve_chaos_parser)
+    _add_backend_option(serve_chaos_parser)
+    serve_chaos_parser.set_defaults(handler=_cmd_serve_chaos)
+
+    checkpoints_parser = commands.add_parser(
+        "checkpoints", help="manage the on-disk checkpoint store"
+    )
+    checkpoint_actions = checkpoints_parser.add_subparsers(
+        dest="action", required=True
+    )
+    prune_parser = checkpoint_actions.add_parser(
+        "prune",
+        help="delete stale checkpoint entries (TTL and/or entry cap)",
+    )
+    from repro.checkpoint import DEFAULT_CHECKPOINT_DIR
+
+    prune_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=DEFAULT_CHECKPOINT_DIR,
+        help=f"checkpoint store location (default: {DEFAULT_CHECKPOINT_DIR})",
+    )
+    prune_parser.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep at most the newest N entries",
+    )
+    prune_parser.add_argument(
+        "--max-age-hours", type=float, default=None, metavar="H",
+        help="delete entries older than H hours",
+    )
+    prune_parser.set_defaults(handler=_cmd_checkpoints)
 
     args = parser.parse_args(argv)
     try:

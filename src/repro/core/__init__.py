@@ -14,8 +14,17 @@ Typical use::
 """
 
 from repro.core.channel import OutcomeQueue, SyscallRecord, counter_geq, counter_less
-from repro.core.config import LdxConfig, SinkSpec, SourceSpec
-from repro.core.engine import LdxEngine, run_dual
+from repro.core.config import (
+    ConfigSpecError,
+    LdxConfig,
+    SinkSpec,
+    SourceSpec,
+    config_from_spec,
+    mutator_by_name,
+    sink_spec_from_dict,
+    source_spec_from_dict,
+)
+from repro.core.engine import EngineFactory, LdxEngine, run_dual
 from repro.core.mutation import (
     RandomMutation,
     STRATEGIES,
@@ -35,7 +44,7 @@ from repro.core.report import (
     DualResult,
     FsDivergence,
 )
-from repro.core.supervisor import EngineWatchdog
+from repro.core.supervisor import EngineWatchdog, RunBudget
 from repro.vos.faults import FaultConfig
 
 __all__ = [
@@ -43,10 +52,17 @@ __all__ = [
     "SyscallRecord",
     "counter_geq",
     "counter_less",
+    "ConfigSpecError",
     "LdxConfig",
     "SinkSpec",
     "SourceSpec",
+    "config_from_spec",
+    "mutator_by_name",
+    "sink_spec_from_dict",
+    "source_spec_from_dict",
+    "EngineFactory",
     "LdxEngine",
+    "RunBudget",
     "run_dual",
     "RandomMutation",
     "STRATEGIES",

@@ -136,3 +136,114 @@ class LdxConfig:
         # None defers to the process-wide default.  Verdicts, events and
         # virtual clocks are backend-invariant by contract.
         self.interp_backend = interp_backend
+
+
+# -- declarative (wire-format) construction ------------------------------------
+#
+# The service API receives configurations as plain JSON dicts.  The
+# builders below turn them into Spec objects, rejecting unknown fields
+# loudly — a malformed request must become an `invalid` response, never
+# a misconfigured run that returns a wrong verdict.
+
+
+class ConfigSpecError(ValueError):
+    """A declarative source/sink/mutation spec is malformed."""
+
+
+def _require_mapping(spec, what: str) -> dict:
+    if not isinstance(spec, dict):
+        raise ConfigSpecError(f"{what} spec must be an object, got {type(spec).__name__}")
+    return spec
+
+
+def _string_list(value, what: str) -> list:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ConfigSpecError(f"{what} must be a list of strings")
+    return list(value)
+
+
+def source_spec_from_dict(spec: Optional[dict]) -> SourceSpec:
+    """Build a :class:`SourceSpec` from its JSON form.
+
+    Accepted keys: ``files`` (paths), ``stdin`` (bool), ``network``
+    ("host:port" strings), ``env`` (names), ``labels`` (annotation
+    labels).  Unknown keys are rejected.
+    """
+    if spec is None:
+        return SourceSpec()
+    spec = _require_mapping(spec, "sources")
+    unknown = set(spec) - {"files", "stdin", "network", "env", "labels"}
+    if unknown:
+        raise ConfigSpecError(f"unknown sources keys: {sorted(unknown)}")
+    stdin = spec.get("stdin", False)
+    if not isinstance(stdin, bool):
+        raise ConfigSpecError("sources.stdin must be a boolean")
+    return SourceSpec(
+        file_paths=_string_list(spec.get("files", []), "sources.files"),
+        stdin=stdin,
+        network=_string_list(spec.get("network", []), "sources.network"),
+        env_names=_string_list(spec.get("env", []), "sources.env"),
+        labels=_string_list(spec.get("labels", []), "sources.labels"),
+    )
+
+
+def sink_spec_from_dict(spec) -> SinkSpec:
+    """Build a :class:`SinkSpec` from its JSON form.
+
+    Either one of the named presets (``"network"`` / ``"file"`` /
+    ``"attack"``) or an object with ``syscalls`` / ``labels`` /
+    ``malloc`` keys.
+    """
+    if spec is None or spec == "network":
+        return SinkSpec.network_out()
+    if spec == "file":
+        return SinkSpec.file_out()
+    if spec == "attack":
+        return SinkSpec.attack_detection()
+    if isinstance(spec, str):
+        raise ConfigSpecError(
+            f"unknown sinks preset {spec!r}; expected network|file|attack"
+        )
+    spec = _require_mapping(spec, "sinks")
+    unknown = set(spec) - {"syscalls", "labels", "malloc"}
+    if unknown:
+        raise ConfigSpecError(f"unknown sinks keys: {sorted(unknown)}")
+    malloc = spec.get("malloc", False)
+    if not isinstance(malloc, bool):
+        raise ConfigSpecError("sinks.malloc must be a boolean")
+    labels = spec.get("labels")
+    return SinkSpec(
+        syscall_names=_string_list(spec.get("syscalls", []), "sinks.syscalls"),
+        labels=None if labels is None else _string_list(labels, "sinks.labels"),
+        malloc_sinks=malloc,
+    )
+
+
+def mutator_by_name(name: Optional[str]) -> Optional[Mutator]:
+    """Resolve a mutation-strategy name to its callable (None = default)."""
+    from repro.core.mutation import STRATEGIES, global_off_by_one
+
+    if name is None:
+        return None
+    strategies = dict(STRATEGIES)
+    strategies["global_off_by_one"] = global_off_by_one
+    if name not in strategies:
+        raise ConfigSpecError(
+            f"unknown mutation {name!r}; known: {sorted(strategies)}"
+        )
+    return strategies[name]
+
+
+def config_from_spec(
+    sources: Optional[dict] = None,
+    sinks=None,
+    mutation: Optional[str] = None,
+) -> LdxConfig:
+    """An :class:`LdxConfig` from the wire-format pieces."""
+    return LdxConfig(
+        sources=source_spec_from_dict(sources),
+        sinks=sink_spec_from_dict(sinks),
+        mutation=mutator_by_name(mutation),
+    )

@@ -43,7 +43,7 @@ from repro.core.report import (
     DualResult,
 )
 from repro.core.supervisor import Checkpointer, EngineWatchdog
-from repro.errors import EngineStallError, InterpreterError
+from repro.errors import BudgetExceededError, EngineStallError, InterpreterError
 from repro.instrument.pipeline import InstrumentedModule
 from repro.interp.costs import CostModel
 from repro.interp.events import BarrierEvent, SyscallEvent
@@ -241,6 +241,17 @@ class LdxEngine:
         while machine.has_pending_work():
             try:
                 event = machine.next_event()
+            except BudgetExceededError as crash:
+                # The run's deadline (instruction budget) cut this side
+                # short: a diagnosed *partial* verdict, not a program
+                # crash — only detections already recorded stand.
+                self.report.crashes.append((side.role, str(crash)))
+                self.degradation.budget_exhausted.append(
+                    (side.role, machine.max_instructions)
+                )
+                side.waiting.clear()
+                machine.terminate(-1)
+                return
             except InterpreterError as crash:
                 self.report.crashes.append((side.role, str(crash)))
                 side.waiting.clear()
@@ -806,3 +817,70 @@ def run_dual(
 ) -> DualResult:
     """Convenience wrapper: build and run an LdxEngine."""
     return LdxEngine(instrumented, world, config, **kwargs).run()
+
+
+class EngineFactory:
+    """The construction / per-run split of :class:`LdxEngine`.
+
+    One factory holds everything that is a pure function of the program
+    and its input spec — the instrumented module, the threaded-backend
+    compiled closures (warmed eagerly so the first run pays no
+    compilation latency), an optional static oracle and cost model, and
+    a pristine **base world** that is never executed on.  Each
+    :meth:`engine` call stamps out only per-run state: the master world
+    is an O(1) copy-on-write clone of the base (the engine clones the
+    slave's from it in turn), and reports, taint maps, outcome queues
+    and the watchdog are all fresh per engine.
+
+    This is the long-lived service shape: a daemon keeps one factory
+    per (source, input-spec) and serves thousands of requests from it;
+    nothing a run does — degradation, taints, crashes, checkpoint
+    rungs — can leak into the next, because no run-scoped object is
+    shared.  Sequential and concurrent runs from one factory produce
+    verdicts byte-identical to freshly constructed engines.
+    """
+
+    def __init__(
+        self,
+        instrumented: InstrumentedModule,
+        base_world: World,
+        costs: Optional[CostModel] = None,
+        static_oracle=None,
+        backend: Optional[str] = None,
+    ) -> None:
+        from repro.interp.compile import (
+            BACKEND_THREADED,
+            compiled_for_module,
+            resolve_backend,
+        )
+
+        self.instrumented = instrumented
+        self.base_world = base_world
+        self.costs = costs
+        self.static_oracle = static_oracle
+        self.backend = resolve_backend(backend)
+        # Runs served so far (telemetry; never consulted by a run).
+        self.runs = 0
+        if self.backend == BACKEND_THREADED:
+            # Warm the per-module compile memo: every Machine built from
+            # this factory hits it instead of compiling.
+            compiled_for_module(instrumented.module, instrumented.plan)
+
+    @classmethod
+    def for_workload(cls, workload, seed: int = 1, **kwargs) -> "EngineFactory":
+        """A factory over a registered workload's program and world."""
+        return cls(workload.instrumented, workload.build_world(seed), **kwargs)
+
+    def engine(self, config: LdxConfig, **kwargs) -> LdxEngine:
+        """A fresh engine whose master world is a clone of the base."""
+        if self.costs is not None:
+            kwargs.setdefault("costs", self.costs)
+        kwargs.setdefault("static_oracle", self.static_oracle)
+        if config.interp_backend is None and self.backend is not None:
+            config.interp_backend = self.backend
+        self.runs += 1
+        return LdxEngine(self.instrumented, self.base_world.clone(), config, **kwargs)
+
+    def run(self, config: LdxConfig, **kwargs) -> DualResult:
+        """Build and run one supervised dual execution."""
+        return self.engine(config, **kwargs).run()

@@ -116,6 +116,9 @@ class DegradationReport:
         self.watchdog_fires = 0
         # (role, tid, reason) per thread the watchdog gave up on.
         self.abandoned_threads: List[Tuple[str, int, str]] = []
+        # (role, cap) per machine whose instruction budget ran out —
+        # the run was cut short by its deadline, not by program logic.
+        self.budget_exhausted: List[Tuple[str, int]] = []
         # Errors the supervisor converted into a degraded result.
         self.engine_failures: List[str] = []
         # Resources no longer coupled once degradation set in.
@@ -137,6 +140,7 @@ class DegradationReport:
             self.exhausted_syscalls
             or self.abandoned_threads
             or self.engine_failures
+            or self.budget_exhausted
         )
 
     @property
@@ -149,7 +153,7 @@ class DegradationReport:
         ``partial``  — one side did not complete normally; only the
                        detections already recorded are meaningful.
         """
-        if self.engine_failures or self.abandoned_threads:
+        if self.engine_failures or self.abandoned_threads or self.budget_exhausted:
             return "partial"
         if self.exhausted_syscalls:
             return "degraded"
@@ -168,6 +172,8 @@ class DegradationReport:
         )
         # Only mentioned when present, so checkpoint-free summaries
         # stay byte-identical to earlier versions.
+        if self.budget_exhausted:
+            text += f", {len(self.budget_exhausted)} budgets exhausted"
         if self.checkpoints:
             text += f", {len(self.checkpoints)} checkpoints"
         return text

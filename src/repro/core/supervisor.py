@@ -43,6 +43,71 @@ ESCALATION_LIMIT = 3
 # backstop far above anything a real workload needs.
 MAX_STALL_ROUNDS = 100_000
 
+# Default per-run budgets (mirrors the LdxEngine defaults).
+DEFAULT_DEADLINE = 25_000.0
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
+
+# Instruction ceiling per virtual-time unit of deadline.  The watchdog
+# only observes *stalls*; a program that computes forever without
+# quiescing never trips it, so a deadline must also bound raw
+# instruction throughput.  One virtual unit of syscall-free execution
+# covers roughly a thousand instructions under the default cost model.
+INSTRUCTIONS_PER_UNIT = 1_000
+
+
+class RunBudget:
+    """A per-request execution budget for one supervised dual run.
+
+    Two bounds together guarantee a run always terminates with a
+    diagnosed result instead of hanging:
+
+    * ``watchdog_deadline`` — virtual time the watchdog waits on a
+      stalled thread before climbing the degradation ladder;
+    * ``max_instructions`` — a hard ceiling on interpreted
+      instructions per machine; exhaustion ends that execution as a
+      diagnosed crash (``CausalityReport.crashes``), never a hang.
+
+    :meth:`from_deadline` derives both from a single caller-facing
+    deadline in virtual-time units — the unit the service API exposes.
+    """
+
+    __slots__ = ("watchdog_deadline", "max_instructions")
+
+    # Floors keep a pathologically small deadline from making even a
+    # trivial run un-runnable.
+    MIN_DEADLINE = 10.0
+    MIN_INSTRUCTIONS = 10_000
+
+    def __init__(
+        self,
+        watchdog_deadline: float = DEFAULT_DEADLINE,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        self.watchdog_deadline = max(float(watchdog_deadline), self.MIN_DEADLINE)
+        self.max_instructions = max(int(max_instructions), self.MIN_INSTRUCTIONS)
+
+    @classmethod
+    def from_deadline(cls, deadline: float) -> "RunBudget":
+        """Budget for a request-level deadline in virtual-time units."""
+        deadline = max(float(deadline), cls.MIN_DEADLINE)
+        instructions = min(
+            DEFAULT_MAX_INSTRUCTIONS, int(deadline * INSTRUCTIONS_PER_UNIT)
+        )
+        return cls(watchdog_deadline=deadline, max_instructions=instructions)
+
+    def engine_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for :class:`LdxEngine` / ``run_dual``."""
+        return {
+            "watchdog_deadline": self.watchdog_deadline,
+            "max_instructions": self.max_instructions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunBudget deadline={self.watchdog_deadline} "
+            f"max_instructions={self.max_instructions}>"
+        )
+
 
 class EngineWatchdog:
     """Virtual-time stall detector for one dual execution."""

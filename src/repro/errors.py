@@ -83,6 +83,16 @@ class InterpreterError(ReproError):
         self.index = index
 
 
+class BudgetExceededError(InterpreterError):
+    """The per-run instruction budget ran out (deadline enforcement).
+
+    Distinguished from a plain :class:`InterpreterError` so the engine
+    can record a budget-limited execution as a *degradation* — the run
+    was cut short by resource limits, not by the program's own logic —
+    and the verdict confidence drops to ``partial``.
+    """
+
+
 class SyscallError(ReproError):
     """Raised by the virtual OS for failing syscalls (bad fd, missing file)."""
 

@@ -175,12 +175,22 @@ def fan_out(
 
     cache_dir, cache_enabled = _cache_settings(cache_dir, cache_enabled)
     workers = min(jobs, len(cells))
-    with ProcessPoolExecutor(
+    pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
         initargs=(cache_dir, cache_enabled, get_default_backend()),
-    ) as pool:
-        return list(pool.map(run_cell, cells, chunksize=1))
+    )
+    try:
+        results = list(pool.map(run_cell, cells, chunksize=1))
+    except KeyboardInterrupt:
+        # Ctrl-C: abandon queued cells instead of waiting for them.
+        # Cells that already finished were flushed by their workers
+        # (the chaos checkpoint store persists per cell), so a --resume
+        # rerun restarts at the first incomplete cell.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown()
+    return results
 
 
 def _chunks(count: int, size: int) -> List[Tuple[int, int]]:

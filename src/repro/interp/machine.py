@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import FaultInjected, InterpreterError
+from repro.errors import BudgetExceededError, FaultInjected, InterpreterError
 from repro.instrument.plan import (
     CounterAdd,
     FunctionPlan,
@@ -547,7 +547,7 @@ class Machine:
     # -- interpretation ----------------------------------------------------------------
 
     def _budget_exceeded(self) -> None:
-        raise InterpreterError(
+        raise BudgetExceededError(
             f"{self.name}: instruction budget exceeded "
             f"({self.max_instructions})"
         )

@@ -1,0 +1,66 @@
+"""Causality-as-a-service: the `repro serve` daemon.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.api` — the wire format: request parsing/validation
+  and the canonical (batch-identical) verdict payload;
+* :mod:`repro.serve.admission` — the bounded admission queue with
+  watermark shedding and batch grouping;
+* :mod:`repro.serve.breaker` — per-workload circuit breakers;
+* :mod:`repro.serve.service` — :class:`LdxService`: workers, the
+  warm :class:`FactoryCache`, deadlines via
+  :class:`~repro.core.supervisor.RunBudget`, structured logs, drain;
+* :mod:`repro.serve.transport` — stdin-JSONL and localhost-HTTP shells.
+
+See ``docs/SERVICE.md`` for the protocol and robustness contract.
+"""
+
+from repro.serve.api import (
+    MAX_SOURCE_BYTES,
+    PROTOCOL,
+    STATUS_ERROR,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_UNAVAILABLE,
+    RequestError,
+    ServeRequest,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+    verdict_payload,
+)
+from repro.serve.admission import FAIRNESS_LIMIT, Admitted, AdmissionQueue, ShedReason
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+from repro.serve.service import FactoryCache, LdxService, ServeConfig, Ticket
+from repro.serve.transport import HttpTransport, StdioTransport
+
+__all__ = [
+    "MAX_SOURCE_BYTES",
+    "PROTOCOL",
+    "STATUS_ERROR",
+    "STATUS_INVALID",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "STATUS_UNAVAILABLE",
+    "RequestError",
+    "ServeRequest",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "verdict_payload",
+    "FAIRNESS_LIMIT",
+    "Admitted",
+    "AdmissionQueue",
+    "ShedReason",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "FactoryCache",
+    "LdxService",
+    "ServeConfig",
+    "Ticket",
+    "HttpTransport",
+    "StdioTransport",
+]

@@ -1,0 +1,160 @@
+"""Admission control: a bounded queue with watermark shedding.
+
+The daemon admits work through exactly one gate.  Three regimes, by
+queue depth:
+
+* **below the high watermark** — everything is admitted FIFO;
+* **at or above the high watermark** — *cold* requests (those whose
+  artifact is not already cached, i.e. the expensive ones) are shed
+  with an ``overloaded`` response and a ``retry_after`` hint, while
+  warm requests still ride — load sheds the costly tail first;
+* **at capacity** — everything is shed.  The queue never blocks a
+  producer and never grows without bound, so backpressure is always
+  explicit: a client sees ``overloaded``, not a hang.
+
+Dequeue supports **batch grouping**: a worker that just served module
+key *K* asks for another *K* request first, so requests sharing a
+compiled module run consecutively and keep the module's closures and
+base world hot.  Preference never starves the head: after
+``FAIRNESS_LIMIT`` consecutive preferred picks the head request is
+served regardless.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+# Consecutive same-key preferred picks before the head must be served.
+FAIRNESS_LIMIT = 8
+
+
+class Admitted:
+    """One queue entry: the request plus its admission metadata."""
+
+    __slots__ = ("request", "module_key", "warm", "enqueued_at")
+
+    def __init__(self, request, module_key: str, warm: bool, enqueued_at: float) -> None:
+        self.request = request
+        self.module_key = module_key
+        self.warm = warm
+        self.enqueued_at = enqueued_at
+
+
+class ShedReason:
+    """Why an offer was refused (also the response's `reason` text)."""
+
+    QUEUE_FULL = "queue full"
+    WATERMARK_COLD = "high watermark: cold request shed"
+    DRAINING = "draining: not admitting new work"
+
+
+class AdmissionQueue:
+    """Bounded, watermark-shedding, batch-grouping request queue."""
+
+    def __init__(self, capacity: int = 64, high_watermark: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.high_watermark = (
+            high_watermark if high_watermark is not None else max(1, capacity * 3 // 4)
+        )
+        self._entries: deque = deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._draining = False
+        self._closed = False
+        self._preferred_streak = 0
+        # Shed accounting, by reason.
+        self.shed = {
+            ShedReason.QUEUE_FULL: 0,
+            ShedReason.WATERMARK_COLD: 0,
+            ShedReason.DRAINING: 0,
+        }
+        self.admitted = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def offer(self, entry: Admitted) -> Optional[str]:
+        """Admit *entry*, or return the shed reason (None = admitted)."""
+        with self._lock:
+            if self._draining or self._closed:
+                self.shed[ShedReason.DRAINING] += 1
+                return ShedReason.DRAINING
+            depth = len(self._entries)
+            if depth >= self.capacity:
+                self.shed[ShedReason.QUEUE_FULL] += 1
+                return ShedReason.QUEUE_FULL
+            if depth >= self.high_watermark and not entry.warm:
+                self.shed[ShedReason.WATERMARK_COLD] += 1
+                return ShedReason.WATERMARK_COLD
+            self._entries.append(entry)
+            self.admitted += 1
+            self._available.notify()
+            return None
+
+    # -- consumer side ---------------------------------------------------------
+
+    def take(
+        self, prefer_key: Optional[str] = None, timeout: Optional[float] = None
+    ) -> Optional[Admitted]:
+        """Next entry (preferring *prefer_key* for batch grouping), or
+        None on timeout / after close with an empty queue."""
+        with self._lock:
+            while not self._entries:
+                if self._closed or self._draining:
+                    return None
+                if not self._available.wait(timeout):
+                    return None
+            if prefer_key is not None and self._preferred_streak < FAIRNESS_LIMIT:
+                for index, entry in enumerate(self._entries):
+                    if entry.module_key == prefer_key:
+                        if index == 0:
+                            self._preferred_streak = 0  # the head anyway
+                        else:
+                            self._preferred_streak += 1
+                        del self._entries[index]
+                        return entry
+            self._preferred_streak = 0
+            return self._entries.popleft()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting; queued entries remain to be drained."""
+        with self._lock:
+            self._draining = True
+            self._available.notify_all()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def saturated(self) -> bool:
+        """Readiness-probe input: at/above the high watermark."""
+        with self._lock:
+            return len(self._entries) >= self.high_watermark
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "depth": len(self._entries),
+                "capacity": self.capacity,
+                "high_watermark": self.high_watermark,
+                "admitted": self.admitted,
+                "shed": dict(self.shed),
+                "draining": self._draining,
+            }

@@ -1,0 +1,118 @@
+"""Per-workload circuit breakers.
+
+A workload whose engine keeps failing (supervisor-swallowed engine
+failures, not program crashes — a slave crashing under an attack input
+is a *result*) should stop consuming service capacity: the breaker
+trips **open** after ``threshold`` consecutive failures, fast-fails
+requests for that module key with an ``unavailable`` response while
+open, and **half-opens** after ``cooldown`` seconds — exactly one
+probe request is let through; success closes the breaker, failure
+re-opens it for another cooldown.
+
+The clock is injectable so tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One module key's breaker state machine."""
+
+    __slots__ = ("threshold", "cooldown", "_clock", "_lock",
+                 "state", "failures", "opened_at", "trips")
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allow(self) -> bool:
+        """May a request proceed now?  While open, exactly one caller
+        per cooldown expiry gets True (the half-open probe)."""
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN:
+                if self._clock() - self.opened_at >= self.cooldown:
+                    self.state = HALF_OPEN
+                    return True  # this caller is the probe
+                return False
+            # HALF_OPEN: a probe is already in flight.
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = CLOSED
+            self.failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self.state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                self.state = OPEN
+                self.opened_at = self._clock()
+                self.trips += 1
+                return
+            self.failures += 1
+            if self.failures >= self.threshold:
+                self.state = OPEN
+                self.opened_at = self._clock()
+                self.trips += 1
+                self.failures = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"state": self.state, "failures": self.failures,
+                    "trips": self.trips}
+
+
+class BreakerBoard:
+    """Breakers keyed by module key, created on first touch."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.threshold, self.cooldown, self._clock
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> Dict[str, dict]:
+        with self._lock:
+            return {
+                key: breaker.snapshot()
+                for key, breaker in sorted(self._breakers.items())
+            }

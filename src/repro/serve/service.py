@@ -1,0 +1,512 @@
+"""The causality service: request lifecycle, workers, drain.
+
+``LdxService`` is the transport-independent daemon core.  One instance
+owns:
+
+* a :class:`~repro.serve.admission.AdmissionQueue` (bounded, watermark
+  shedding, batch grouping) — the only gate work enters through;
+* a :class:`FactoryCache` — the explicit lifecycle object for warm
+  state: an LRU of :class:`~repro.core.engine.EngineFactory` keyed by
+  module key, layered over the process-global content-addressed
+  artifact cache.  A warm request reuses compiled closures, analysis
+  artifacts and a pre-built base world; its engine state is stamped out
+  per run (O(1) world clone), so requests can never contaminate each
+  other;
+* a :class:`~repro.serve.breaker.BreakerBoard` — per-module-key
+  circuit breakers tripping on repeated *engine* failures (program
+  crashes are results, not failures);
+* worker threads draining the queue, each preferring its last module
+  key (batch admission);
+* per-request structured logs (JSON lines): request id, queue wait,
+  service time, degradation rung, cache-hit flags, breaker state.
+
+Robustness contract, request-level (the PR 1 invariant moved to the
+service boundary): a request is always answered — ``ok`` (with a
+degradation report and confidence rung), ``invalid``, ``overloaded``,
+``unavailable`` or ``error`` — and overload, faults and deadlines
+change latency and rungs, **never** the causality verdict an ``ok``
+response carries.  Deadlines are enforced in the supervisor's virtual
+time (:class:`~repro.core.supervisor.RunBudget`), so a timed-out
+request degrades into a diagnosed partial verdict instead of hanging.
+
+Graceful drain: :meth:`begin_drain` stops admission (new offers shed
+with ``draining``), lets workers finish everything already admitted —
+each run bounded by its budget, degraded runs checkpointing through
+``repro/checkpoint.py`` when a checkpoint dir is configured — then
+flushes the caches and reports final statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, TextIO
+
+from repro.core.engine import EngineFactory
+from repro.core.supervisor import Checkpointer, RunBudget
+from repro.serve import api
+from repro.serve.admission import Admitted, AdmissionQueue
+from repro.serve.breaker import BreakerBoard
+from repro.vos.faults import FaultConfig
+from repro.vos.world import World
+
+
+class ServeConfig:
+    """Daemon tuning knobs (CLI flags map 1:1 onto these)."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        high_watermark: Optional[int] = None,
+        max_deadline: float = 250_000.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        max_factories: int = 32,
+        checkpoint_dir: Optional[str] = None,
+        log_stream: Optional[TextIO] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.queue_capacity = queue_capacity
+        self.high_watermark = high_watermark
+        self.max_deadline = max_deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.max_factories = max_factories
+        self.checkpoint_dir = checkpoint_dir
+        self.log_stream = log_stream
+
+
+class Ticket:
+    """A pending response; transports wait on it."""
+
+    __slots__ = ("_event", "response")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.response: Optional[dict] = None
+
+    def resolve(self, response: dict) -> "Ticket":
+        self.response = response
+        self._event.set()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[dict]:
+        if not self._event.wait(timeout):
+            return None
+        return self.response
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class FactoryCache:
+    """Warm-construction LRU with an explicit lifecycle.
+
+    Maps module keys to :class:`EngineFactory` instances.  ``lookup``
+    either serves a cached factory (a *warm* hit: compiled module,
+    plan, base world all ready) or builds one through the process-global
+    content-addressed artifact cache and remembers it.  ``close``
+    drops every factory and reports usage — the daemon calls it during
+    drain so cache lifetime is explicit, not interpreter-exit cleanup.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._factories: "OrderedDict[str, EngineFactory]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.closed = False
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._factories
+
+    def lookup(self, key: str, builder) -> tuple:
+        """(factory, was_warm).  Builds outside the lock: construction
+        compiles; holding the lock would serialize every cold request."""
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("factory cache is closed")
+            factory = self._factories.get(key)
+            if factory is not None:
+                self._factories.move_to_end(key)
+                self.hits += 1
+                return factory, True
+            self.misses += 1
+        factory = builder()
+        with self._lock:
+            # A racing builder may have landed first; keep the winner so
+            # both callers share one base world from here on.
+            existing = self._factories.get(key)
+            if existing is not None:
+                return existing, False
+            self._factories[key] = factory
+            self._factories.move_to_end(key)
+            while len(self._factories) > self.capacity:
+                self._factories.popitem(last=False)
+        return factory, False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "factories": len(self._factories),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def close(self) -> dict:
+        with self._lock:
+            stats = {
+                "factories": len(self._factories),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+            self._factories.clear()
+            self.closed = True
+            return stats
+
+
+def _world_from_spec(spec: dict) -> World:
+    world = World(seed=spec.get("seed", 1))
+    world.stdin = spec.get("stdin", "")
+    for path, content in sorted(spec.get("files", {}).items()):
+        world.fs.add_file(path, content)
+    for address, reply in sorted(spec.get("endpoints", {}).items()):
+        host, _, port_text = address.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise api.RequestError(
+                f"endpoint address must be HOST:PORT, got {address!r}"
+            ) from None
+        if not host:
+            raise api.RequestError(
+                f"endpoint address must be HOST:PORT, got {address!r}"
+            )
+        world.network.register(host, port, lambda req, reply=reply: reply)
+    world.env.update(spec.get("env", {}))
+    return world
+
+
+class LdxService:
+    """The transport-independent causality-inference daemon core."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_capacity,
+            high_watermark=self.config.high_watermark,
+        )
+        self.factories = FactoryCache(self.config.max_factories)
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self._checkpoints = None
+        if self.config.checkpoint_dir is not None:
+            from repro.checkpoint import CheckpointStore
+
+            self._checkpoints = CheckpointStore(self.config.checkpoint_dir)
+        self._log_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._drained = threading.Event()
+        self.served = 0
+        self.errors = 0
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "LdxService":
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"ldx-serve-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        self.log({"event": "start", "workers": self.config.workers,
+                  "queue": self.queue.snapshot()})
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted work will still complete."""
+        self.queue.begin_drain()
+        self.log({"event": "drain-begin", "queue": self.queue.snapshot()})
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: drain the queue, stop workers, flush the
+        caches.  True when everything drained within *timeout*."""
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        drained = not any(thread.is_alive() for thread in self._threads)
+        self.queue.close()
+        factory_stats = self.factories.close()
+        self.log({
+            "event": "drain-complete",
+            "drained": drained,
+            "served": self.served,
+            "errors": self.errors,
+            "factories": factory_stats,
+            "queue": self.queue.snapshot(),
+            "breakers": self.breakers.snapshot(),
+        })
+        self._drained.set()
+        return drained
+
+    # -- probes ----------------------------------------------------------------
+
+    def alive(self) -> bool:
+        return not self._drained.is_set()
+
+    def ready(self) -> bool:
+        """Readiness: admitting and below the high watermark."""
+        return self.alive() and not self.queue.draining and not self.queue.saturated
+
+    def stats(self) -> dict:
+        return {
+            "served": self.served,
+            "errors": self.errors,
+            "queue": self.queue.snapshot(),
+            "factories": self.factories.snapshot(),
+            "breakers": self.breakers.snapshot(),
+        }
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, payload) -> Ticket:
+        """Parse, admit and enqueue one request; always resolves the
+        returned ticket eventually (immediately on rejection)."""
+        ticket = Ticket()
+        try:
+            request = (
+                payload
+                if isinstance(payload, api.ServeRequest)
+                else api.parse_request(payload)
+            )
+        except api.RequestError as error:
+            # Echo the request id back when it is salvageable, so the
+            # client can correlate the rejection (wire payloads arrive
+            # as raw JSONL lines, not dicts).
+            raw = payload
+            if isinstance(raw, (str, bytes)):
+                try:
+                    raw = json.loads(raw)
+                except Exception:
+                    raw = None
+            request_id = None
+            if isinstance(raw, dict):
+                candidate = raw.get("id")
+                if isinstance(candidate, str):
+                    request_id = candidate
+            response = api.error_response(
+                request_id, api.STATUS_INVALID, str(error)
+            )
+            self._log_rejection(request_id, api.STATUS_INVALID, str(error))
+            return ticket.resolve(response)
+
+        key = request.module_key()
+        breaker = self.breakers.breaker_for(key)
+        if not breaker.allow():
+            response = api.error_response(
+                request.id,
+                api.STATUS_UNAVAILABLE,
+                f"circuit open for {key}",
+                retry_after=self.config.breaker_cooldown,
+            )
+            self._log_rejection(request.id, api.STATUS_UNAVAILABLE, key)
+            return ticket.resolve(response)
+
+        entry = Admitted(
+            request=(request, ticket, breaker),
+            module_key=key,
+            warm=self.factories.contains(key),
+            enqueued_at=time.monotonic(),
+        )
+        reason = self.queue.offer(entry)
+        if reason is not None:
+            response = api.error_response(
+                request.id,
+                api.STATUS_OVERLOADED,
+                reason,
+                retry_after=1.0,
+                queue_depth=self.queue.depth,
+            )
+            self._log_rejection(request.id, api.STATUS_OVERLOADED, reason)
+            return ticket.resolve(response)
+        return ticket
+
+    def submit_and_wait(self, payload, timeout: Optional[float] = None) -> Optional[dict]:
+        return self.submit(payload).wait(timeout)
+
+    # -- workers ---------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        last_key: Optional[str] = None
+        while True:
+            entry = self.queue.take(prefer_key=last_key, timeout=0.1)
+            if entry is None:
+                if self.queue.draining and self.queue.depth == 0:
+                    return
+                continue
+            last_key = entry.module_key
+            request, ticket, breaker = entry.request
+            started = time.monotonic()
+            queue_wait = started - entry.enqueued_at
+            try:
+                response = self._serve(request, entry, queue_wait, started)
+                failed = bool(
+                    response["status"] == api.STATUS_OK
+                    and response["degradation"]["engine_failures"]
+                )
+            except api.RequestError as error:
+                response = api.error_response(
+                    request.id, api.STATUS_INVALID, str(error)
+                )
+                failed = False  # a bad request is not an engine failure
+            except Exception as error:  # never let a request kill a worker
+                response = api.error_response(
+                    request.id,
+                    api.STATUS_ERROR,
+                    f"{type(error).__name__}: {error}",
+                )
+                failed = True
+                with self._stats_lock:
+                    self.errors += 1
+            if failed:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            with self._stats_lock:
+                self.served += 1
+            ticket.resolve(response)
+
+    def _factory_for(self, request: api.ServeRequest) -> tuple:
+        """(factory, config, warm-flag) for one request."""
+        if request.workload is not None:
+            from repro.workloads import get_workload
+
+            workload = get_workload(request.workload)
+            if request.variant == "leak":
+                config = workload.leak_variant()
+            elif request.variant == "noleak":
+                config = workload.noleak_variant()
+                if config is None:
+                    raise api.RequestError(
+                        f"workload {request.workload!r} has no noleak variant"
+                    )
+            elif request.variant == "table3":
+                config = workload.table3_variant()
+            else:
+                config = workload.config()
+            factory, warm = self.factories.lookup(
+                request.module_key(),
+                lambda: EngineFactory.for_workload(workload, seed=request.seed),
+            )
+            return factory, config, warm
+
+        def build() -> EngineFactory:
+            from repro import cache
+            from repro.errors import ReproError
+
+            try:
+                instrumented = cache.instrumented_for(request.source)
+            except ReproError as error:
+                raise api.RequestError(
+                    f"source does not compile: {error}"
+                ) from None
+            return EngineFactory(instrumented, _world_from_spec(request.world_spec))
+
+        factory, warm = self.factories.lookup(request.module_key(), build)
+        return factory, request.config(), warm
+
+    def _serve(
+        self,
+        request: api.ServeRequest,
+        entry: Admitted,
+        queue_wait: float,
+        started: float,
+    ) -> dict:
+        factory, config, warm = self._factory_for(request)
+        budget = RunBudget.from_deadline(
+            min(request.deadline, self.config.max_deadline)
+        )
+        kwargs = budget.engine_kwargs()
+        if request.fault_rate > 0.0:
+            kwargs["faults"] = FaultConfig(
+                seed=request.fault_seed, rate=request.fault_rate
+            )
+        if self._checkpoints is not None:
+            source = request.source
+            if source is None:
+                from repro.workloads import get_workload
+
+                source = get_workload(request.workload).source
+            kwargs["checkpointer"] = Checkpointer(
+                self._checkpoints,
+                label=f"serve-{request.id}",
+                seed=request.seed,
+                source=source,
+            )
+        result = factory.run(config, **kwargs)
+        service_time = time.monotonic() - started
+        response = api.ok_response(
+            request.id,
+            result,
+            timing={
+                "queue_wait_s": round(queue_wait, 6),
+                "service_s": round(service_time, 6),
+                "dual_time": result.dual_time,
+            },
+            cache={"factory": "hit" if warm else "miss", "warm": entry.warm},
+        )
+        self.log({
+            "event": "request",
+            "id": request.id,
+            "key": entry.module_key,
+            "status": api.STATUS_OK,
+            "rung": result.degradation.verdict_confidence,
+            "causality": result.report.causality_detected,
+            "queue_wait_ms": round(queue_wait * 1000, 3),
+            "service_ms": round(service_time * 1000, 3),
+            "cache_hit": warm,
+            "faults_injected": len(result.degradation.faults_injected),
+            "checkpoints": len(result.degradation.checkpoints),
+        })
+        return response
+
+    # -- logging ---------------------------------------------------------------
+
+    def log(self, record: Dict[str, object]) -> None:
+        stream = self.config.log_stream
+        if stream is None:
+            stream = sys.stderr
+        with self._log_lock:
+            try:
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+                stream.flush()
+            except Exception:
+                pass  # logging must never take a request down
+
+    def _log_rejection(self, request_id, status: str, reason: str) -> None:
+        self.log({
+            "event": "request",
+            "id": request_id,
+            "status": status,
+            "reason": reason,
+            "queue_depth": self.queue.depth,
+        })

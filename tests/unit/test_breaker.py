@@ -1,0 +1,89 @@
+"""Unit tests for the per-workload circuit breaker."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_closed_allows_and_counts_failures():
+    breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+    assert breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_threshold_trips_open():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown=30.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert not breaker.allow()
+
+
+def test_success_resets_failure_count():
+    breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_half_open_admits_exactly_one_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=30.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    clock.now = 31.0
+    assert breaker.allow()  # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # everyone else still fast-fails
+
+
+def test_probe_success_closes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=30.0, clock=clock)
+    breaker.record_failure()
+    clock.now = 31.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_for_another_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=30.0, clock=clock)
+    breaker.record_failure()
+    clock.now = 31.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    assert not breaker.allow()
+    clock.now = 62.0
+    assert breaker.allow()
+
+
+def test_board_keys_breakers_independently():
+    clock = FakeClock()
+    board = BreakerBoard(threshold=1, cooldown=30.0, clock=clock)
+    board.breaker_for("a").record_failure()
+    assert board.breaker_for("a").state == OPEN
+    assert board.breaker_for("b").state == CLOSED
+    assert board.breaker_for("a") is board.breaker_for("a")
+    snapshot = board.snapshot()
+    assert snapshot["a"]["state"] == OPEN
+    assert snapshot["b"]["trips"] == 0

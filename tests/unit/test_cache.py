@@ -159,3 +159,96 @@ def test_workload_property_routes_through_global_cache():
     # The per-workload memo serves repeat accesses without a lookup.
     assert workload.instrumented is artifact
     assert cache.get_cache().stats.lookups == baseline + 1
+
+
+# -- concurrent-writer hardening ----------------------------------------------
+
+
+def test_digest_mismatch_is_a_miss_and_heals(tmp_path):
+    """Silent bit-rot inside the artifact blob (outer pickle still
+    valid) must be caught by the payload digest, never unpickled."""
+    store = ArtifactCache(cache_dir=str(tmp_path))
+    store.instrumented(SOURCE)
+    (entry,) = list((tmp_path / SCHEMA_TAG).iterdir())
+    payload = pickle.loads(entry.read_bytes())
+    blob = bytearray(payload["artifact"])
+    blob[len(blob) // 2] ^= 0xFF
+    payload["artifact"] = bytes(blob)
+    entry.write_bytes(pickle.dumps(payload))  # digest now stale
+
+    reopened = ArtifactCache(cache_dir=str(tmp_path))
+    artifact = reopened.instrumented(SOURCE)
+    assert isinstance(artifact, InstrumentedModule)
+    assert reopened.stats.disk_hits == 0
+    assert reopened.stats.disk_errors == 1
+    assert reopened.stats.misses == 1
+    # The rebuild republished a good entry.
+    healed = ArtifactCache(cache_dir=str(tmp_path))
+    healed.instrumented(SOURCE)
+    assert healed.stats.disk_hits == 1
+
+
+def test_torn_partial_write_is_a_miss(tmp_path):
+    """A torn write (file cut mid-payload) is a miss, not a crash."""
+    store = ArtifactCache(cache_dir=str(tmp_path))
+    store.instrumented(SOURCE)
+    (entry,) = list((tmp_path / SCHEMA_TAG).iterdir())
+    whole = entry.read_bytes()
+    entry.write_bytes(whole[: len(whole) // 2])
+
+    reopened = ArtifactCache(cache_dir=str(tmp_path))
+    artifact = reopened.instrumented(SOURCE)
+    assert isinstance(artifact, InstrumentedModule)
+    assert reopened.stats.disk_errors == 1
+    assert reopened.stats.misses == 1
+
+
+def test_concurrent_lookups_converge_on_one_artifact(tmp_path):
+    """Racing builders reconcile on a single canonical object."""
+    import threading
+
+    store = ArtifactCache(cache_dir=str(tmp_path))
+    results = []
+    barrier = threading.Barrier(8)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(5):
+            results.append(store.instrumented(SOURCE))
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == 40
+    assert len({id(artifact) for artifact in results}) == 1
+    assert len(store) == 1
+    # The on-disk entry is intact after the race.
+    fresh = ArtifactCache(cache_dir=str(tmp_path))
+    fresh.instrumented(SOURCE)
+    assert fresh.stats.disk_hits == 1
+
+
+def test_concurrent_instances_share_the_disk_entry_safely(tmp_path):
+    """Separate cache instances (separate processes in spirit) racing
+    on one cache dir never corrupt the published entry."""
+    import threading
+
+    instances = [ArtifactCache(cache_dir=str(tmp_path)) for _ in range(4)]
+    barrier = threading.Barrier(4)
+
+    def hammer(store):
+        barrier.wait()
+        store.instrumented(SOURCE)
+
+    threads = [threading.Thread(target=hammer, args=(s,)) for s in instances]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    fresh = ArtifactCache(cache_dir=str(tmp_path))
+    artifact = fresh.instrumented(SOURCE)
+    assert isinstance(artifact, InstrumentedModule)
+    assert fresh.stats.disk_hits == 1
+    assert fresh.stats.disk_errors == 0

@@ -137,3 +137,73 @@ def test_snapshot_payload_is_picklable_without_scripts():
     world.network.register("srv", 1, lambda req: "r")  # closure: unpicklable
     world.network.connect("srv", 1).send("x")
     pickle.dumps(world.snapshot())  # must not try to pickle the script
+
+
+# -- garbage collection --------------------------------------------------------
+
+
+def _aged_store(tmp_path, ages):
+    """A store with one entry per (key, age-seconds) pair, mtimes
+    pinned relative to now=1000.0."""
+    store = CheckpointStore(str(tmp_path))
+    for key, age in ages:
+        store.save(key, {"k": key})
+        entry = store._cache._entry_path(key)
+        os.utime(entry, (1000.0 - age, 1000.0 - age))
+    return store
+
+
+def test_prune_ttl_removes_only_expired_entries(tmp_path):
+    store = _aged_store(
+        tmp_path, [("fresh000", 10.0), ("old00000", 500.0), ("older000", 900.0)]
+    )
+    summary = store.prune(max_age_seconds=100.0, now=1000.0)
+    assert summary["scanned"] == 3
+    assert summary["removed"] == 2
+    assert summary["kept"] == 1
+    assert summary["reclaimed_bytes"] > 0
+    assert store.load("fresh000") is not None
+    assert store.load("old00000") is None
+    assert store.load("older000") is None
+
+
+def test_prune_max_entries_keeps_the_newest(tmp_path):
+    store = _aged_store(
+        tmp_path, [("a0000000", 300.0), ("b0000000", 200.0), ("c0000000", 100.0)]
+    )
+    summary = store.prune(max_entries=2, now=1000.0)
+    assert summary["removed"] == 1
+    assert summary["kept"] == 2
+    assert store.load("a0000000") is None  # oldest evicted
+    assert store.load("b0000000") is not None
+    assert store.load("c0000000") is not None
+
+
+def test_prune_sweeps_stale_schemas_and_tmp_but_not_foreign_dirs(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.save("keep0000", {"x": 1})
+    schema_dir = os.path.join(str(tmp_path), CHECKPOINT_SCHEMA_TAG)
+    with open(os.path.join(schema_dir, "crashed-writer.tmp"), "wb") as handle:
+        handle.write(b"partial")
+    stale_dir = os.path.join(str(tmp_path), "ldx-checkpoint-v1")
+    os.makedirs(stale_dir)
+    with open(os.path.join(stale_dir, "ancient"), "wb") as handle:
+        handle.write(b"unloadable forever")
+    foreign_dir = os.path.join(str(tmp_path), "user-data")
+    os.makedirs(foreign_dir)
+    with open(os.path.join(foreign_dir, "precious"), "wb") as handle:
+        handle.write(b"not ours")
+
+    summary = store.prune()
+    assert summary["removed"] == 2  # the .tmp and the stale entry
+    assert not os.path.exists(stale_dir)  # swept whole
+    assert os.path.exists(os.path.join(foreign_dir, "precious"))
+    assert store.load("keep0000") is not None
+
+
+def test_prune_missing_dir_is_a_noop(tmp_path):
+    from repro.checkpoint import prune_checkpoints
+
+    summary = prune_checkpoints(str(tmp_path / "never-created"), max_entries=1)
+    assert summary == {"scanned": 0, "removed": 0, "kept": 0, "reclaimed_bytes": 0}
+    assert prune_checkpoints(None)["scanned"] == 0

@@ -141,3 +141,71 @@ def test_eval_rejects_bad_job_counts():
         main(["eval", "--jobs", "0", "--table4-runs", "1"])
     with pytest.raises(SystemExit):
         main(["eval", "--jobs", "zero"])
+
+
+# -- maintenance and service verbs ---------------------------------------------
+
+
+def test_checkpoints_prune_reports_summary(tmp_path, capsys):
+    from repro.checkpoint import CheckpointStore
+
+    store = CheckpointStore(str(tmp_path))
+    for index in range(5):
+        store.save(f"entry{index:03d}", {"i": index})
+    code = main(
+        [
+            "checkpoints",
+            "prune",
+            "--checkpoint-dir",
+            str(tmp_path),
+            "--max-entries",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "removed 3" in out
+    assert "kept 2" in out
+
+
+def test_checkpoints_prune_missing_dir_is_ok(tmp_path, capsys):
+    code = main(
+        ["checkpoints", "prune", "--checkpoint-dir", str(tmp_path / "absent")]
+    )
+    assert code == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_chaos_interrupt_prints_resume_hint(tmp_path, monkeypatch, capsys):
+    import repro.eval.robustness as robustness
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(robustness, "run_chaos", interrupted)
+    code = main(
+        ["chaos", "--checkpoint-dir", str(tmp_path), "--workload", "gzip"]
+    )
+    assert code == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "--resume" in err
+
+
+def test_serve_chaos_smoke(capsys):
+    code = main(
+        [
+            "serve-chaos",
+            "--requests",
+            "6",
+            "--workers",
+            "2",
+            "--poison-every",
+            "3",
+            "--fault-rate",
+            "0.0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all service invariants hold" in out

@@ -1,0 +1,167 @@
+"""A single factory serving many runs never leaks state across them.
+
+The service keeps one :class:`EngineFactory` per (program, input spec)
+and stamps out engines per request.  These tests pin the contract that
+makes that safe: sequential and concurrent runs from one factory yield
+verdicts byte-identical to freshly constructed engines, degradation
+in one run never appears in the next, and no watchdog or worker
+threads outlive their runs.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core import EngineFactory, FaultConfig, RunBudget, run_dual
+from repro.core.supervisor import (
+    DEFAULT_DEADLINE,
+    DEFAULT_MAX_INSTRUCTIONS,
+    INSTRUCTIONS_PER_UNIT,
+)
+from repro.serve.api import verdict_payload
+from repro.workloads import get_workload
+
+
+def _canonical(result) -> str:
+    return json.dumps(verdict_payload(result), sort_keys=True)
+
+
+def _fresh_verdict(name="gzip", seed=1, **kwargs) -> str:
+    workload = get_workload(name)
+    return _canonical(
+        run_dual(
+            workload.instrumented,
+            workload.build_world(seed),
+            workload.leak_variant(),
+            **kwargs,
+        )
+    )
+
+
+# -- RunBudget -----------------------------------------------------------------
+
+
+def test_budget_defaults():
+    budget = RunBudget()
+    assert budget.watchdog_deadline == DEFAULT_DEADLINE
+    assert budget.max_instructions == DEFAULT_MAX_INSTRUCTIONS
+
+
+def test_budget_from_deadline_scales_both_bounds():
+    budget = RunBudget.from_deadline(1000.0)
+    assert budget.watchdog_deadline == 1000.0
+    assert budget.max_instructions == 1000 * INSTRUCTIONS_PER_UNIT
+    kwargs = budget.engine_kwargs()
+    assert set(kwargs) == {"watchdog_deadline", "max_instructions"}
+
+
+def test_budget_clamps_to_minimums():
+    budget = RunBudget.from_deadline(0.001)
+    assert budget.watchdog_deadline >= RunBudget.MIN_DEADLINE
+    assert budget.max_instructions >= RunBudget.MIN_INSTRUCTIONS
+
+
+def test_budget_never_exceeds_default_instruction_cap():
+    budget = RunBudget.from_deadline(10.0**9)
+    assert budget.max_instructions == DEFAULT_MAX_INSTRUCTIONS
+
+
+# -- sequential reuse ----------------------------------------------------------
+
+
+def test_sequential_runs_match_fresh_engines():
+    workload = get_workload("gzip")
+    factory = EngineFactory.for_workload(workload)
+    fresh = _fresh_verdict("gzip")
+    for _ in range(5):
+        assert _canonical(factory.run(workload.leak_variant())) == fresh
+    assert factory.runs == 5
+
+
+def test_degradation_does_not_leak_between_runs():
+    workload = get_workload("gzip")
+    factory = EngineFactory.for_workload(workload)
+    # A budget-starved run degrades to partial...
+    starved = factory.run(workload.leak_variant(), max_instructions=50)
+    assert starved.degradation.verdict_confidence == "partial"
+    assert starved.degradation.budget_exhausted
+    # ...and the very next run from the same factory is pristine.
+    clean = factory.run(workload.leak_variant())
+    assert clean.degradation.verdict_confidence == "full"
+    assert not clean.degradation.budget_exhausted
+    assert not clean.report.crashes
+    assert _canonical(clean) == _fresh_verdict("gzip")
+
+
+def test_faulted_run_does_not_contaminate_the_next():
+    workload = get_workload("gzip")
+    factory = EngineFactory.for_workload(workload)
+    faulted = factory.run(
+        workload.leak_variant(), faults=FaultConfig(seed=7, rate=0.2)
+    )
+    assert faulted.degradation.faults_injected
+    clean = factory.run(workload.leak_variant())
+    assert not clean.degradation.faults_injected
+    assert _canonical(clean) == _fresh_verdict("gzip")
+
+
+def test_base_world_is_never_mutated_by_runs():
+    workload = get_workload("gzip")
+    factory = EngineFactory.for_workload(workload)
+    # The first clone may compact the base overlay (copy-on-write
+    # re-parenting); that is representation, not content.  After the
+    # warmup the snapshot must be bit-stable across arbitrary runs.
+    factory.run(workload.leak_variant())
+    before = factory.base_world.snapshot()
+    factory.run(workload.leak_variant())
+    factory.run(workload.leak_variant(), faults=FaultConfig(seed=3, rate=0.3))
+    factory.run(workload.leak_variant(), max_instructions=50)
+    assert factory.base_world.snapshot() == before
+
+
+# -- concurrent reuse ----------------------------------------------------------
+
+
+def test_concurrent_runs_from_one_factory_are_identical():
+    workload = get_workload("gzip")
+    factory = EngineFactory.for_workload(workload)
+    fresh = _fresh_verdict("gzip")
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        verdicts = list(
+            pool.map(
+                lambda _: _canonical(factory.run(workload.leak_variant())),
+                range(8),
+            )
+        )
+    assert all(verdict == fresh for verdict in verdicts)
+
+
+def test_no_threads_leak_after_many_runs():
+    workload = get_workload("tnftp")
+    factory = EngineFactory.for_workload(workload)
+    before = set(threading.enumerate())
+    for _ in range(3):
+        factory.run(workload.leak_variant())
+    factory.run(workload.leak_variant(), max_instructions=50)  # degraded run
+    after = set(threading.enumerate())
+    assert after == before
+
+
+def test_service_workers_exit_after_drain():
+    import io
+
+    from repro.serve import LdxService, ServeConfig
+
+    before = set(threading.enumerate())
+    service = LdxService(
+        ServeConfig(workers=3, log_stream=io.StringIO())
+    ).start()
+    for index in range(4):
+        response = service.submit_and_wait(
+            {"id": f"r{index}", "workload": "tnftp", "variant": "leak"},
+            timeout=60,
+        )
+        assert response["status"] == "ok"
+    assert service.drain(timeout=60)
+    after = set(threading.enumerate())
+    assert after == before
