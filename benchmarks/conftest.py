@@ -1,9 +1,61 @@
 """Shared fixtures for the benchmark harness."""
 
-import pytest
+import os
+import sys
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper: regenerates a table or figure from the paper"
     )
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Persist every benchmark sample into the columnar results store.
+
+    BENCH history becomes a query: each (bench, metric) series
+    accumulates one sample per run, and ``repro report --trend``
+    renders the perf trajectory.  Opt out with REPRO_RESULTS_STORE=off;
+    point elsewhere with REPRO_RESULTS_STORE=/path/to/store.sqlite.
+    """
+    target = os.environ.get("REPRO_RESULTS_STORE", "")
+    if target.lower() in ("off", "0", "none"):
+        return
+    try:
+        from repro.results import DEFAULT_STORE_PATH, ResultsStore
+    except ImportError:
+        return  # src not on sys.path; benchmarks ran standalone
+    store = ResultsStore(target or DEFAULT_STORE_PATH)
+    try:
+        if not store.enabled:
+            return
+        for bench in output_json.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            metrics = {
+                name: stats[name]
+                for name in ("min", "max", "mean", "median", "stddev", "rounds")
+                if isinstance(stats.get(name), (int, float))
+            }
+            extra = bench.get("extra_info", {})
+            metrics.update(
+                (name, value)
+                for name, value in extra.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            )
+            context = {
+                "group": bench.get("group"),
+                "fullname": bench.get("fullname"),
+            }
+            context.update(
+                (name, value)
+                for name, value in extra.items()
+                if isinstance(value, (str, bool))
+            )
+            store.record_bench(bench.get("name", "<unnamed>"), metrics, context)
+        print(
+            f"benchmarks: recorded {len(output_json.get('benchmarks', []))} "
+            f"benches into {store.path}",
+            file=sys.stderr,
+        )
+    finally:
+        store.close()

@@ -70,6 +70,12 @@ ANALYSIS_SCHEMA_TAG = "ldx-analysis-v2"
 # the content address to keep keys disjoint from other artifact kinds.
 COMPILED_SCHEMA_TAG = "ldx-threaded-v1"
 
+# Bump when the pickled result-row layout of any eval/chaos cell class
+# changes.  Shared by the columnar results store (repro.results): a tag
+# bump orphans every stored cell, so a re-run recomputes them instead
+# of unpickling rows from an incompatible layout.
+RESULTS_SCHEMA_TAG = "ldx-results-v1"
+
 
 class CacheStats:
     """Hit/miss accounting for one cache instance."""
@@ -122,6 +128,20 @@ def artifact_key(
     hasher.update(b"\0\0")
     hasher.update(source.encode())
     return hasher.hexdigest()
+
+
+def result_cell_key(source: str, params: Dict[str, object]) -> str:
+    """Content address of one eval/chaos result cell.
+
+    The same derivation the artifact cache uses, under the results
+    schema tag: *source* is the MiniC text of the workload(s) the cell
+    executes and *params* are the cell's coordinates (kind, workload,
+    variant, seeds, chunk bounds, config fingerprint).  Editing a
+    workload or changing a cell's configuration changes the key, which
+    is exactly what makes re-runs incremental — an unchanged cell's key
+    is already present in the store.
+    """
+    return artifact_key(source, params, schema_tag=RESULTS_SCHEMA_TAG)
 
 
 class ArtifactCache:

@@ -4,8 +4,9 @@ Usage::
 
     python -m repro leak program.mc --secret-file /etc/secret [options]
     python -m repro run  program.mc [--stdin TEXT] [--file PATH=CONTENT ...]
-    python -m repro eval [--table4-runs N] [--check-static]
+    python -m repro eval [--table4-runs N] [--check-static] [--no-store]
     python -m repro chaos [--seeds N] [--fault-rate R] [--resume]
+    python -m repro report [--chaos | --trend [BENCH]] [--store-path PATH]
     python -m repro analyze program.mc | --workload NAME | --all [--dump-ir]
     python -m repro profile WORKLOAD [--top N] [--json PATH]
     python -m repro serve [--http PORT] [--workers N] [--queue-capacity N]
@@ -25,7 +26,16 @@ virtual-time histograms; ``serve`` runs the causality-as-a-service
 daemon (stdin JSONL by default, localhost HTTP with ``--http``; see
 docs/SERVICE.md); ``serve-chaos`` storms a service with concurrent
 requests under injected faults and checks the service invariants;
-``checkpoints prune`` garbage-collects the checkpoint store.
+``checkpoints prune`` garbage-collects the checkpoint store;
+``report`` re-renders the eval tables, the chaos sweep or the
+benchmark trend straight from the columnar results store — sub-second,
+nothing executes.
+
+``eval`` and ``chaos`` are **incremental** by default: every completed
+cell persists into the results store (``--store-path``, default
+``.repro-cache/results.sqlite``) keyed by workload source × variant ×
+seeds × config, so a re-run executes only cells whose key is absent
+and still renders a byte-identical report.  ``--no-store`` opts out.
 
 ``run``, ``eval``, ``chaos`` and ``profile`` accept ``--interp-backend
 {switch,threaded}`` to pick the interpreter dispatch strategy (default
@@ -141,6 +151,32 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="on-disk artifact cache location (default: .repro-cache)",
     )
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    from repro.results import DEFAULT_STORE_PATH
+
+    parser.add_argument(
+        "--store-path",
+        default=DEFAULT_STORE_PATH,
+        metavar="PATH",
+        help="columnar results store; completed cells persist there and "
+        f"re-runs execute only missing cells (default: {DEFAULT_STORE_PATH})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip the results store entirely (every cell executes)",
+    )
+
+
+def _open_store(args):
+    """The ResultsStore the flags ask for, or None with --no-store."""
+    if args.no_store:
+        return None
+    from repro.results import ResultsStore
+
+    return ResultsStore(args.store_path)
 
 
 def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
@@ -314,6 +350,7 @@ def _cmd_eval(args) -> int:
         use_cache=not args.no_cache,
         check_static=args.check_static,
         table5_path=args.table5_json,
+        store_path=None if args.no_store else args.store_path,
     )
     print(result.report)
     if not result.static_ok:
@@ -426,6 +463,7 @@ def _cmd_chaos(args) -> int:
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:
         checkpoint_dir = DEFAULT_CHECKPOINT_DIR
+    store = _open_store(args)
     try:
         rows = run_chaos(
             names=args.workload or None,
@@ -434,6 +472,7 @@ def _cmd_chaos(args) -> int:
             watchdog_deadline=args.watchdog_deadline,
             jobs=args.jobs,
             checkpoint_dir=checkpoint_dir,
+            store=store,
         )
     except KeyboardInterrupt:
         # Graceful Ctrl-C: finished cells are already on disk (when
@@ -453,8 +492,32 @@ def _cmd_chaos(args) -> int:
                 file=sys.stderr,
             )
         return 130
+    finally:
+        if store is not None:
+            store.close()
     print(render_chaos(rows, args.seeds, args.fault_rate))
     return 0 if chaos_ok(rows) else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.results import (
+        ResultsStore,
+        chaos_report_from_store,
+        eval_report_from_store,
+        trend_report,
+    )
+
+    store = ResultsStore(args.store_path)
+    try:
+        if args.trend is not None:
+            print(trend_report(store, args.trend or None))
+        elif args.chaos:
+            print(chaos_report_from_store(store))
+        else:
+            print(eval_report_from_store(store))
+    finally:
+        store.close()
+    return 0
 
 
 def _cmd_checkpoints(args) -> int:
@@ -514,6 +577,20 @@ def _cmd_serve_chaos(args) -> int:
         poison_every=args.poison_every,
         url=args.url,
     )
+    store = _open_store(args)
+    if store is not None and store.enabled:
+        store.record_bench(
+            "serve_chaos_storm",
+            outcome.metrics(),
+            context={
+                "requests": args.requests,
+                "workers": args.workers,
+                "queue_capacity": args.queue_capacity,
+                "fault_rate": args.fault_rate,
+                "fault_seed": args.fault_seed,
+            },
+        )
+        store.close()
     print(render_storm(outcome))
     return 0 if storm_ok(outcome) else 1
 
@@ -568,8 +645,37 @@ def main(argv: List[str] = None) -> int:
         help="with --check-static, also write the Table 5 JSON artifact",
     )
     _add_parallel_options(eval_parser)
+    _add_store_options(eval_parser)
     _add_backend_option(eval_parser)
     eval_parser.set_defaults(handler=_cmd_eval)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="re-render reports from the results store (nothing executes)",
+    )
+    report_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="render the latest recorded chaos sweep instead of the eval tables",
+    )
+    report_parser.add_argument(
+        "--trend",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="BENCH",
+        help="render the benchmark history (optionally one bench only): "
+        "the perf trajectory over recorded runs",
+    )
+    from repro.results import DEFAULT_STORE_PATH
+
+    report_parser.add_argument(
+        "--store-path",
+        default=DEFAULT_STORE_PATH,
+        metavar="PATH",
+        help=f"columnar results store to read (default: {DEFAULT_STORE_PATH})",
+    )
+    report_parser.set_defaults(handler=_cmd_report)
 
     profile_parser = commands.add_parser(
         "profile",
@@ -664,6 +770,7 @@ def main(argv: List[str] = None) -> int:
     )
     _add_fault_options(chaos_parser, default_rate=0.1)
     _add_parallel_options(chaos_parser)
+    _add_store_options(chaos_parser)
     _add_backend_option(chaos_parser)
     chaos_parser.set_defaults(handler=_cmd_chaos)
 
@@ -750,6 +857,7 @@ def main(argv: List[str] = None) -> int:
         help="transient-fault probability per eligible syscall (0 disables)",
     )
     _add_cache_options(serve_chaos_parser)
+    _add_store_options(serve_chaos_parser)
     _add_backend_option(serve_chaos_parser)
     serve_chaos_parser.set_defaults(handler=_cmd_serve_chaos)
 

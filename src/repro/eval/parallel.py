@@ -28,6 +28,7 @@ for any job count.
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -127,12 +128,19 @@ def _cell_chaos(
     )
 
 
+def _cell_table5(name: str):
+    from repro.eval.table5 import measure_workload
+
+    return measure_workload(name)
+
+
 _CELL_RUNNERS = {
     "table1": _cell_table1,
     "figure6": _cell_figure6,
     "table2": _cell_table2,
     "table3": _cell_table3,
     "table4": _cell_table4,
+    "table5": _cell_table5,
     "mutation": _cell_mutation,
     "chaos": _cell_chaos,
 }
@@ -193,6 +201,56 @@ def fan_out(
     return results
 
 
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: int,
+    cache_dir: Optional[str] = None,
+    cache_enabled: Optional[bool] = None,
+    store=None,
+    label: str = "eval",
+) -> Tuple[List[object], Dict[str, int]]:
+    """Run *cells* incrementally against a results store.
+
+    Cells whose content-address key is already present in *store* are
+    served from it; only absent (or superseded-fingerprint) cells
+    execute, and every freshly executed cell is persisted.  Returns
+    the in-order results plus {planned, executed, reused} counts, and
+    prints the counts to stderr — CI greps that line to prove a warm
+    re-run executed zero cells.  With no store this is plain
+    :func:`fan_out`.
+    """
+    if store is None or not store.enabled:
+        return (
+            fan_out(cells, jobs, cache_dir, cache_enabled),
+            {"planned": len(cells), "executed": len(cells), "reused": 0},
+        )
+    from repro.results import spec_for_cell
+
+    specs = [spec_for_cell(cell) for cell in cells]
+    found = store.get_cells([spec.key for spec in specs])
+    results: List[object] = [found.get(spec.key) for spec in specs]
+    miss_indices = [i for i, result in enumerate(results) if result is None]
+    if miss_indices:
+        executed = fan_out(
+            [cells[i] for i in miss_indices], jobs, cache_dir, cache_enabled
+        )
+        for index, result in zip(miss_indices, executed):
+            results[index] = result
+            store.put_cell(specs[index], result)
+    stats = {
+        "planned": len(cells),
+        "executed": len(miss_indices),
+        "reused": len(cells) - len(miss_indices),
+    }
+    print(
+        f"{label}: results store: {stats['executed']} executed, "
+        f"{stats['reused']} reused of {stats['planned']} cells "
+        f"({store.path})",
+        file=sys.stderr,
+    )
+    return results, stats
+
+
 def _chunks(count: int, size: int) -> List[Tuple[int, int]]:
     return [(start, min(start + size, count)) for start in range(0, count, size)]
 
@@ -225,6 +283,44 @@ def plan_eval_cells(
             cells.append(("table4", (workload.name, start, stop)))
     for strategy in strategies_under_study():
         cells.append(("mutation", (strategy, tuple(STUDY_WORKLOADS))))
+    return cells
+
+
+def plan_table5_cells(names: Optional[List[str]] = None) -> List[Cell]:
+    """One Table 5 cell per workload, in ``run_table5`` order."""
+    from repro.workloads import ALL_WORKLOADS
+
+    names = names or [w.name for w in ALL_WORKLOADS]
+    return [("table5", (name,)) for name in names]
+
+
+def plan_chaos_cells(
+    names: List[str],
+    seeds: int,
+    rate: float,
+    watchdog_deadline: float,
+    seed_chunk: int = CHAOS_CHUNK,
+    checkpoint_dir: Optional[str] = None,
+) -> List[Cell]:
+    """Decompose a chaos sweep into (workload, seed-chunk) cells.
+
+    Cell order is the merge order; it reproduces the serial sweep.
+    """
+    cells: List[Cell] = []
+    for name in names:
+        for start, stop in _chunks(seeds, seed_chunk):
+            cells.append(
+                (
+                    "chaos",
+                    (
+                        name,
+                        tuple(range(start, stop)),
+                        rate,
+                        watchdog_deadline,
+                        checkpoint_dir,
+                    ),
+                )
+            )
     return cells
 
 
@@ -282,11 +378,20 @@ def run_all_parallel(
     cache_dir: Optional[str] = None,
     cache_enabled: Optional[bool] = None,
     table4_chunk: int = TABLE4_CHUNK,
+    store=None,
 ) -> str:
-    """The full evaluation, fanned out; report identical to ``run_all``."""
+    """The full evaluation, fanned out; report identical to ``run_all``.
+
+    With *store* (a :class:`repro.results.ResultsStore`) the run is
+    incremental: cells already stored are reused, fresh cells persist.
+    (:func:`repro.eval.runner.run_all` additionally records the run so
+    ``repro report`` can re-render it with zero execution.)
+    """
     jobs = default_jobs() if jobs is None else jobs
     cells = plan_eval_cells(table4_runs, table4_chunk)
-    results = fan_out(cells, jobs, cache_dir, cache_enabled)
+    results, _stats = run_cells(
+        cells, jobs, cache_dir, cache_enabled, store=store, label="eval"
+    )
     return assemble_report(cells, results, table4_runs)
 
 
@@ -300,6 +405,7 @@ def run_chaos_parallel(
     cache_enabled: Optional[bool] = None,
     seed_chunk: int = CHAOS_CHUNK,
     checkpoint_dir: Optional[str] = None,
+    store=None,
 ):
     """The chaos sweep, fanned out; rows identical to a serial sweep.
 
@@ -307,29 +413,34 @@ def run_chaos_parallel(
     persisted there, and already-persisted cells are loaded instead of
     re-run — an interrupted sweep resumes at the first incomplete cell.
     Loaded or re-run, cells merge in the same planned order, so the
-    resumed report is byte-identical to an uninterrupted one.
+    resumed report is byte-identical to an uninterrupted one.  With
+    *store* cells additionally persist into the columnar results store
+    (keys exclude the checkpoint dir), making re-runs incremental and
+    the sweep reportable via ``repro report --chaos``.
     """
     from repro.eval.robustness import ChaosRow
     from repro.workloads import ALL_WORKLOADS
 
     jobs = default_jobs() if jobs is None else jobs
     names = names or [workload.name for workload in ALL_WORKLOADS]
-    cells: List[Cell] = []
-    for name in names:
-        for start, stop in _chunks(seeds, seed_chunk):
-            cells.append(
-                (
-                    "chaos",
-                    (
-                        name,
-                        tuple(range(start, stop)),
-                        rate,
-                        watchdog_deadline,
-                        checkpoint_dir,
-                    ),
-                )
-            )
-    results = fan_out(cells, jobs, cache_dir, cache_enabled)
+    cells = plan_chaos_cells(
+        names, seeds, rate, watchdog_deadline, seed_chunk, checkpoint_dir
+    )
+    results, stats = run_cells(
+        cells, jobs, cache_dir, cache_enabled, store=store, label="chaos"
+    )
+    if store is not None and store.enabled:
+        store.record_run(
+            "chaos",
+            {
+                "names": list(names),
+                "seeds": seeds,
+                "rate": rate,
+                "watchdog_deadline": watchdog_deadline,
+                "seed_chunk": seed_chunk,
+            },
+            **stats,
+        )
 
     rows: List[ChaosRow] = []
     by_name: Dict[str, ChaosRow] = {}

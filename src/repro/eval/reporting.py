@@ -8,8 +8,20 @@ from typing import Iterable, List, Sequence
 def format_table(
     headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
 ) -> str:
-    """Render an ASCII table with aligned columns."""
+    """Render an ASCII table with aligned columns.
+
+    Every row must have exactly one cell per header; a mismatched row
+    raises :class:`ValueError` naming the offender (previously a row
+    with extra cells crashed with a bare ``IndexError`` deep in the
+    width pass, and a short row silently rendered misaligned).
+    """
     materialized: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    for index, row in enumerate(materialized):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells for {len(headers)} "
+                f"headers: {row!r}"
+            )
     widths = [len(header) for header in headers]
     for row in materialized:
         for index, cell in enumerate(row):
@@ -36,14 +48,24 @@ def _cell(value: object) -> str:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean of positive values (0.0 for empty input)."""
-    positive = [value for value in values if value > 0]
-    if not positive:
+    """Geometric mean of *values* (0.0 for empty input).
+
+    Non-positive values have no geometric mean; they raise
+    :class:`ValueError` instead of being silently dropped (the old
+    filtering behaviour inflated overhead summaries whenever a
+    zero-duration sample slipped into a table).
+    """
+    if not values:
         return 0.0
+    bad = [value for value in values if value <= 0]
+    if bad:
+        raise ValueError(
+            f"geometric_mean requires positive values; got {bad[:5]!r}"
+        )
     product = 1.0
-    for value in positive:
+    for value in values:
         product *= value
-    return product ** (1.0 / len(positive))
+    return product ** (1.0 / len(values))
 
 
 def arithmetic_mean(values: Sequence[float]) -> float:

@@ -42,12 +42,20 @@ def run_all(
     use_cache: Optional[bool] = None,
     check_static: bool = False,
     table5_path: Optional[str] = None,
+    store_path: Optional[str] = None,
 ) -> EvalResult:
     """Run every experiment; return the combined plain-text report.
 
     With ``jobs > 1`` the experiments fan out over a process pool
     (``repro.eval.parallel``); the report is byte-identical to the
     serial path for any job count.
+
+    With ``store_path`` the run is **incremental** against the columnar
+    results store (``repro.results``): every completed cell persists
+    there keyed by its content address, cells whose key is already
+    present are reused instead of re-executed (a warm re-run executes
+    zero cells), and the invocation is recorded so ``repro report``
+    re-renders the byte-identical report from the store alone.
 
     ``check_static=True`` appends Table 5 — every workload dual-executed
     with the static causality analysis installed as the engine's
@@ -58,16 +66,26 @@ def run_all(
     exact detections of a normal engine run.  ``table5_path`` optionally
     writes the machine-readable JSON artifact for CI.
     """
-    if jobs > 1:
-        from repro.eval.parallel import run_all_parallel
+    store = None
+    if store_path is not None:
+        from repro.results import ResultsStore
 
-        report = run_all_parallel(
-            table4_runs=table4_runs,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            cache_enabled=use_cache,
+        store = ResultsStore(store_path)
+
+    stats = {"planned": 0, "executed": 0, "reused": 0}
+    if jobs > 1 or store is not None:
+        from repro.eval.parallel import (
+            TABLE4_CHUNK,
+            assemble_report,
+            plan_eval_cells,
+            run_cells,
         )
-        result = EvalResult(report)
+
+        cells = plan_eval_cells(table4_runs, TABLE4_CHUNK)
+        results, stats = run_cells(
+            cells, jobs, cache_dir, use_cache, store=store, label="eval"
+        )
+        result = EvalResult(assemble_report(cells, results, table4_runs))
     else:
         sections: List[str] = []
 
@@ -93,7 +111,18 @@ def run_all(
             table5_json,
         )
 
-        rows = run_table5()
+        if store is not None:
+            from repro.eval.parallel import plan_table5_cells, run_cells
+
+            table5_cells = plan_table5_cells()
+            rows, table5_stats = run_cells(
+                table5_cells, 1, cache_dir, use_cache, store=store,
+                label="eval",
+            )
+            for name in stats:
+                stats[name] += table5_stats[name]
+        else:
+            rows = run_table5()
         section = render_table5(rows)
         if verbose:
             print(section)
@@ -103,6 +132,20 @@ def run_all(
         if table5_path:
             with open(table5_path, "w") as handle:
                 handle.write(table5_json(rows))
+
+    if store is not None:
+        from repro.eval.parallel import TABLE4_CHUNK
+
+        store.record_run(
+            "eval",
+            {
+                "table4_runs": table4_runs,
+                "table4_chunk": TABLE4_CHUNK,
+                "check_static": check_static,
+            },
+            **stats,
+        )
+        store.close()
     return result
 
 

@@ -63,6 +63,20 @@ class StormOutcome:
     def count(self, status: str) -> None:
         self.by_status[status] = self.by_status.get(status, 0) + 1
 
+    def metrics(self) -> Dict[str, float]:
+        """Numeric summary for the results store's benchmark history
+        (``repro report --trend``): storm health over successive runs."""
+        summary: Dict[str, float] = {
+            "requests": self.requests,
+            "verdict_matches": self.verdict_matches,
+            "degraded": self.degraded,
+            "violations": len(self.violations),
+            "shed": sum(self.shed.values()) if self.shed else 0,
+        }
+        for status, count in sorted(self.by_status.items()):
+            summary[f"status_{status}"] = count
+        return summary
+
 
 def _poison_payload(kind: str, index: int):
     if kind == "not-json":

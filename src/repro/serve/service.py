@@ -218,8 +218,13 @@ class LdxService:
         self._threads: List[threading.Thread] = []
         self._started = False
         self._drained = threading.Event()
+        # served/errors/rejected are only ever touched under _stats_lock
+        # — including reads: torn snapshots (e.g. /statz observing a
+        # served bump but not the matching errors bump) made the
+        # counters impossible to reconcile against submissions.
         self.served = 0
         self.errors = 0
+        self.rejected = 0
         self._stats_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------------
@@ -256,11 +261,14 @@ class LdxService:
         drained = not any(thread.is_alive() for thread in self._threads)
         self.queue.close()
         factory_stats = self.factories.close()
+        with self._stats_lock:
+            served, errors, rejected = self.served, self.errors, self.rejected
         self.log({
             "event": "drain-complete",
             "drained": drained,
-            "served": self.served,
-            "errors": self.errors,
+            "served": served,
+            "errors": errors,
+            "rejected": rejected,
             "factories": factory_stats,
             "queue": self.queue.snapshot(),
             "breakers": self.breakers.snapshot(),
@@ -278,9 +286,14 @@ class LdxService:
         return self.alive() and not self.queue.draining and not self.queue.saturated
 
     def stats(self) -> dict:
+        with self._stats_lock:
+            counters = {
+                "served": self.served,
+                "errors": self.errors,
+                "rejected": self.rejected,
+            }
         return {
-            "served": self.served,
-            "errors": self.errors,
+            **counters,
             "queue": self.queue.snapshot(),
             "factories": self.factories.snapshot(),
             "breakers": self.breakers.snapshot(),
@@ -503,6 +516,8 @@ class LdxService:
                 pass  # logging must never take a request down
 
     def _log_rejection(self, request_id, status: str, reason: str) -> None:
+        with self._stats_lock:
+            self.rejected += 1
         self.log({
             "event": "request",
             "id": request_id,

@@ -26,6 +26,27 @@ def test_means():
     assert arithmetic_mean([]) == 0.0
 
 
+def test_geometric_mean_rejects_non_positive_values():
+    # Regression: zeros/negatives used to be silently filtered out,
+    # inflating the mean of whatever survived.
+    with pytest.raises(ValueError, match="positive"):
+        geometric_mean([1.0, 0.0, 4.0])
+    with pytest.raises(ValueError, match="positive"):
+        geometric_mean([-2.0])
+    # The offending values are named in the error.
+    with pytest.raises(ValueError, match=r"\[0\.0\]"):
+        geometric_mean([2.0, 0.0])
+
+
+def test_format_table_rejects_mismatched_rows():
+    # Regression: a row with extra cells crashed with a bare IndexError
+    # inside the width pass; a short row rendered silently misaligned.
+    with pytest.raises(ValueError, match="row 1 has 3 cells for 2 headers"):
+        format_table(["a", "b"], [["x", 1], ["y", 2, 3]])
+    with pytest.raises(ValueError, match="row 0 has 1 cells for 2 headers"):
+        format_table(["a", "b"], [["only"]])
+
+
 def test_table1_row_fields():
     row = table1_row("bzip2")
     assert row.loc > 0
