@@ -4,8 +4,12 @@ Records (as ``extra_info`` in the pytest-benchmark JSON):
 
 * per-workload drive-loop timings for both backends over all 28
   registry workloads (min of ``REPS`` repetitions each) and the
-  geometric-mean speedup — the acceptance target is >= 2.0x with a
-  warm compile cache;
+  geometric-mean speedup — the acceptance target is >= 2.6x with a
+  warm compile cache and the sink-relevance pass enabled;
+* the relevance off-switch's worst case: with the pass disabled the
+  threaded backend may be slower, but on an all-sink-relevant workload
+  (zero elision) enabling the pass must cost no more than 2% over the
+  disabled configuration;
 * cold vs warm closure-compile timings through the module memo — a
   warm lookup must be at least 10x cheaper than compiling;
 * the profiler's off-path cost: with ``profile=False`` the only
@@ -22,16 +26,25 @@ import time
 
 import pytest
 
-from repro.interp.compile import clear_compile_memo, compiled_for_module
+from repro.instrument import instrument_module
+from repro.interp.compile import (
+    clear_compile_memo,
+    compiled_for_module,
+    relevance_enabled,
+    set_relevance_enabled,
+)
 from repro.interp.machine import Machine
 from repro.interp.resolve import resolve_event_locally
+from repro.ir import compile_source
 from repro.vos.kernel import Kernel
+from repro.vos.world import World
 from repro.workloads import ALL_WORKLOADS
 
-REPS = 3
-SPEEDUP_FLOOR = 2.0
+REPS = 7
+SPEEDUP_FLOOR = 2.6
 WARM_COMPILE_RATIO = 10.0
 PROFILER_OFF_PATH_CEILING = 0.02
+ZERO_ELISION_OVERHEAD_CEILING = 0.02
 
 
 def _drive(machine):
@@ -205,4 +218,93 @@ def test_profiler_off_path_overhead(benchmark):
     assert overhead < PROFILER_OFF_PATH_CEILING, (
         f"profiler off-path overhead {overhead * 100:.2f}% exceeds the "
         f"{PROFILER_OFF_PATH_CEILING * 100:.0f}% ceiling"
+    )
+
+
+# Every value computed below flows into a print (an outcome sink) or
+# controls a branch on the path to one, so the relevance pass can elide
+# no user computation — only structural glue (nops, the loop jump, the
+# ret), which carries no counter updates anyway: the worst case for
+# paying the pass's bookkeeping with no payoff.
+ZERO_ELISION_SOURCE = """
+fn main() {
+  var acc = 0;
+  var i = 0;
+  while (i < 60000) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  print(acc);
+  print(i);
+}
+"""
+
+
+@pytest.mark.paper
+def test_zero_elision_overhead(benchmark):
+    """An all-sink-relevant workload must not pay for the relevance pass.
+
+    With zero elidable instructions the pass buys nothing, so enabling
+    it must cost at most ``ZERO_ELISION_OVERHEAD_CEILING`` over the
+    disabled configuration (best-of timings, interleaved to average out
+    machine drift).
+    """
+    module = compile_source(ZERO_ELISION_SOURCE)
+    instrumented = instrument_module(module)
+    relevance = instrumented.plan.relevance
+    from repro.ir import instructions as ins
+
+    structural = (ins.Nop, ins.Jump, ins.Ret)
+    for name, fn_relevance in relevance.functions.items():
+        fn = module.functions[name]
+        computational = [
+            idx
+            for idx in fn_relevance.elidable
+            if not isinstance(fn.instrs[idx], structural)
+        ]
+        assert not computational, (
+            f"expected an all-relevant workload, {name} elides "
+            f"computation at {sorted(computational)}"
+        )
+
+    def one_run():
+        machine = Machine(
+            module,
+            Kernel(World(seed=1)),
+            plan=instrumented.plan,
+            backend="threaded",
+        )
+        start = time.perf_counter()
+        _drive(machine)
+        return time.perf_counter() - start
+
+    saved = relevance_enabled()
+    best = {True: float("inf"), False: float("inf")}
+    try:
+        for enabled in (True, False):  # warm both memo entries
+            set_relevance_enabled(enabled)
+            compiled_for_module(module, instrumented.plan)
+
+        def interleaved_sweep():
+            for _ in range(15):
+                for enabled in (True, False):
+                    set_relevance_enabled(enabled)
+                    best[enabled] = min(best[enabled], one_run())
+
+        benchmark.pedantic(interleaved_sweep, rounds=1, iterations=1)
+    finally:
+        set_relevance_enabled(saved)
+
+    overhead = (best[True] - best[False]) / best[False]
+    benchmark.extra_info["relevance_on_ms"] = round(best[True] * 1000, 3)
+    benchmark.extra_info["relevance_off_ms"] = round(best[False] * 1000, 3)
+    benchmark.extra_info["zero_elision_overhead"] = round(overhead, 4)
+    print(
+        f"\nzero-elision relevance on {best[True] * 1000:.2f}ms  "
+        f"off {best[False] * 1000:.2f}ms  overhead {overhead * 100:+.2f}%"
+    )
+
+    assert overhead <= ZERO_ELISION_OVERHEAD_CEILING, (
+        f"relevance pass costs {overhead * 100:.2f}% on an all-relevant "
+        f"workload, above the {ZERO_ELISION_OVERHEAD_CEILING * 100:.0f}% ceiling"
     )

@@ -17,6 +17,10 @@ statically instead:
   for the ``thread_spawn``/``mutex_*`` intrinsics;
 * :mod:`repro.analysis.lint` — diagnostics (never-read variables,
   maybe-uninitialized uses, unreachable code, races);
+* :mod:`repro.analysis.relevance` — the paper's Algorithm 2:
+  sink-relevance classification of every instruction from the outcome
+  sinks backwards, driving counter elision and fusion widening in the
+  threaded backend;
 * :mod:`repro.analysis.analyzer` — the cacheable per-program summary
   behind ``repro analyze`` and ``repro eval --check-static``.
 """
@@ -40,6 +44,12 @@ from repro.analysis.dataflow import (
     solve,
 )
 from repro.analysis.lint import Diagnostic, lint_module
+from repro.analysis.relevance import (
+    FunctionRelevance,
+    ModuleRelevance,
+    RegionSummary,
+    compute_relevance,
+)
 from repro.analysis.lockset import LocksetReport, analyze_locksets
 from repro.analysis.taint import StaticCausality, StaticSeeds, static_causality
 
@@ -50,6 +60,9 @@ __all__ = [
     "MUST",
     "DataflowProblem",
     "Diagnostic",
+    "FunctionRelevance",
+    "ModuleRelevance",
+    "RegionSummary",
     "LiveVariables",
     "LocksetReport",
     "ProgramAnalysis",
@@ -60,6 +73,7 @@ __all__ = [
     "analyze_module",
     "analyze_source",
     "analyze_workload",
+    "compute_relevance",
     "control_dependence",
     "lint_module",
     "render_analysis",

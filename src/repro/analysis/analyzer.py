@@ -66,6 +66,9 @@ class ProgramAnalysis:
         "may_abort",
         "abort_reasons",
         "annotations",
+        "relevance_functions",
+        "relevance_totals",
+        "relevant_syscall_sites",
     )
 
     def __init__(
@@ -86,6 +89,9 @@ class ProgramAnalysis:
         may_abort: bool,
         abort_reasons: Tuple[str, ...],
         annotations: Dict[str, Dict[int, str]],
+        relevance_functions: List[Tuple[str, int, int, int, int, int, int]],
+        relevance_totals: Dict[str, int],
+        relevant_syscall_sites: FrozenSet[Tuple[str, str]],
     ) -> None:
         self.name = name
         self.seeds_fingerprint = seeds_fingerprint
@@ -103,8 +109,23 @@ class ProgramAnalysis:
         self.may_abort = may_abort
         self.abort_reasons = abort_reasons
         self.annotations = annotations
+        # Sink-relevance classification (analysis/relevance.py): one
+        # (name, total, relevant, elidable, fusible, summarizable,
+        # regions) row per function, the module-wide totals, and the
+        # Syscall sites classified sink-relevant.
+        self.relevance_functions = relevance_functions
+        self.relevance_totals = relevance_totals
+        self.relevant_syscall_sites = relevant_syscall_sites
 
     # -- oracle interface (duck-typed with StaticCausality) --------------------
+
+    def relevant_site(self, function: str, syscall: str) -> bool:
+        """Is the Syscall site *syscall* in *function* sink-relevant?
+
+        Relevance roots at every syscall site, so a dynamic detection
+        at a site the classification elided is a soundness violation.
+        """
+        return (function, syscall) in self.relevant_syscall_sites
 
     def may_depend(self, function: str, syscall: str) -> bool:
         """May the configured sources influence sink *syscall* in
@@ -182,6 +203,35 @@ def analyze_module(
     diagnostics = lint_module(module, callgraph, locksets)
     global_names = frozenset(module.global_values)
 
+    # Sink-relevance rides the instrumentation plan (regions fold that
+    # plan's counter deltas), so plan the module the same way a run
+    # would.  Imported lazily: the pipeline consumes this package.
+    from repro.instrument.pipeline import instrument_module
+
+    relevance = instrument_module(module).plan.relevance
+    relevance_functions: List[Tuple[str, int, int, int, int, int, int]] = []
+    for fn_name in sorted(relevance.functions):
+        fn_rel = relevance.functions[fn_name]
+        relevance_functions.append(
+            (
+                fn_name,
+                fn_rel.total,
+                len(fn_rel.relevant),
+                len(fn_rel.elidable),
+                len(fn_rel.fusible),
+                fn_rel.summarizable_instructions,
+                len(fn_rel.regions),
+            )
+        )
+    relevance_totals = {
+        "instructions": relevance.total_instructions,
+        "relevant": relevance.relevant_count,
+        "elidable": relevance.elidable_count,
+        "fusible": relevance.fusible_count,
+        "summarizable": relevance.summarizable_count,
+        "regions": relevance.region_count,
+    }
+
     summaries: List[Tuple[str, int, int]] = []
     annotations: Dict[str, Dict[int, str]] = {}
     for fn_name in sorted(module.functions):
@@ -210,6 +260,9 @@ def analyze_module(
         may_abort=causality.may_abort,
         abort_reasons=causality.abort_reasons,
         annotations=annotations,
+        relevance_functions=relevance_functions,
+        relevance_totals=relevance_totals,
+        relevant_syscall_sites=relevance.relevant_syscalls,
     )
 
 
@@ -248,9 +301,12 @@ def analyze_workload(workload) -> ProgramAnalysis:
     return analyze_source(workload.source, workload.config(), workload.name)
 
 
-def render_analysis(analysis: ProgramAnalysis, verbose: bool = False) -> str:
+def render_analysis(
+    analysis: ProgramAnalysis, verbose: bool = False, relevance: bool = False
+) -> str:
     """Deterministic text report (cold and warm cache runs must match
-    byte for byte)."""
+    byte for byte).  *relevance* adds the per-function sink-relevance
+    table (``repro analyze --relevance``)."""
     lines: List[str] = [f"== analyze {analysis.name} =="]
     n_instrs = sum(count for _n, count, _s in analysis.function_summaries)
     n_syscalls = sum(count for _n, _i, count in analysis.function_summaries)
@@ -261,6 +317,26 @@ def render_analysis(analysis: ProgramAnalysis, verbose: bool = False) -> str:
     if verbose:
         for fn_name, instrs, syscalls in analysis.function_summaries:
             lines.append(f"  fn {fn_name}: {instrs} instrs, {syscalls} syscalls")
+
+    totals = analysis.relevance_totals
+    if totals:
+        total = totals["instructions"] or 1
+        lines.append(
+            f"sink relevance: {totals['relevant']}/{totals['instructions']}"
+            f" instruction(s) sink-relevant, {totals['elidable']} elidable"
+            f" ({100.0 * totals['elidable'] / total:.1f}%),"
+            f" {totals['summarizable']} summarizable"
+            f" in {totals['regions']} region(s)"
+        )
+    if relevance:
+        for row in analysis.relevance_functions:
+            fn_name, fn_total, n_rel, n_elid, n_fus, n_sum, n_reg = row
+            lines.append(
+                f"  fn {fn_name}: {fn_total} instrs,"
+                f" {n_rel} relevant, {n_elid} elidable,"
+                f" {n_fus} fusible, {n_sum} summarizable"
+                f" in {n_reg} region(s)"
+            )
 
     if analysis.thread_entries:
         entries = ", ".join(

@@ -12,8 +12,12 @@ Four families:
   reaches (excluding the structural exit nop).
 * ``race`` — a lockset-disjoint conflicting global access pair from
   :mod:`repro.analysis.lockset`.
-* ``dead-store`` — a pure computation whose result is never live
-  (note-level: often benign staging of values).
+* ``unused-write`` — a store whose value is overwritten before any
+  read, to a variable that *is* read elsewhere and assigned more than
+  once (warn-level: the computation is pure waste, and the
+  instrumentation planner still pays counter updates for it).
+* ``dead-store`` — any other pure computation whose result is never
+  live (note-level: often benign staging of values).
 
 Diagnostics carry a stable :meth:`Diagnostic.key` so CI can compare a
 run against a checked-in baseline and fail only on *new* findings.
@@ -181,7 +185,12 @@ def lint_module(
                         )
                     )
 
-        # -- dead stores ------------------------------------------------------
+        # -- dead stores / unused writes --------------------------------------
+        def_counts: Dict[str, int] = {}
+        for instr in function.instrs:
+            dst = instr.defs()
+            if dst is not None and dst not in global_names and _is_user_name(dst):
+                def_counts[dst] = def_counts.get(dst, 0) + 1
         dead_names: Set[str] = set()
         for index in dead_stores(function, global_names):
             if index not in reachable:
@@ -193,6 +202,20 @@ def lint_module(
             if dst in (set(written) - read):
                 continue  # already reported as never-read
             dead_names.add(dst)
+            if dst in read and def_counts.get(dst, 0) >= 2:
+                # The variable is live elsewhere: this particular
+                # store is overwritten before any read ever sees it.
+                diagnostics.append(
+                    Diagnostic(
+                        "unused-write",
+                        WARN,
+                        fn_name,
+                        dst,
+                        f"store to {dst!r} is overwritten before any read",
+                        instr.line,
+                    )
+                )
+                continue
             diagnostics.append(
                 Diagnostic(
                     "dead-store",

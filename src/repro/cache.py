@@ -59,16 +59,20 @@ from repro.ir import compile_source
 
 # Bump when InstrumentedModule / ModulePlan / IR pickle layout changes.
 # v2: payload embeds a SHA-256 digest of the pickled artifact.
-SCHEMA_TAG = "ldx-artifact-v2"
+# v3: ModulePlan carries the sink-relevance classification.
+SCHEMA_TAG = "ldx-artifact-v3"
 
 # Bump when ProgramAnalysis / Diagnostic pickle layout changes.
-ANALYSIS_SCHEMA_TAG = "ldx-analysis-v2"
+# v3: ProgramAnalysis carries sink-relevance rows, totals and the
+# relevant-syscall-site oracle set.
+ANALYSIS_SCHEMA_TAG = "ldx-analysis-v3"
 
 # Bump when the threaded-code compiler's closure layout / fusion rules
 # change.  Compiled modules are arrays of Python closures and cannot be
 # pickled, so this cache is memory-only — the tag still participates in
 # the content address to keep keys disjoint from other artifact kinds.
-COMPILED_SCHEMA_TAG = "ldx-threaded-v1"
+# v2: relevance-guided widened regions with path-local register caching.
+COMPILED_SCHEMA_TAG = "ldx-threaded-v2"
 
 # Bump when the pickled result-row layout of any eval/chaos cell class
 # changes.  Shared by the columnar results store (repro.results): a tag

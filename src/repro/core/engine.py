@@ -793,6 +793,12 @@ class LdxEngine:
                 self.taints.taint(record.resource, "master-only syscall (end)")
         self.report.tainted_resources = sorted(self.taints.tainted_resources)
         if self.static_oracle is not None:
+            # Sink-relevance oracle (duck-typed: only ProgramAnalysis
+            # carries it).  Every dynamic detection must land on a
+            # Syscall site the relevance pass classified sink-relevant
+            # — a detection at an elided site would mean Algorithm 2's
+            # elision dropped an outcome-influencing instruction.
+            relevant_site = getattr(self.static_oracle, "relevant_site", None)
             for detection in self.report.detections:
                 if not self.static_oracle.may_depend(
                     detection.where, detection.syscall
@@ -801,6 +807,14 @@ class LdxEngine:
                         f"{detection.kind} at {detection.where}:"
                         f"{detection.syscall} is outside the static"
                         " may-depend set"
+                    )
+                if relevant_site is not None and not relevant_site(
+                    detection.where, detection.syscall
+                ):
+                    self.report.soundness_violations.append(
+                        f"{detection.kind} at {detection.where}:"
+                        f"{detection.syscall} is at a syscall site the"
+                        " relevance pass classified elidable"
                     )
 
 

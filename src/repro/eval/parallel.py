@@ -49,21 +49,24 @@ def default_jobs() -> int:
 
 
 def _worker_init(
-    cache_dir: Optional[str], cache_enabled: bool, backend: str
+    cache_dir: Optional[str], cache_enabled: bool, backend: str,
+    relevance: bool,
 ) -> None:
     """Configure the worker's process-global artifact cache and
     interpreter backend.
 
     Workers spawned fresh (no fork inheritance) warm up from the
     on-disk layer instead of re-lowering every workload, and inherit
-    the parent's dispatch strategy so a ``--interp-backend`` choice
-    applies to every cell regardless of --jobs.
+    the parent's dispatch strategy so an ``--interp-backend`` or
+    ``--no-relevance`` choice applies to every cell regardless of
+    --jobs.
     """
     from repro import cache
-    from repro.interp import set_default_backend
+    from repro.interp import set_default_backend, set_relevance_enabled
 
     cache.configure(cache_dir=cache_dir, enabled=cache_enabled)
     set_default_backend(backend)
+    set_relevance_enabled(relevance)
 
 
 def _cell_table1(name: str):
@@ -179,14 +182,17 @@ def fan_out(
     """Run *cells*, results in cell order regardless of completion order."""
     if jobs <= 1 or len(cells) <= 1:
         return [run_cell(cell) for cell in cells]
-    from repro.interp import get_default_backend
+    from repro.interp import get_default_backend, relevance_enabled
 
     cache_dir, cache_enabled = _cache_settings(cache_dir, cache_enabled)
     workers = min(jobs, len(cells))
     pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
-        initargs=(cache_dir, cache_enabled, get_default_backend()),
+        initargs=(
+            cache_dir, cache_enabled, get_default_backend(),
+            relevance_enabled(),
+        ),
     )
     try:
         results = list(pool.map(run_cell, cells, chunksize=1))

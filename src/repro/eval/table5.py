@@ -42,6 +42,8 @@ class Table5Row:
         self.name = name
         self.static_flagged = 0
         self.static_total = 0
+        self.elidable = 0
+        self.instructions = 0
         self.may_abort = False
         self.races = 0
         self.ldx_leak = ""
@@ -63,10 +65,19 @@ class Table5Row:
             cell += " (abort)"
         return cell
 
+    def elision_cell(self) -> str:
+        """Elision precision: the share of instructions the relevance
+        pass proves outcome-irrelevant (Algorithm 2\'s win)."""
+        if not self.instructions:
+            return "-"
+        pct = 100.0 * self.elidable / self.instructions
+        return f"{self.elidable}/{self.instructions} ({pct:.1f}%)"
+
     def as_list(self) -> List[object]:
         return [
             self.name,
             self.static_cell(),
+            self.elision_cell(),
             self.static_verdict,
             self.ldx_leak,
             self.ldx_noleak,
@@ -79,6 +90,8 @@ class Table5Row:
             "name": self.name,
             "static_flagged": self.static_flagged,
             "static_total": self.static_total,
+            "elidable": self.elidable,
+            "instructions": self.instructions,
             "may_abort": self.may_abort,
             "static_verdict": self.static_verdict,
             "races": self.races,
@@ -92,6 +105,7 @@ class Table5Row:
 HEADERS = [
     "Program",
     "Static sinks",
+    "Elidable",
     "Static",
     "LDX leak",
     "LDX noleak",
@@ -108,6 +122,9 @@ def measure_workload(name: str) -> Table5Row:
     leak_analysis = analyze_source(workload.source, leak_config, f"{name}:leak")
     row.static_flagged = len(leak_analysis.flagged_sinks)
     row.static_total = len(leak_analysis.sink_sites)
+    totals = leak_analysis.relevance_totals
+    row.elidable = totals.get("elidable", 0)
+    row.instructions = totals.get("instructions", 0)
     row.may_abort = leak_analysis.may_abort
     row.races = len(leak_analysis.races)
 
@@ -184,6 +201,14 @@ def _precision_summary(rows: List[Table5Row]) -> List[str]:
         lines.append(
             f"  selective programs flag {flagged}/{total} sink sites ({pct:.1f}%)"
         )
+    elidable = sum(row.elidable for row in rows)
+    instructions = sum(row.instructions for row in rows)
+    if instructions:
+        lines.append(
+            f"elision precision: {elidable}/{instructions} instruction(s) "
+            f"proven outcome-irrelevant "
+            f"({100.0 * elidable / instructions:.1f}%)"
+        )
     return lines
 
 
@@ -199,7 +224,7 @@ def render_table5(rows: List[Table5Row]) -> str:
 def table5_json(rows: List[Table5Row]) -> str:
     """Machine-readable artifact for CI trend tracking."""
     payload = {
-        "schema": "ldx-table5-v1",
+        "schema": "ldx-table5-v2",
         "soundness_ok": soundness_ok(rows),
         "rows": [row.as_dict() for row in rows],
     }

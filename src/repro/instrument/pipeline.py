@@ -107,4 +107,10 @@ def instrument_module(module: IRModule) -> InstrumentedModule:
         plan.functions[name] = function_plan
         if name not in plan.recursive_functions:
             plan.fcnt[name] = function_plan.fcnt
+    # Classify sink relevance against the finished plan (imported
+    # lazily: relevance rides the analysis package, which consumes this
+    # module in turn).
+    from repro.analysis.relevance import compute_relevance
+
+    plan.relevance = compute_relevance(module, plan)
     return InstrumentedModule(module, plan, callgraph)

@@ -158,6 +158,11 @@ class ModulePlan:
         self.fcnt: Dict[str, int] = {}
         self.recursive_functions: Set[str] = set()
         self.may_reach_syscall: Set[str] = set()
+        # Sink-relevance classification (analysis/relevance.py),
+        # attached by the pipeline once planning is done.  Purely
+        # derived from the module + this plan; consumers (the threaded
+        # backend, reporting) decide whether to act on it.
+        self.relevance = None
 
     def plan_for(self, name: str) -> FunctionPlan:
         return self.functions[name]

@@ -74,6 +74,46 @@ Step = Callable[["Machine", "ThreadState", "Frame"], Optional[object]]
 # cycle is cut by the revisit check before this matters in practice).
 CHAIN_CAP = 32
 
+# Widened (relevance-guided) regions: total emitted members per
+# generated region (tail duplication counts every copy; bounds code
+# size), the per-path member limit (bounds how many instructions one
+# pass can execute), and the conservative instruction-budget bound per
+# pass derived from it (every path member at most once, plus the
+# terminator prologue).
+REGION_CAP = 192
+REGION_PATH_CAP = 48
+REGION_BOUND = REGION_PATH_CAP + 2
+
+# Binops whose Python operator IS the MiniC semantics when both
+# operands are plain ints (``type(x) is int`` — bools excluded); for
+# ==/!= the same holds for two strs.  Generated members inline these
+# and fall back to the BINOP_FUNCS handler for every other shape.
+_INT_FAST_BINOPS = {
+    "+": "+", "-": "-", "*": "*",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "==": "==", "!=": "!=",
+}
+
+# -- relevance gating ------------------------------------------------------------
+#
+# The sink-relevance analysis (analysis/relevance.py) always rides the
+# instrumentation plan; this process-wide switch decides whether the
+# compiler *acts* on it (widened fusion + batched counter flushes) or
+# sticks to the purely syntactic chains above.  Both modes are
+# byte-identical by contract; the switch exists so CI can diff them.
+
+_RELEVANCE_ENABLED = True
+
+
+def set_relevance_enabled(enabled: bool) -> None:
+    """Toggle relevance-guided fusion for subsequently built machines."""
+    global _RELEVANCE_ENABLED
+    _RELEVANCE_ENABLED = bool(enabled)
+
+
+def relevance_enabled() -> bool:
+    return _RELEVANCE_ENABLED
+
 
 def _make_slow(first: Step, rest: Tuple[Step, ...], final: Step) -> Step:
     """Exact replay of a run through its base steps.
@@ -150,7 +190,7 @@ class CompiledModule:
     entry for a recycled object id.
     """
 
-    __slots__ = ("functions", "module", "plan", "fuse")
+    __slots__ = ("functions", "module", "plan", "fuse", "relevance")
 
     def __init__(
         self,
@@ -158,11 +198,13 @@ class CompiledModule:
         module: IRModule,
         plan: Optional[ModulePlan],
         fuse: bool,
+        relevance: bool = False,
     ) -> None:
         self.functions = functions
         self.module = module
         self.plan = plan
         self.fuse = fuse
+        self.relevance = relevance
 
     def steps_for(self, name: str) -> List[Step]:
         return self.functions[name].steps
@@ -183,12 +225,16 @@ class _FunctionCompiler:
         plan: Optional[FunctionPlan],
         global_names: frozenset,
         fuse: bool,
+        relevance=None,
     ) -> None:
         self.module = module
         self.function = function
         self.plan = plan
         self.global_names = global_names
         self.fuse = fuse
+        # FunctionRelevance (analysis/relevance.py) when relevance-
+        # guided widening is on for this compilation, else None.
+        self.relevance = relevance
 
     def compile(self) -> CompiledFunction:
         instrs = self.function.instrs
@@ -204,11 +250,22 @@ class _FunctionCompiler:
             # at that index must execute exactly the instructions from
             # there.  Runs reference *base* steps for their slow path and
             # terminator, never other runs.
-            for index in range(len(instrs)):
-                run = self._compile_run(index, base)
-                if run is not None:
-                    steps[index] = run
+            if self.relevance is not None:
+                # Relevance-guided widening emits larger (branch-
+                # crossing, tail-duplicated) regions, so compile each
+                # lazily: a self-replacing stub generates the region
+                # the first time the driver actually lands on it.
+                for index in sorted(self.relevance.fusible):
+                    if index >= len(instrs):
+                        continue
+                    steps[index] = self._region_stub(index, base, steps)
                     fused.append(index)
+            else:
+                for index in range(len(instrs)):
+                    run = self._compile_run(index, base)
+                    if run is not None:
+                        steps[index] = run
+                        fused.append(index)
         return CompiledFunction(self.function.name, steps, tuple(fused))
 
     # -- name access -------------------------------------------------------------
@@ -874,6 +931,25 @@ class _FunctionCompiler:
                 and self._is_local(instr.left)
                 and self._is_local(instr.right)
             ):
+                # Exact inline fast paths: ``type(x) is int`` excludes
+                # bool, and for two plain ints (or two strs under
+                # ==/!=) the Python operator IS the MiniC semantics —
+                # every other shape falls back to the shared handler.
+                fast = _INT_FAST_BINOPS.get(instr.op)
+                if fast is not None:
+                    xl, xr = f"xl{pos}", f"xr{pos}"
+                    guard = f"type({xl}) is int and type({xr}) is int"
+                    if instr.op in ("==", "!="):
+                        guard = (
+                            f"({guard}) or "
+                            f"(type({xl}) is str and type({xr}) is str)"
+                        )
+                    return [
+                        f"{xl} = fl.get({instr.left!r})",
+                        f"{xr} = fl.get({instr.right!r})",
+                        f"fl[{instr.dst!r}] = ({xl} {fast} {xr}) "
+                        f"if {guard} else b{pos}({xl}, {xr})",
+                    ], False
                 return [
                     f"fl[{instr.dst!r}] = b{pos}"
                     f"(fl.get({instr.left!r}), fl.get({instr.right!r}))"
@@ -888,6 +964,19 @@ class _FunctionCompiler:
         if kind is ins.Unop:
             env[f"u{pos}"] = UNOP_FUNCS[instr.op]
             if self._is_local(instr.dst) and self._is_local(instr.operand):
+                xo = f"xo{pos}"
+                if instr.op == "-":
+                    return [
+                        f"{xo} = fl.get({instr.operand!r})",
+                        f"fl[{instr.dst!r}] = -{xo} "
+                        f"if type({xo}) is int else u{pos}({xo})",
+                    ], False
+                if instr.op == "not":
+                    return [
+                        f"{xo} = fl.get({instr.operand!r})",
+                        f"fl[{instr.dst!r}] = (not {xo}) "
+                        f"if {xo} is True or {xo} is False else u{pos}({xo})",
+                    ], False
                 return [
                     f"fl[{instr.dst!r}] = u{pos}(fl.get({instr.operand!r}))"
                 ], False
@@ -899,9 +988,54 @@ class _FunctionCompiler:
         if kind is ins.CallBuiltin:
             env[f"h{pos}"] = BUILTINS[instr.name]
             args = ", ".join(f"fl.get({arg!r})" for arg in instr.args)
+            xa = f"xa{pos}"
+            if instr.name == "len" and len(instr.args) == 1:
+                return [
+                    f"{xa} = fl.get({instr.args[0]!r})",
+                    f"fl[{instr.dst!r}] = len({xa}) "
+                    f"if type({xa}) is str or type({xa}) is list "
+                    f"else h{pos}([{xa}])",
+                ], False
+            if instr.name == "push" and len(instr.args) == 2:
+                return [
+                    f"{xa} = fl.get({instr.args[0]!r})",
+                    f"if type({xa}) is list:",
+                    f"    {xa}.append(fl.get({instr.args[1]!r}))",
+                    f"    fl[{instr.dst!r}] = {xa}",
+                    "else:",
+                    f"    fl[{instr.dst!r}] = "
+                    f"h{pos}([{xa}, fl.get({instr.args[1]!r})])",
+                ], False
+            if instr.name == "pop" and len(instr.args) == 1:
+                return [
+                    f"{xa} = fl.get({instr.args[0]!r})",
+                    f"fl[{instr.dst!r}] = {xa}.pop() "
+                    f"if type({xa}) is list and {xa} else h{pos}([{xa}])",
+                ], False
             return [f"fl[{instr.dst!r}] = h{pos}([{args}])"], False
         if kind is ins.LoadIndex:
             env[f"i{pos}"] = instr
+            if (
+                self._is_local(instr.dst)
+                and self._is_local(instr.base)
+                and self._is_local(instr.index)
+            ):
+                # In-bounds list/str indexing by a plain int is exactly
+                # Python's; anything else (bool index, out of range,
+                # non-indexable) goes through the helper, which syncs
+                # the error surface via frame.index first.
+                xb, xi = f"xb{pos}", f"xi{pos}"
+                return [
+                    f"{xb} = fl.get({instr.base!r})",
+                    f"{xi} = fl.get({instr.index!r})",
+                    f"if (type({xb}) is list or type({xb}) is str) "
+                    f"and type({xi}) is int and 0 <= {xi} < len({xb}):",
+                    f"    fl[{instr.dst!r}] = {xb}[{xi}]",
+                    "else:",
+                    f"    frame.index = {index}",
+                    f"    fl[{instr.dst!r}] = "
+                    f"machine._load_index(thread, frame, i{pos})",
+                ], False
             if self._is_local(instr.dst):
                 line = (
                     f"fl[{instr.dst!r}] = "
@@ -916,7 +1050,242 @@ class _FunctionCompiler:
             return [line], True
         if kind is ins.StoreIndex:
             env[f"i{pos}"] = instr
+            if (
+                self._is_local(instr.base)
+                and self._is_local(instr.index)
+                and self._is_local(instr.src)
+            ):
+                xb, xi = f"xb{pos}", f"xi{pos}"
+                return [
+                    f"{xb} = fl.get({instr.base!r})",
+                    f"{xi} = fl.get({instr.index!r})",
+                    f"if type({xb}) is list "
+                    f"and type({xi}) is int and 0 <= {xi} < len({xb}):",
+                    f"    {xb}[{xi}] = fl.get({instr.src!r})",
+                    "else:",
+                    f"    frame.index = {index}",
+                    f"    machine._store_index(thread, frame, i{pos})",
+                ], False
             return [f"machine._store_index(thread, frame, i{pos})"], True
+        if kind is ins.NewList:
+            parts = []
+            for item_pos, item in enumerate(instr.items):
+                if self._is_local(item):
+                    parts.append(f"fl.get({item!r})")
+                else:
+                    env[f"r{pos}_{item_pos}"] = self._reader(item)
+                    parts.append(f"r{pos}_{item_pos}(machine, frame)")
+            items = ", ".join(parts)
+            if self._is_local(instr.dst):
+                return [f"fl[{instr.dst!r}] = [{items}]"], False
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [f"w{pos}(machine, frame, [{items}])"], False
+        raise AssertionError(f"unexpected chain member {instr!r}")
+
+    def _emit_member_cached(
+        self,
+        pos: int,
+        index: int,
+        instr: ins.Instr,
+        env: Dict[str, object],
+        bindings: Dict[str, str],
+    ) -> Tuple[List[str], bool]:
+        """Region-mode member emission with path-local register caching.
+
+        Every emitted region path is straight-line (tail duplication,
+        no merges), so a local read can be cached in a Python temp and
+        reused by later members on the same path: *bindings* maps a
+        local name to the temp currently holding its value.  Stores
+        always write ``fl`` through immediately (a region can spill or
+        raise at any member), so re-entering the region top — where the
+        emitted code reloads every temp it uses — is always safe.
+        """
+        lines: List[str] = []
+
+        def rd(name: str) -> str:
+            temp = bindings.get(name)
+            if temp is None:
+                temp = f"g{pos}_{len(lines)}"
+                lines.append(f"{temp} = fl.get({name!r})")
+                bindings[name] = temp
+            return temp
+
+        kind = type(instr)
+        if kind is ins.Nop or kind is ins.Jump:
+            return [], False
+        if kind is ins.Const:
+            env[f"v{pos}"] = instr.value
+            if self._is_local(instr.dst):
+                # env names are never reassigned: the constant itself
+                # doubles as the binding.
+                bindings[instr.dst] = f"v{pos}"
+                return [f"fl[{instr.dst!r}] = v{pos}"], False
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [f"w{pos}(machine, frame, v{pos})"], False
+        if kind is ins.Move:
+            if self._is_local(instr.dst) and self._is_local(instr.src):
+                src = rd(instr.src)
+                lines.append(f"fl[{instr.dst!r}] = {src}")
+                bindings[instr.dst] = src
+                return lines, False
+            env[f"r{pos}"] = self._reader(instr.src)
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [f"w{pos}(machine, frame, r{pos}(machine, frame))"], False
+        xv = f"xv{pos}"
+        if kind is ins.Binop:
+            env[f"b{pos}"] = BINOP_FUNCS[instr.op]
+            if (
+                self._is_local(instr.dst)
+                and self._is_local(instr.left)
+                and self._is_local(instr.right)
+            ):
+                xl, xr = rd(instr.left), rd(instr.right)
+                fast = _INT_FAST_BINOPS.get(instr.op)
+                if fast is not None:
+                    guard = f"type({xl}) is int and type({xr}) is int"
+                    if instr.op in ("==", "!="):
+                        guard = (
+                            f"({guard}) or "
+                            f"(type({xl}) is str and type({xr}) is str)"
+                        )
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := ({xl} {fast} {xr}) "
+                        f"if {guard} else b{pos}({xl}, {xr}))"
+                    )
+                else:
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := b{pos}({xl}, {xr}))"
+                    )
+                bindings[instr.dst] = xv
+                return lines, False
+            env[f"rl{pos}"] = self._reader(instr.left)
+            env[f"rr{pos}"] = self._reader(instr.right)
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [
+                f"w{pos}(machine, frame, b{pos}"
+                f"(rl{pos}(machine, frame), rr{pos}(machine, frame)))"
+            ], False
+        if kind is ins.Unop:
+            env[f"u{pos}"] = UNOP_FUNCS[instr.op]
+            if self._is_local(instr.dst) and self._is_local(instr.operand):
+                xo = rd(instr.operand)
+                if instr.op == "-":
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := -{xo} "
+                        f"if type({xo}) is int else u{pos}({xo}))"
+                    )
+                elif instr.op == "not":
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := (not {xo}) "
+                        f"if {xo} is True or {xo} is False else u{pos}({xo}))"
+                    )
+                else:
+                    lines.append(f"fl[{instr.dst!r}] = ({xv} := u{pos}({xo}))")
+                bindings[instr.dst] = xv
+                return lines, False
+            env[f"r{pos}"] = self._reader(instr.operand)
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [
+                f"w{pos}(machine, frame, u{pos}(r{pos}(machine, frame)))"
+            ], False
+        if kind is ins.CallBuiltin:
+            env[f"h{pos}"] = BUILTINS[instr.name]
+            if instr.name == "len" and len(instr.args) == 1:
+                xa = rd(instr.args[0])
+                lines.append(
+                    f"fl[{instr.dst!r}] = ({xv} := len({xa}) "
+                    f"if type({xa}) is str or type({xa}) is list "
+                    f"else h{pos}([{xa}]))"
+                )
+                bindings[instr.dst] = xv
+                return lines, False
+            if instr.name == "push" and len(instr.args) == 2:
+                xa, val = rd(instr.args[0]), rd(instr.args[1])
+                lines.extend([
+                    f"if type({xa}) is list:",
+                    f"    {xa}.append({val})",
+                    f"    {xv} = {xa}",
+                    "else:",
+                    f"    {xv} = h{pos}([{xa}, {val}])",
+                    f"fl[{instr.dst!r}] = {xv}",
+                ])
+                bindings[instr.dst] = xv
+                return lines, False
+            if instr.name == "pop" and len(instr.args) == 1:
+                xa = rd(instr.args[0])
+                lines.append(
+                    f"fl[{instr.dst!r}] = ({xv} := {xa}.pop() "
+                    f"if type({xa}) is list and {xa} else h{pos}([{xa}]))"
+                )
+                bindings[instr.dst] = xv
+                return lines, False
+            args = ", ".join(rd(arg) for arg in instr.args)
+            lines.append(f"fl[{instr.dst!r}] = ({xv} := h{pos}([{args}]))")
+            bindings[instr.dst] = xv
+            return lines, False
+        if kind is ins.LoadIndex:
+            env[f"i{pos}"] = instr
+            if (
+                self._is_local(instr.dst)
+                and self._is_local(instr.base)
+                and self._is_local(instr.index)
+            ):
+                xb, xi = rd(instr.base), rd(instr.index)
+                lines.extend([
+                    f"if (type({xb}) is list or type({xb}) is str) "
+                    f"and type({xi}) is int and 0 <= {xi} < len({xb}):",
+                    f"    fl[{instr.dst!r}] = ({xv} := {xb}[{xi}])",
+                    "else:",
+                    f"    frame.index = {index}",
+                    f"    fl[{instr.dst!r}] = ({xv} := "
+                    f"machine._load_index(thread, frame, i{pos}))",
+                ])
+                bindings[instr.dst] = xv
+                return lines, False
+            if self._is_local(instr.dst):
+                bindings[instr.dst] = xv
+                return [
+                    f"fl[{instr.dst!r}] = ({xv} := "
+                    f"machine._load_index(thread, frame, i{pos}))"
+                ], True
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [
+                f"w{pos}(machine, frame, "
+                f"machine._load_index(thread, frame, i{pos}))"
+            ], True
+        if kind is ins.StoreIndex:
+            env[f"i{pos}"] = instr
+            if (
+                self._is_local(instr.base)
+                and self._is_local(instr.index)
+                and self._is_local(instr.src)
+            ):
+                xb, xi, src = rd(instr.base), rd(instr.index), rd(instr.src)
+                lines.extend([
+                    f"if type({xb}) is list "
+                    f"and type({xi}) is int and 0 <= {xi} < len({xb}):",
+                    f"    {xb}[{xi}] = {src}",
+                    "else:",
+                    f"    frame.index = {index}",
+                    f"    machine._store_index(thread, frame, i{pos})",
+                ])
+                return lines, False
+            return [f"machine._store_index(thread, frame, i{pos})"], True
+        if kind is ins.NewList:
+            parts = []
+            for item_pos, item in enumerate(instr.items):
+                if self._is_local(item):
+                    parts.append(rd(item))
+                else:
+                    env[f"r{pos}_{item_pos}"] = self._reader(item)
+                    parts.append(f"r{pos}_{item_pos}(machine, frame)")
+            items = ", ".join(parts)
+            if self._is_local(instr.dst):
+                lines.append(f"fl[{instr.dst!r}] = ({xv} := [{items}])")
+                bindings[instr.dst] = xv
+                return lines, False
+            env[f"w{pos}"] = self._writer(instr.dst)
+            return [f"w{pos}(machine, frame, [{items}])"], False
         raise AssertionError(f"unexpected chain member {instr!r}")
 
     def _emit_run(
@@ -1033,10 +1402,13 @@ class _FunctionCompiler:
             emit(depth, "clock += icost")
             env["truthy"] = truthy
             if self._is_local(term.cond):
-                cond = f"truthy(fl.get({term.cond!r}))"
+                emit(depth, f"xc = fl.get({term.cond!r})")
             else:
                 env["rc"] = self._reader(term.cond)
-                cond = "truthy(rc(machine, frame))"
+                emit(depth, "xc = rc(machine, frame)")
+            # Comparison results are Python bools: test those by
+            # identity, call truthy() only for other types.
+            cond = "xc is True or (xc is not False and truthy(xc))"
             def emit_branch(target: int, actions) -> None:
                 emit_edge(depth + 1, actions)
                 if loops_back and target == head:
@@ -1065,19 +1437,279 @@ class _FunctionCompiler:
         exec(compile(source, "<ldx-run>", "exec"), namespace)
         return namespace["run"]
 
+    # -- relevance-guided widened regions --------------------------------------
+    #
+    # With the sink-relevance classification in hand, fusion no longer
+    # stops at the first branch: a region walk follows the CFG through
+    # every fusible instruction, inlining interior CJumps as generated
+    # if/else with tail duplication, turning edges back to the region
+    # head into `while True` re-entries, and spilling to the driver at
+    # revisits of interior nodes (inner loops get their own regions).
+    # Counter compensation along each emitted path is a compile-time
+    # constant, so it flushes as ONE literal add at each exit instead
+    # of one add per edge — the "single precomputed aggregate add" of
+    # the paper's Algorithm 2.  Virtual-clock charges stay one float
+    # add per original action, in sequence: float addition is not
+    # associative and the contract is byte identity.
+
+    def _region_stub(self, index: int, base: List[Step], steps: List[Step]) -> Step:
+        """A self-replacing step: compile the region at *index* on
+        first execution, install it, and run it."""
+
+        def stub(machine, thread, frame, _self=self, _index=index,
+                 _base=base, _steps=steps):
+            run = _self._compile_region(_index, _base)
+            if run is None:
+                run = _base[_index]
+            _steps[_index] = run
+            return run(machine, thread, frame)
+
+        return stub
+
+    def _region_successor(self, index: int, instr: ins.Instr) -> Optional[int]:
+        if type(instr) is ins.NewList:
+            succ = index + 1
+            actions = self._edge_actions(index, succ)
+            if actions and fold_counter_adds(actions) is None:
+                return None
+            return succ
+        return self._member_successor(index, instr)
+
+    def _region_edges_ok(self, index: int, instr: ins.CJump) -> bool:
+        for target in {instr.true_target, instr.false_target}:
+            actions = self._edge_actions(index, target)
+            if actions and fold_counter_adds(actions) is None:
+                return False
+        return True
+
+    def _compile_region(self, start: int, base: List[Step]) -> Optional[Step]:
+        fusible = self.relevance.fusible
+        if start not in fusible:
+            return None
+        instrs = self.function.instrs
+        first_instr = instrs[start]
+        if type(first_instr) is ins.CJump:
+            if not self._region_edges_ok(start, first_instr):
+                return self._compile_run(start, base)
+        elif self._region_successor(start, first_instr) is None:
+            return self._compile_run(start, base)
+
+        env: Dict[str, object] = {"s0": base[start]}
+        body: List[Tuple[int, str]] = []
+        state = {"emitted": 0, "loop": False, "ec": False, "cs": False}
+
+        def emit(depth: int, text: str) -> None:
+            body.append((depth, text))
+
+        def emit_flush(depth: int, cum: Tuple[int, int]) -> None:
+            # The path's whole counter compensation as one literal add.
+            delta, count = cum
+            if count:
+                if delta:
+                    state["cs"] = True
+                    emit(depth, f"cs[-1] += {delta}")
+                emit(depth, f"st.edge_actions += {count}")
+
+        def emit_spill(depth: int, target: int, cum: Tuple[int, int]) -> None:
+            emit_flush(depth, cum)
+            emit(depth, "st.instructions = n")
+            emit(depth, "thread.clock = clock")
+            emit(depth, f"frame.index = {target}")
+            emit(depth, "return None")
+
+        def emit_term(depth: int, target: int, cum: Tuple[int, int]) -> None:
+            emit(depth, "n += 1")
+            emit(depth, "clock += icost")
+            emit_flush(depth, cum)
+            emit(depth, "st.instructions = n")
+            emit(depth, "thread.clock = clock")
+            emit(depth, f"frame.index = {target}")
+            env[f"t{target}"] = base[target]
+            emit(depth, f"return t{target}(machine, thread, frame)")
+
+        def emit_reenter(depth: int, cum: Tuple[int, int]) -> None:
+            emit_flush(depth, cum)
+            state["loop"] = True
+            # The next iteration may overflow the budget: hand back to
+            # the driver, whose prologue + this region's entry check
+            # single-step to the exact overflow state.
+            emit(depth, f"if n + {REGION_BOUND} > limit:")
+            emit(depth + 1, "st.instructions = n")
+            emit(depth + 1, "thread.clock = clock")
+            emit(depth + 1, f"frame.index = {start}")
+            emit(depth + 1, "return None")
+            emit(depth, "n += 1")
+            emit(depth, "clock += icost")
+            emit(depth, "continue")
+
+        def charge_edge(
+            depth: int, src: int, dst: int, cum: Tuple[int, int]
+        ) -> Tuple[int, int]:
+            actions = self._edge_actions(src, dst)
+            if not actions:
+                return cum
+            delta, count = fold_counter_adds(actions)
+            state["ec"] = True
+            for _ in range(count):
+                emit(depth, "clock += ec")
+            return (cum[0] + delta, cum[1] + count)
+
+        def walk(
+            index: int,
+            depth: int,
+            cum: Tuple[int, int],
+            visited: frozenset,
+            first: bool,
+            bindings: Dict[str, str],
+        ) -> None:
+            path_len = len(visited)
+            while True:
+                if not first:
+                    if index == start:
+                        emit_reenter(depth, cum)
+                        return
+                    if index not in fusible:
+                        emit_term(depth, index, cum)
+                        return
+                    if (
+                        index in visited
+                        or path_len >= REGION_PATH_CAP
+                        or state["emitted"] >= REGION_CAP
+                    ):
+                        emit_spill(depth, index, cum)
+                        return
+                instr = instrs[index]
+                kind = type(instr)
+                if kind is ins.CJump:
+                    if not self._region_edges_ok(index, instr):
+                        emit_term(depth, index, cum)
+                        return
+                    succ = None
+                else:
+                    succ = self._region_successor(index, instr)
+                    if succ is None:
+                        emit_term(depth, index, cum)
+                        return
+                state["emitted"] += 1
+                visited = visited | {index}
+                path_len += 1
+                if not first:
+                    emit(depth, "n += 1")
+                    emit(depth, "clock += icost")
+                first = False
+                if kind is ins.CJump:
+                    pos = state["emitted"]
+                    env["truthy"] = truthy
+                    if self._is_local(instr.cond):
+                        xc = bindings.get(instr.cond)
+                        if xc is None:
+                            xc = f"xc{pos}"
+                            emit(depth, f"{xc} = fl.get({instr.cond!r})")
+                            bindings[instr.cond] = xc
+                    else:
+                        xc = f"xc{pos}"
+                        env[f"rc{pos}"] = self._reader(instr.cond)
+                        emit(depth, f"{xc} = rc{pos}(machine, frame)")
+                    # Comparison results are Python bools: test those
+                    # by identity, call truthy() only for other types.
+                    cond = (
+                        f"{xc} is True or "
+                        f"({xc} is not False and truthy({xc}))"
+                    )
+                    on_true, on_false = instr.true_target, instr.false_target
+                    if on_true == on_false:
+                        # Degenerate branch: the condition still
+                        # evaluates (its type errors must surface).
+                        emit(depth, f"truthy({xc})")
+                        cum = charge_edge(depth, index, on_true, cum)
+                        index = on_true
+                        continue
+                    emit(depth, f"if {cond}:")
+                    walk(
+                        on_true, depth + 1,
+                        charge_edge(depth + 1, index, on_true, cum),
+                        visited, False, dict(bindings),
+                    )
+                    emit(depth, "else:")
+                    walk(
+                        on_false, depth + 1,
+                        charge_edge(depth + 1, index, on_false, cum),
+                        visited, False, dict(bindings),
+                    )
+                    return
+                member_lines, needs_index = self._emit_member_cached(
+                    state["emitted"], index, instr, env, bindings
+                )
+                if needs_index:
+                    emit(depth, f"frame.index = {index}")
+                for text in member_lines:
+                    emit(depth, text)
+                cum = charge_edge(depth, index, succ, cum)
+                index = succ
+
+        walk(start, 0, (0, 0), frozenset(), True, {})
+
+        prologue = [
+            "st = machine.stats",
+            "n = st.instructions",
+            "limit = machine.max_instructions",
+            # Conservative whole-region budget check; near the limit,
+            # the single base step keeps the overflow state exact.
+            f"if n + {REGION_BOUND} > limit:",
+            "    return s0(machine, thread, frame)",
+            "icost = machine.costs.instruction",
+            "clock = thread.clock",
+            "fl = frame.locals",
+        ]
+        if state["ec"]:
+            prologue.append("ec = machine.costs.edge_action")
+        if state["cs"]:
+            prologue.append("cs = thread.counter_stack")
+        lines = ["    " + text for text in prologue]
+        indent = 1
+        if state["loop"]:
+            lines.append("    while True:")
+            indent = 2
+        for depth, text in body:
+            lines.append("    " * (indent + depth) + text)
+        params = ", ".join(f"{name}={name}" for name in env)
+        source = (
+            f"def run(machine, thread, frame, {params}):\n"
+            + "".join(f"{line}\n" for line in lines)
+        )
+        namespace = dict(env)
+        exec(compile(source, "<ldx-region>", "exec"), namespace)
+        return namespace["run"]
+
 
 def compile_module(
-    module: IRModule, plan: Optional[ModulePlan] = None, fuse: bool = True
+    module: IRModule,
+    plan: Optional[ModulePlan] = None,
+    fuse: bool = True,
+    relevance: Optional[bool] = None,
 ) -> CompiledModule:
-    """Compile every function of *module* under *plan*."""
+    """Compile every function of *module* under *plan*.
+
+    *relevance* selects relevance-guided widened fusion; None follows
+    the process-wide :func:`relevance_enabled` switch.  It only takes
+    effect when the plan actually carries a classification.
+    """
+    if relevance is None:
+        relevance = _RELEVANCE_ENABLED
+    module_relevance = getattr(plan, "relevance", None) if relevance else None
+    use_relevance = fuse and module_relevance is not None
     global_names = frozenset(module.global_values)
     functions: Dict[str, CompiledFunction] = {}
     for name, function in module.functions.items():
         function_plan = plan.functions.get(name) if plan is not None else None
+        function_relevance = (
+            module_relevance.functions.get(name) if use_relevance else None
+        )
         functions[name] = _FunctionCompiler(
-            module, function, function_plan, global_names, fuse
+            module, function, function_plan, global_names, fuse,
+            function_relevance,
         ).compile()
-    return CompiledModule(functions, module, plan, fuse)
+    return CompiledModule(functions, module, plan, fuse, use_relevance)
 
 
 # -- in-process compilation memo --------------------------------------------------
@@ -1089,23 +1721,28 @@ def compile_module(
 # Keys are object identities: the CompiledModule pins the plan alive,
 # so a recycled id can never alias a stale entry.
 
-_MEMO: "weakref.WeakKeyDictionary[IRModule, Dict[Tuple[int, bool], CompiledModule]]" = (
+_MEMO: "weakref.WeakKeyDictionary[IRModule, Dict[Tuple[int, bool, bool], CompiledModule]]" = (
     weakref.WeakKeyDictionary()
 )
 
 
 def compiled_for_module(
-    module: IRModule, plan: Optional[ModulePlan] = None, fuse: bool = True
+    module: IRModule,
+    plan: Optional[ModulePlan] = None,
+    fuse: bool = True,
+    relevance: Optional[bool] = None,
 ) -> CompiledModule:
     """Compile (or reuse the memoized compilation of) *module*."""
+    if relevance is None:
+        relevance = _RELEVANCE_ENABLED
     per_module = _MEMO.get(module)
     if per_module is None:
         per_module = {}
         _MEMO[module] = per_module
-    key = (id(plan), fuse)
+    key = (id(plan), fuse, relevance)
     compiled = per_module.get(key)
     if compiled is None:
-        compiled = compile_module(module, plan, fuse)
+        compiled = compile_module(module, plan, fuse, relevance)
         per_module[key] = compiled
     return compiled
 

@@ -14,7 +14,7 @@ every instruction.  Nothing in here knows about dual execution.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import BudgetExceededError, FaultInjected, InterpreterError
 from repro.instrument.plan import (
@@ -117,11 +117,16 @@ class MachineStats:
         # and branch-free).
         self.opcode_counts: Optional[Dict[str, int]] = None
         self.opcode_time: Optional[Dict[str, float]] = None
+        # Executed instructions the sink-relevance pass classified
+        # elidable, per opcode (needs a plan carrying a relevance
+        # classification; stays all-zero otherwise).
+        self.opcode_elided: Optional[Dict[str, int]] = None
 
     def enable_profiling(self) -> None:
         if self.opcode_counts is None:
             self.opcode_counts = defaultdict(int)
             self.opcode_time = defaultdict(float)
+            self.opcode_elided = defaultdict(int)
 
     @property
     def profiled(self) -> bool:
@@ -190,8 +195,18 @@ class Machine:
         # runs unfused code so each step is exactly one instruction.
         self.backend = resolve_backend(backend)
         self._profile = profile
+        # Per-function elidable index sets for profile attribution
+        # (which executed instructions the relevance pass would let a
+        # backend skip counter work for).
+        self._elidable: Optional[Dict[str, FrozenSet[int]]] = None
         if profile:
             self.stats.enable_profiling()
+            relevance = getattr(plan, "relevance", None)
+            if relevance is not None:
+                self._elidable = {
+                    fn_name: fn_rel.elidable
+                    for fn_name, fn_rel in relevance.functions.items()
+                }
         self._code: Optional[CompiledModule] = (
             compiled_for_module(module, plan, fuse=not profile)
             if self.backend == BACKEND_THREADED
@@ -617,6 +632,8 @@ class Machine:
         costs = self.costs
         counts = self.stats.opcode_counts
         times = self.stats.opcode_time
+        elided = self.stats.opcode_elided
+        elidable = self._elidable
         while thread.status == RUNNABLE:
             if thread.pending_transition is not None:
                 event = self._resume_transition(thread)
@@ -624,7 +641,8 @@ class Machine:
                     return event
                 continue
             frame = thread.frames[-1]
-            instr = frame.function.instrs[frame.index]
+            index = frame.index
+            instr = frame.function.instrs[index]
             opname = instr.opname
             before = thread.clock
             self.stats.instructions += 1
@@ -636,6 +654,10 @@ class Machine:
             event = self._execute(thread, frame, instr)
             counts[opname] += 1
             times[opname] += thread.clock - before
+            if elidable is not None:
+                fn_elidable = elidable.get(frame.function.name)
+                if fn_elidable is not None and index in fn_elidable:
+                    elided[opname] += 1
             if event is not None:
                 return event
         return None
@@ -646,6 +668,8 @@ class Machine:
         stats = self.stats
         counts = stats.opcode_counts
         times = stats.opcode_time
+        elided = stats.opcode_elided
+        elidable = self._elidable
         limit = self.max_instructions
         instruction_cost = self.costs.instruction
         frames = thread.frames
@@ -656,15 +680,20 @@ class Machine:
                     return event
                 continue
             frame = frames[-1]
-            opname = frame.function.instrs[frame.index].opname
+            index = frame.index
+            opname = frame.function.instrs[index].opname
             before = thread.clock
             stats.instructions += 1
             if stats.instructions > limit:
                 self._budget_exceeded()
             thread.clock += instruction_cost
-            event = frame.code[frame.index](self, thread, frame)
+            event = frame.code[index](self, thread, frame)
             counts[opname] += 1
             times[opname] += thread.clock - before
+            if elidable is not None:
+                fn_elidable = elidable.get(frame.function.name)
+                if fn_elidable is not None and index in fn_elidable:
+                    elided[opname] += 1
             if event is not None:
                 return event
         return None

@@ -18,18 +18,25 @@ from typing import Dict, List, Optional, Tuple
 from repro.interp.machine import MachineStats
 
 
-def profile_rows(stats: MachineStats) -> List[Tuple[str, int, float]]:
-    """(opcode, count, virtual_time) rows, busiest first.
+def profile_rows(stats: MachineStats) -> List[Tuple[str, int, float, int]]:
+    """(opcode, count, virtual_time, elided) rows, busiest first.
 
     Sorted by count, then virtual time, then name, so the report is
-    deterministic even for opcodes that tie.
+    deterministic even for opcodes that tie.  ``elided`` counts the
+    executed instructions of that opcode the sink-relevance pass
+    classified outcome-irrelevant (zero without a relevance-carrying
+    plan).
     """
     if not stats.profiled:
         return []
     counts = stats.opcode_counts
     times = stats.opcode_time
+    elided = stats.opcode_elided or {}
     return sorted(
-        ((op, counts[op], times.get(op, 0.0)) for op in counts),
+        (
+            (op, counts[op], times.get(op, 0.0), elided.get(op, 0))
+            for op in counts
+        ),
         key=lambda row: (-row[1], -row[2], row[0]),
     )
 
@@ -41,17 +48,19 @@ def render_profile(stats: MachineStats, title: str, top: int = 10) -> str:
     if not rows:
         lines.append("  (no profile recorded — run with profiling enabled)")
         return "\n".join(lines)
-    total_count = sum(count for _op, count, _t in rows)
-    total_time = sum(time for _op, _count, time in rows)
+    total_count = sum(count for _op, count, _t, _e in rows)
+    total_time = sum(time for _op, _count, time, _e in rows)
     lines.append(
         f"  {'opcode':<12} {'count':>10} {'%':>6}   {'vtime':>12} {'%':>6}"
+        f"   {'elided':>7}"
     )
-    for op, count, time in rows[:top]:
+    for op, count, time, elided in rows[:top]:
         count_share = 100.0 * count / total_count if total_count else 0.0
         time_share = 100.0 * time / total_time if total_time else 0.0
+        elided_share = 100.0 * elided / count if count else 0.0
         lines.append(
             f"  {op:<12} {count:>10} {count_share:>5.1f}%   "
-            f"{time:>12.2f} {time_share:>5.1f}%"
+            f"{time:>12.2f} {time_share:>5.1f}%   {elided_share:>6.1f}%"
         )
     hidden = len(rows) - min(top, len(rows))
     if hidden > 0:
@@ -67,8 +76,8 @@ def profile_payload(stats: MachineStats) -> Dict[str, object]:
         "syscalls": stats.syscalls,
         "barriers": stats.barriers,
         "opcodes": {
-            op: {"count": count, "vtime": time}
-            for op, count, time in profile_rows(stats)
+            op: {"count": count, "vtime": time, "elided": elided}
+            for op, count, time, elided in profile_rows(stats)
         },
     }
 
@@ -86,7 +95,7 @@ def profiles_payload(
     backend: Optional[str] = None,
 ) -> Dict[str, object]:
     payload: Dict[str, object] = {
-        "schema": "ldx-profile-v1",
+        "schema": "ldx-profile-v2",
         "executions": {title: profile_payload(stats) for title, stats in sections},
     }
     if workload is not None:

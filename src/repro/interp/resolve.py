@@ -17,7 +17,6 @@ from repro.vos.syscalls import THREAD_SYSCALLS
 
 def resolve_syscall_locally(machine: Machine, event: SyscallEvent) -> None:
     """Execute one syscall on the machine's own kernel/thread services."""
-    thread = machine.threads[event.thread_id]
     if event.name in THREAD_SYSCALLS:
         machine.charge(event.thread_id, machine.costs.thread_op + machine.jitter_units())
         _resolve_thread_syscall(machine, event)

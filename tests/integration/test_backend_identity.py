@@ -122,7 +122,7 @@ def test_cli_profile_command_writes_json(tmp_path, capsys):
     assert "native (instrumented)" in out
     assert "master" in out and "slave" in out
     payload = json.loads(artifact.read_text())
-    assert payload["schema"] == "ldx-profile-v1"
+    assert payload["schema"] == "ldx-profile-v2"
     assert payload["workload"] == "bzip2"
     assert set(payload["executions"]) == {
         "native (instrumented)", "master", "slave"

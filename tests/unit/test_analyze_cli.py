@@ -96,7 +96,7 @@ def test_analyze_workload_and_json(tmp_path, capsys):
     out_path = tmp_path / "analysis.json"
     assert main(["analyze", "--workload", "gzip", "--json", str(out_path)]) == 0
     payload = json.loads(out_path.read_text())
-    assert payload["schema"] == "ldx-analyze-v1"
+    assert payload["schema"] == "ldx-analyze-v2"
     (entry,) = payload["programs"]
     assert entry["name"] == "gzip"
     assert entry["sink_sites"] >= 1

@@ -173,3 +173,50 @@ def test_must_problem_reports_unreachable_as_none():
             assert result.before(index) == frozenset({"start"})
         else:
             assert result.before(index) is None
+
+
+def test_unused_write_warns_on_overwritten_store():
+    from repro.analysis.lint import lint_module
+
+    module = compile_source(
+        """
+        fn main() {
+          var x = 1 + 1;
+          x = 2 + 2;
+          print(x);
+        }
+        """
+    )
+    diagnostics = lint_module(module)
+    unused = [d for d in diagnostics if d.code == "unused-write"]
+    assert len(unused) == 1
+    finding = unused[0]
+    assert finding.severity == "warn"
+    assert finding.function == "main"
+    assert finding.subject == "x"
+    assert finding.key() == "unused-write:main:x"
+    # The same store must not double-report as a dead-store note.
+    assert not any(
+        d.code == "dead-store" and d.subject == "x" for d in diagnostics
+    )
+
+
+def test_single_assignment_store_stays_a_note():
+    from repro.analysis.lint import lint_module
+
+    # `tmp` is assigned once and read nowhere live — the quieter
+    # dead-store/never-read family, not the warn-level unused-write.
+    module = compile_source(
+        """
+        fn main() {
+          var tmp = 3 * 3;
+          print(1);
+        }
+        """
+    )
+    diagnostics = lint_module(module)
+    assert not any(d.code == "unused-write" for d in diagnostics)
+    assert any(
+        d.code in ("dead-store", "never-read-var") and d.subject == "tmp"
+        for d in diagnostics
+    )
