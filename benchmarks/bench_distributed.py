@@ -1,0 +1,74 @@
+"""Benchmark: the multihost executor's scaling curve over localhost nodes.
+
+Runs the same chaos sweep serially and on 1, 2 and 4 localhost worker
+nodes, recording per-node-count wall clock and speedup versus serial
+(as ``extra_info`` in the pytest-benchmark JSON).  Byte-identity of
+every distributed report against the serial one is asserted
+unconditionally — the distribution contract is exactness first, speed
+second.
+
+No speedup floor is asserted: localhost nodes share this machine's
+cores with the parent, so the curve's value is trend tracking (via
+``repro report --trend``), not a pass/fail gate.  What IS asserted is
+that distribution overhead stays sane: one node must finish within
+OVERHEAD_CEILING x serial.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.eval.executors import MultiHostExecutor
+from repro.eval.robustness import render_chaos, run_chaos
+
+NAMES = ["gzip", "bzip2", "apache", "nginx"]
+SEEDS = 6
+RATE = 0.1
+NODE_COUNTS = (1, 2, 4)
+OVERHEAD_CEILING = 3.0  # one node vs serial: protocol + pickle + startup
+
+
+@pytest.mark.paper
+def test_multihost_scaling_curve(benchmark):
+    start = time.perf_counter()
+    serial_rows = run_chaos(names=NAMES, seeds=SEEDS, rate=RATE)
+    serial_seconds = time.perf_counter() - start
+    serial_text = render_chaos(serial_rows, SEEDS, RATE)
+
+    timings = {}
+
+    def sweep_on(count):
+        start = time.perf_counter()
+        with MultiHostExecutor(["localhost"] * count) as executor:
+            rows = run_chaos(
+                names=NAMES, seeds=SEEDS, rate=RATE, executor=executor
+            )
+        timings[count] = time.perf_counter() - start
+        assert render_chaos(rows, SEEDS, RATE) == serial_text
+
+    def full_curve():
+        for count in NODE_COUNTS:
+            sweep_on(count)
+
+    benchmark.pedantic(full_curve, rounds=1, iterations=1)
+
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    for count in NODE_COUNTS:
+        speedup = serial_seconds / timings[count] if timings[count] else 0.0
+        benchmark.extra_info[f"nodes{count}_seconds"] = round(timings[count], 3)
+        benchmark.extra_info[f"nodes{count}_speedup"] = round(speedup, 2)
+    print(
+        "\nserial %.2fs  " % serial_seconds
+        + "  ".join(
+            f"{count} node(s) {timings[count]:.2f}s "
+            f"({serial_seconds / timings[count]:.2f}x)"
+            for count in NODE_COUNTS
+        )
+    )
+
+    assert timings[1] <= serial_seconds * OVERHEAD_CEILING, (
+        f"one localhost node took {timings[1]:.2f}s vs {serial_seconds:.2f}s "
+        f"serial — distribution overhead above {OVERHEAD_CEILING}x"
+    )

@@ -41,6 +41,13 @@ and still renders a byte-identical report.  ``--no-store`` opts out.
 {switch,threaded}`` to pick the interpreter dispatch strategy (default
 ``threaded``).  Events, verdicts, clocks and reports are byte-identical
 across backends; only wall-clock speed differs.
+
+``eval``, ``chaos`` and ``serve-chaos`` accept ``--executor
+{serial,local,multihost}`` / ``--nodes HOST,HOST,...`` to pick *where*
+experiment cells run: in process, over a local process pool, or fanned
+out to worker nodes on other machines (``localhost`` entries spawn
+subprocess nodes; see docs/DISTRIBUTED.md).  Reports are byte-identical
+across executors, node counts, and node failures mid-sweep.
 """
 
 from __future__ import annotations
@@ -179,6 +186,40 @@ def _open_store(args):
     return ResultsStore(args.store_path)
 
 
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    from repro.eval.executors import EXECUTOR_NAMES
+
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help="cell execution backend (default: serial for --jobs 1, a "
+        "local process pool otherwise; multihost fans out to --nodes — "
+        "output is byte-identical across all of them)",
+    )
+    parser.add_argument(
+        "--nodes",
+        metavar="HOST,HOST*N,...",
+        default=None,
+        help="worker nodes for --executor multihost (implies it): "
+        "'localhost' spawns a subprocess node on this machine, anything "
+        "else is reached over ssh; HOST*N repeats a host N times",
+    )
+
+
+def _make_executor(args):
+    """The CellExecutor the flags ask for, or None (jobs-based default)."""
+    from repro.eval.executors import make_executor
+
+    return make_executor(
+        getattr(args, "executor", None),
+        jobs=getattr(args, "jobs", 1),
+        nodes=getattr(args, "nodes", None),
+        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_enabled=not args.no_cache,
+    )
+
+
 def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -188,6 +229,7 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the evaluation fan-out (1 = serial; "
         "output is byte-identical for any value)",
     )
+    _add_executor_options(parser)
     _add_cache_options(parser)
 
 
@@ -351,15 +393,39 @@ def _cmd_eval(args) -> int:
 
     _apply_backend(args)
     _configure_cache(args)
-    result = run_all(
-        table4_runs=args.table4_runs,
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        use_cache=not args.no_cache,
-        check_static=args.check_static,
-        table5_path=args.table5_json,
-        store_path=None if args.no_store else args.store_path,
-    )
+    executor = _make_executor(args)
+    try:
+        result = run_all(
+            table4_runs=args.table4_runs,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            check_static=args.check_static,
+            table5_path=args.table5_json,
+            store_path=None if args.no_store else args.store_path,
+            executor=executor,
+        )
+    except KeyboardInterrupt:
+        # Graceful Ctrl-C: with a results store every finished cell was
+        # persisted as it streamed back (run_cells printed the partial
+        # counts), so point at the reuse path instead of a traceback.
+        if args.no_store:
+            print(
+                "\neval: interrupted — nothing was persisted (the results "
+                "store was disabled with --no-store)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\neval: interrupted — finished cells are persisted in the "
+                f"results store ({args.store_path}); rerun the same command "
+                "to reuse them",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if executor is not None:
+            executor.close()
     print(result.report)
     if not result.static_ok:
         print(
@@ -499,6 +565,7 @@ def _cmd_chaos(args) -> int:
     if args.resume and checkpoint_dir is None:
         checkpoint_dir = DEFAULT_CHECKPOINT_DIR
     store = _open_store(args)
+    executor = _make_executor(args)
     try:
         rows = run_chaos(
             names=args.workload or None,
@@ -508,6 +575,7 @@ def _cmd_chaos(args) -> int:
             jobs=args.jobs,
             checkpoint_dir=checkpoint_dir,
             store=store,
+            executor=executor,
         )
     except KeyboardInterrupt:
         # Graceful Ctrl-C: finished cells are already on disk (when
@@ -520,6 +588,13 @@ def _cmd_chaos(args) -> int:
                 "where the sweep left off",
                 file=sys.stderr,
             )
+        elif store is not None:
+            print(
+                "\nchaos: interrupted — finished cells are persisted in the "
+                f"results store ({store.path}); rerun the same command to "
+                "reuse them",
+                file=sys.stderr,
+            )
         else:
             print(
                 "\nchaos: interrupted — nothing was checkpointed (use "
@@ -528,6 +603,8 @@ def _cmd_chaos(args) -> int:
             )
         return 130
     finally:
+        if executor is not None:
+            executor.close()
         if store is not None:
             store.close()
     print(render_chaos(rows, args.seeds, args.fault_rate))
@@ -602,16 +679,23 @@ def _cmd_serve_chaos(args) -> int:
 
     _apply_backend(args)
     _configure_cache(args)
-    outcome = run_storm(
-        requests=args.requests,
-        workers=args.workers,
-        queue_capacity=args.queue_capacity,
-        fault_rate=args.fault_rate,
-        fault_seed=args.fault_seed,
-        tiny_deadline_every=args.tiny_deadline_every,
-        poison_every=args.poison_every,
-        url=args.url,
-    )
+    executor = _make_executor(args)
+    try:
+        outcome = run_storm(
+            requests=args.requests,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
+            tiny_deadline_every=args.tiny_deadline_every,
+            poison_every=args.poison_every,
+            url=args.url,
+            jobs=args.jobs,
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     store = _open_store(args)
     if store is not None and store.enabled:
         store.record_bench(
@@ -897,6 +981,12 @@ def main(argv: List[str] = None) -> int:
         "--fault-rate", type=_rate, default=0.1,
         help="transient-fault probability per eligible syscall (0 disables)",
     )
+    serve_chaos_parser.add_argument(
+        "--jobs", type=_jobs, default=1, metavar="N",
+        help="worker processes for the post-storm baseline verification "
+        "(1 = serial; the outcome is identical for any value)",
+    )
+    _add_executor_options(serve_chaos_parser)
     _add_cache_options(serve_chaos_parser)
     _add_store_options(serve_chaos_parser)
     _add_backend_option(serve_chaos_parser)

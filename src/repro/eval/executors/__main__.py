@@ -1,0 +1,13 @@
+"""``python -m repro.eval.executors`` starts a multihost worker node.
+
+A dedicated entry module (rather than ``-m ...executors.node``) so the
+package ``__init__`` importing :mod:`.node` never races runpy's
+re-execution of the same module.
+"""
+
+import sys
+
+from repro.eval.executors.node import main
+
+if __name__ == "__main__":
+    sys.exit(main())

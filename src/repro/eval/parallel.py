@@ -1,4 +1,4 @@
-"""Parallel evaluation: fan eval/chaos cells out over a process pool.
+"""Parallel evaluation: fan eval/chaos cells out over an executor.
 
 Every experiment in the harness decomposes into independent cells:
 
@@ -19,17 +19,21 @@ artifacts served by :mod:`repro.cache` (each worker holds its own
 cache instance, warmed from the same on-disk layer when one is
 configured).
 
-Results are reassembled **in submission order** (``Executor.map``
-preserves it), so per-table rows come back in exactly the order the
-serial path produces them and the rendered report is byte-identical
-for any job count.
+*Where* cells run is pluggable (:mod:`repro.eval.executors`): in
+process, over a process pool on this machine, or across worker nodes
+on other machines.  Executors stream ``(index, result)`` pairs back in
+completion order; this module persists each completed cell the moment
+it arrives and reassembles **in plan order**, so per-table rows come
+back in exactly the order the serial path produces them and the
+rendered report is byte-identical for any job count, node count or
+interleaving — and an interrupt or a dead node never discards
+finished work.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 # A cell is (kind, payload-of-primitives); see _CELL_RUNNERS.
@@ -137,6 +141,20 @@ def _cell_table5(name: str):
     return measure_workload(name)
 
 
+def _cell_serve_baseline(
+    name: str, seed: int, deadline: float, fault_seed: int, fault_rate: float
+):
+    from repro.eval.serve_chaos import baseline_for
+
+    return baseline_for(name, seed, deadline, fault_seed, fault_rate)
+
+
+def _cell_serve_faultfree(name: str, seed: int):
+    from repro.eval.serve_chaos import faultfree_baseline
+
+    return faultfree_baseline(name, seed)
+
+
 _CELL_RUNNERS = {
     "table1": _cell_table1,
     "figure6": _cell_figure6,
@@ -146,6 +164,8 @@ _CELL_RUNNERS = {
     "table5": _cell_table5,
     "mutation": _cell_mutation,
     "chaos": _cell_chaos,
+    "serve_baseline": _cell_serve_baseline,
+    "serve_faultfree": _cell_serve_faultfree,
 }
 
 
@@ -173,37 +193,59 @@ def _cache_settings(
     return cache_dir, cache_enabled
 
 
+def _default_executor(
+    cells: Sequence[Cell],
+    jobs: int,
+    cache_dir: Optional[str],
+    cache_enabled: Optional[bool],
+):
+    """The historical auto choice: in-process for one job or one cell,
+    a local process pool otherwise."""
+    from repro.eval.executors import LocalPoolExecutor, SerialExecutor
+
+    if jobs <= 1 or len(cells) <= 1:
+        return SerialExecutor()
+    return LocalPoolExecutor(
+        jobs=min(jobs, len(cells)),
+        cache_dir=cache_dir,
+        cache_enabled=cache_enabled,
+    )
+
+
 def fan_out(
     cells: Sequence[Cell],
     jobs: int,
     cache_dir: Optional[str] = None,
     cache_enabled: Optional[bool] = None,
+    executor=None,
 ) -> List[object]:
-    """Run *cells*, results in cell order regardless of completion order."""
-    if jobs <= 1 or len(cells) <= 1:
-        return [run_cell(cell) for cell in cells]
-    from repro.interp import get_default_backend, relevance_enabled
+    """Run *cells*, results in cell order regardless of completion order.
 
-    cache_dir, cache_enabled = _cache_settings(cache_dir, cache_enabled)
-    workers = min(jobs, len(cells))
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init,
-        initargs=(
-            cache_dir, cache_enabled, get_default_backend(),
-            relevance_enabled(),
-        ),
-    )
+    With *executor* (a :class:`repro.eval.executors.CellExecutor`) the
+    cells run wherever it says — serial, local pool, or multihost
+    worker nodes; without one the historical jobs-based choice applies.
+    A provided executor is left open for further rounds (the caller
+    owns its lifecycle) except on interrupt, where it is closed so
+    queued cells are abandoned rather than awaited.
+    """
+    owned = executor is None
+    if owned:
+        executor = _default_executor(cells, jobs, cache_dir, cache_enabled)
+    results: List[object] = [None] * len(cells)
     try:
-        results = list(pool.map(run_cell, cells, chunksize=1))
+        executor.submit(cells)
+        for index, result in executor.stream():
+            results[index] = result
     except KeyboardInterrupt:
         # Ctrl-C: abandon queued cells instead of waiting for them.
         # Cells that already finished were flushed by their workers
         # (the chaos checkpoint store persists per cell), so a --resume
         # rerun restarts at the first incomplete cell.
-        pool.shutdown(wait=False, cancel_futures=True)
+        executor.close()
         raise
-    pool.shutdown()
+    finally:
+        if owned:
+            executor.close()
     return results
 
 
@@ -214,20 +256,23 @@ def run_cells(
     cache_enabled: Optional[bool] = None,
     store=None,
     label: str = "eval",
+    executor=None,
 ) -> Tuple[List[object], Dict[str, int]]:
     """Run *cells* incrementally against a results store.
 
     Cells whose content-address key is already present in *store* are
     served from it; only absent (or superseded-fingerprint) cells
-    execute, and every freshly executed cell is persisted.  Returns
-    the in-order results plus {planned, executed, reused} counts, and
+    execute, and every freshly executed cell **persists the moment its
+    result streams back** — an interrupt or node loss mid-run keeps
+    every finished cell, and the re-run reuses them.  Returns the
+    in-order results plus {planned, executed, reused} counts, and
     prints the counts to stderr — CI greps that line to prove a warm
     re-run executed zero cells.  With no store this is plain
     :func:`fan_out`.
     """
     if store is None or not store.enabled:
         return (
-            fan_out(cells, jobs, cache_dir, cache_enabled),
+            fan_out(cells, jobs, cache_dir, cache_enabled, executor),
             {"planned": len(cells), "executed": len(cells), "reused": 0},
         )
     from repro.results import spec_for_cell
@@ -236,17 +281,41 @@ def run_cells(
     found = store.get_cells([spec.key for spec in specs])
     results: List[object] = [found.get(spec.key) for spec in specs]
     miss_indices = [i for i, result in enumerate(results) if result is None]
+    reused = len(cells) - len(miss_indices)
+    executed = 0
     if miss_indices:
-        executed = fan_out(
-            [cells[i] for i in miss_indices], jobs, cache_dir, cache_enabled
-        )
-        for index, result in zip(miss_indices, executed):
-            results[index] = result
-            store.put_cell(specs[index], result)
+        miss_cells = [cells[i] for i in miss_indices]
+        owned = executor is None
+        if owned:
+            executor = _default_executor(
+                miss_cells, jobs, cache_dir, cache_enabled
+            )
+        try:
+            executor.submit(miss_cells)
+            for position, result in executor.stream():
+                index = miss_indices[position]
+                results[index] = result
+                store.put_cell(specs[index], result)
+                executed += 1
+        except KeyboardInterrupt:
+            # Every cell that finished is already in the store; account
+            # for the partial run before re-raising so the user knows
+            # what a re-run will reuse.
+            print(
+                f"{label}: results store: interrupted — {executed} executed, "
+                f"{reused} reused of {len(cells)} cells persisted "
+                f"({store.path})",
+                file=sys.stderr,
+            )
+            executor.close()
+            raise
+        finally:
+            if owned:
+                executor.close()
     stats = {
         "planned": len(cells),
         "executed": len(miss_indices),
-        "reused": len(cells) - len(miss_indices),
+        "reused": reused,
     }
     print(
         f"{label}: results store: {stats['executed']} executed, "
@@ -385,18 +454,22 @@ def run_all_parallel(
     cache_enabled: Optional[bool] = None,
     table4_chunk: int = TABLE4_CHUNK,
     store=None,
+    executor=None,
 ) -> str:
     """The full evaluation, fanned out; report identical to ``run_all``.
 
     With *store* (a :class:`repro.results.ResultsStore`) the run is
     incremental: cells already stored are reused, fresh cells persist.
     (:func:`repro.eval.runner.run_all` additionally records the run so
-    ``repro report`` can re-render it with zero execution.)
+    ``repro report`` can re-render it with zero execution.)  With
+    *executor* the cells run on that backend instead of the jobs-based
+    default.
     """
     jobs = default_jobs() if jobs is None else jobs
     cells = plan_eval_cells(table4_runs, table4_chunk)
     results, _stats = run_cells(
-        cells, jobs, cache_dir, cache_enabled, store=store, label="eval"
+        cells, jobs, cache_dir, cache_enabled, store=store, label="eval",
+        executor=executor,
     )
     return assemble_report(cells, results, table4_runs)
 
@@ -412,6 +485,7 @@ def run_chaos_parallel(
     seed_chunk: int = CHAOS_CHUNK,
     checkpoint_dir: Optional[str] = None,
     store=None,
+    executor=None,
 ):
     """The chaos sweep, fanned out; rows identical to a serial sweep.
 
@@ -433,7 +507,8 @@ def run_chaos_parallel(
         names, seeds, rate, watchdog_deadline, seed_chunk, checkpoint_dir
     )
     results, stats = run_cells(
-        cells, jobs, cache_dir, cache_enabled, store=store, label="chaos"
+        cells, jobs, cache_dir, cache_enabled, store=store, label="chaos",
+        executor=executor,
     )
     if store is not None and store.enabled:
         store.record_run(

@@ -44,6 +44,9 @@ RACY_SINKS = frozenset({"axel", "x264"})
 DEFAULT_SEEDS = 50
 DEFAULT_RATE = 0.1
 
+# Violations rendered in full before the report switches to a count.
+MAX_RENDERED_VIOLATIONS = 20
+
 
 class ChaosRow:
     """One workload's aggregate results across the fault-seed sweep."""
@@ -69,7 +72,14 @@ class ChaosRow:
         Chunks must be merged in ascending seed order for the violation
         list (and thus the rendered report) to match a serial sweep.
         """
-        assert other.name == self.name
+        if other.name != self.name:
+            # A real error, not an assert: under ``python -O`` an assert
+            # vanishes and a mis-planned merge would silently fold one
+            # workload's counts into another's row.
+            raise ValueError(
+                f"cannot merge chaos row for workload {other.name!r} "
+                f"into row for {self.name!r}"
+            )
         self.runs += other.runs
         self.faults_injected += other.faults_injected
         self.retries += other.retries
@@ -195,26 +205,33 @@ def run_chaos(
     jobs: int = 1,
     checkpoint_dir: Optional[str] = None,
     store=None,
+    executor=None,
 ) -> List[ChaosRow]:
     """Sweep fault seeds across workloads; one row per workload.
 
     With ``jobs > 1`` the (workload, seed-chunk) cells fan out over a
-    process pool; the merged rows are identical to a serial sweep.
-    With *checkpoint_dir* finished cells persist there and a re-run
-    resumes at the first incomplete cell (``repro chaos --resume``) —
-    both paths go through the cell decomposition, whose merge is
-    byte-identical to this serial loop for any job count.  With *store*
-    (a :class:`repro.results.ResultsStore`) completed cells persist in
-    the columnar results store and a re-run executes only missing cells.
+    process pool — or over whatever backend *executor* (a
+    :class:`repro.eval.executors.CellExecutor`) names, including
+    multihost worker nodes; the merged rows are identical to a serial
+    sweep.  With *checkpoint_dir* finished cells persist there and a
+    re-run resumes at the first incomplete cell (``repro chaos
+    --resume``) — both paths go through the cell decomposition, whose
+    merge is byte-identical to this serial loop for any job count.
+    With *store* (a :class:`repro.results.ResultsStore`) completed
+    cells persist in the columnar results store and a re-run executes
+    only missing cells.
     """
     names = names or [workload.name for workload in ALL_WORKLOADS]
-    if jobs > 1 or checkpoint_dir is not None or store is not None:
+    if (
+        jobs > 1 or checkpoint_dir is not None or store is not None
+        or executor is not None
+    ):
         from repro.eval.parallel import run_chaos_parallel
 
         return run_chaos_parallel(
             names, seeds=seeds, rate=rate,
             watchdog_deadline=watchdog_deadline, jobs=jobs,
-            checkpoint_dir=checkpoint_dir, store=store,
+            checkpoint_dir=checkpoint_dir, store=store, executor=executor,
         )
     return [
         chaos_workload(name, range(seeds), rate, watchdog_deadline) for name in names
@@ -241,6 +258,10 @@ def render_chaos(rows: List[ChaosRow], seeds: int, rate: float) -> str:
         f"\n\n{total_runs} dual runs, {total_faults} faults injected, "
         f"{len(violations)} invariant violations"
     )
-    for violation in violations[:20]:
+    shown = violations[:MAX_RENDERED_VIOLATIONS]
+    for violation in shown:
         text += f"\n  VIOLATION: {violation}"
+    if len(violations) > len(shown):
+        # No silent caps: say how much of the list the cut hides.
+        text += f"\n  ... and {len(violations) - len(shown)} more violations"
     return text

@@ -130,27 +130,37 @@ def plan_storm(
     return plan
 
 
-def _baseline_verdict(payload: dict) -> str:
+def baseline_for(
+    name: str, seed: int, deadline: float, fault_seed: int, fault_rate: float
+) -> str:
     """The batch verdict (serialized) for one well-formed request:
-    exactly what `repro leak` / `repro eval` would compute."""
+    exactly what `repro leak` / `repro eval` would compute.  A pure
+    function of its primitive arguments, so it doubles as the
+    ``serve_baseline`` executor cell."""
     from repro.workloads import get_workload
 
-    workload = get_workload(payload["workload"])
-    kwargs = RunBudget.from_deadline(payload["deadline"]).engine_kwargs()
-    if payload["fault_rate"] > 0.0:
-        kwargs["faults"] = FaultConfig(
-            seed=payload["fault_seed"], rate=payload["fault_rate"]
-        )
+    workload = get_workload(name)
+    kwargs = RunBudget.from_deadline(deadline).engine_kwargs()
+    if fault_rate > 0.0:
+        kwargs["faults"] = FaultConfig(seed=fault_seed, rate=fault_rate)
     result = run_dual(
         workload.instrumented,
-        workload.build_world(payload["seed"]),
+        workload.build_world(seed),
         workload.leak_variant(),
         **kwargs,
     )
     return json.dumps(api.verdict_payload(result), sort_keys=True)
 
 
-def _faultfree_baseline(name: str, seed: int) -> str:
+def _baseline_verdict(payload: dict) -> str:
+    return baseline_for(
+        payload["workload"], payload["seed"], payload["deadline"],
+        payload["fault_seed"], payload["fault_rate"],
+    )
+
+
+def faultfree_baseline(name: str, seed: int) -> str:
+    """The fault-free batch verdict; the ``serve_faultfree`` cell."""
     from repro.workloads import get_workload
 
     workload = get_workload(name)
@@ -159,6 +169,49 @@ def _faultfree_baseline(name: str, seed: int) -> str:
         workload.leak_variant(),
     )
     return json.dumps(api.verdict_payload(result), sort_keys=True)
+
+
+def _prefill_baselines(
+    plan: List[Tuple[str, object]],
+    baseline_cache: Dict[str, str],
+    faultfree_cache: Dict[str, str],
+    jobs: int,
+    executor,
+) -> None:
+    """Fan the storm's baseline verification out as executor cells.
+
+    Verifying invariants 2 and 3 needs one batch ``run_dual`` per
+    distinct well-formed request shape plus one fault-free run per
+    (workload, seed) — independent pure computations, so they
+    decompose into ``serve_baseline`` / ``serve_faultfree`` cells and
+    run wherever ``--executor``/``--jobs`` says.  The request plan is
+    deterministic, so the cell list is too.
+    """
+    from repro.eval.parallel import fan_out
+
+    targets: List[Tuple[Dict[str, str], str]] = []  # (cache, key) per cell
+    cells: List[Tuple[str, tuple]] = []
+    for kind, payload in plan:
+        if kind != "ok":
+            continue
+        cache_key = json.dumps(payload, sort_keys=True)
+        if cache_key not in baseline_cache:
+            baseline_cache[cache_key] = ""  # claimed; filled below
+            targets.append((baseline_cache, cache_key))
+            cells.append(
+                ("serve_baseline",
+                 (payload["workload"], payload["seed"], payload["deadline"],
+                  payload["fault_seed"], payload["fault_rate"]))
+            )
+        ff_key = f"{payload['workload']}:{payload['seed']}"
+        if ff_key not in faultfree_cache:
+            faultfree_cache[ff_key] = ""
+            targets.append((faultfree_cache, ff_key))
+            cells.append(
+                ("serve_faultfree", (payload["workload"], payload["seed"]))
+            )
+    for (cache, key), result in zip(targets, fan_out(cells, jobs, executor=executor)):
+        cache[key] = result
 
 
 def _post(url: str, payload, timeout: float = 120.0) -> Optional[dict]:
@@ -197,8 +250,15 @@ def run_storm(
     tiny_deadline_every: int = 7,
     poison_every: int = 11,
     url: Optional[str] = None,
+    jobs: int = 1,
+    executor=None,
 ) -> StormOutcome:
-    """Throw one storm; see the module docstring for the invariants."""
+    """Throw one storm; see the module docstring for the invariants.
+
+    ``jobs``/``executor`` parallelize the post-storm baseline
+    verification (one batch ``run_dual`` per distinct request shape)
+    over the eval cell executor — including multihost worker nodes.
+    """
     plan = plan_storm(
         requests, fault_rate, fault_seed, tiny_deadline_every, poison_every
     )
@@ -260,6 +320,8 @@ def run_storm(
     # Baselines, computed once per distinct well-formed request shape.
     baseline_cache: Dict[str, str] = {}
     faultfree_cache: Dict[str, str] = {}
+    if executor is not None or jobs > 1:
+        _prefill_baselines(plan, baseline_cache, faultfree_cache, jobs, executor)
 
     for index, record in enumerate(results):
         if record is None:
@@ -319,7 +381,7 @@ def run_storm(
         if confidence == "full":
             ff_key = f"{payload['workload']}:{payload['seed']}"
             if ff_key not in faultfree_cache:
-                faultfree_cache[ff_key] = _faultfree_baseline(
+                faultfree_cache[ff_key] = faultfree_baseline(
                     payload["workload"], payload["seed"]
                 )
             if served != faultfree_cache[ff_key]:

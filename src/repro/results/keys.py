@@ -89,6 +89,17 @@ def spec_for_cell(cell: Tuple[str, tuple]) -> CellSpec:
         strategy, names = payload
         return _spec(kind, _sources_for(names), "<study>", strategy,
                      {"strategy": strategy, "workloads": tuple(names)}, {})
+    if kind == "serve_baseline":
+        name, seed, deadline, fault_seed, fault_rate = payload
+        return _spec(kind, _sources_for([name]), name, "leak",
+                     {"workload": name, "seed": seed, "fault_seed": fault_seed},
+                     {"deadline": deadline, "rate": fault_rate},
+                     schedule_seed=seed, fault_seed=fault_seed)
+    if kind == "serve_faultfree":
+        name, seed = payload
+        return _spec(kind, _sources_for([name]), name, "leak",
+                     {"workload": name, "seed": seed}, {},
+                     schedule_seed=seed)
     if kind == "chaos":
         # payload carries checkpoint_dir last; a storage *location*
         # never participates in result identity.

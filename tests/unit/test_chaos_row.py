@@ -1,0 +1,51 @@
+"""Unit tests for ChaosRow merging and chaos-report rendering limits."""
+
+import pytest
+
+from repro.eval.robustness import MAX_RENDERED_VIOLATIONS, ChaosRow, render_chaos
+
+
+def _row(name, violations=(), runs=1):
+    row = ChaosRow(name, threads=1)
+    row.runs = runs
+    row.violations = list(violations)
+    return row
+
+
+def test_merge_accumulates_counts_and_violations():
+    first = _row("gzip", ["leak seed 0: real leak masked by faults"])
+    second = _row("gzip", ["leak seed 1: real leak masked by faults"])
+    second.faults_injected = 3
+    merged = first.merge(second)
+    assert merged is first
+    assert merged.runs == 2
+    assert merged.faults_injected == 3
+    assert len(merged.violations) == 2
+
+
+def test_merge_mismatched_workloads_raises_value_error():
+    # Must be a real exception, not an assert: ``python -O`` strips
+    # asserts and a mis-planned merge would silently corrupt a row.
+    with pytest.raises(ValueError) as excinfo:
+        _row("gzip").merge(_row("bzip2"))
+    assert "gzip" in str(excinfo.value)
+    assert "bzip2" in str(excinfo.value)
+
+
+def test_render_chaos_shows_all_violations_under_the_cap():
+    rows = [_row("gzip", [f"leak seed {n}: masked" for n in range(3)])]
+    text = render_chaos(rows, seeds=3, rate=0.1)
+    assert text.count("VIOLATION:") == 3
+    assert "more violations" not in text
+
+
+def test_render_chaos_reports_the_truncated_tail():
+    extra = 7
+    violations = [
+        f"leak seed {n}: masked" for n in range(MAX_RENDERED_VIOLATIONS + extra)
+    ]
+    text = render_chaos([_row("gzip", violations)], seeds=1, rate=0.1)
+    assert text.count("VIOLATION:") == MAX_RENDERED_VIOLATIONS
+    assert f"... and {extra} more violations" in text
+    # The summary line still counts every violation, not just the shown ones.
+    assert f"{MAX_RENDERED_VIOLATIONS + extra} invariant violations" in text

@@ -1,0 +1,185 @@
+"""Unit tests for the cell-executor interface and its local backends.
+
+MultiHost behavior that needs real worker nodes lives in
+tests/integration/test_distributed.py; here we cover the contract
+surface: node-spec parsing, executor selection, serial streaming, the
+wire blob codec and the pure helpers of the multihost scheduler.
+"""
+
+import pytest
+
+from repro.eval import parallel
+from repro.eval.executors import (
+    EXECUTOR_NAMES,
+    ExecutorError,
+    LocalPoolExecutor,
+    MultiHostExecutor,
+    SerialExecutor,
+    make_executor,
+    parse_nodes,
+)
+from repro.eval.executors.multihost import _batch_size, _warm_list
+from repro.eval.executors.node import decode_blob, encode_blob
+
+
+# -- parse_nodes ---------------------------------------------------------------
+
+
+def test_parse_nodes_comma_separated():
+    assert parse_nodes("localhost,big-box,localhost") == [
+        "localhost", "big-box", "localhost",
+    ]
+
+
+def test_parse_nodes_multiplier_expands():
+    assert parse_nodes("localhost*3") == ["localhost"] * 3
+    assert parse_nodes("a*2,b") == ["a", "a", "b"]
+
+
+def test_parse_nodes_tolerates_whitespace_and_blanks():
+    assert parse_nodes(" localhost , ,remote ") == ["localhost", "remote"]
+
+
+@pytest.mark.parametrize("spec", ["", "  ", ","])
+def test_parse_nodes_rejects_empty_spec(spec):
+    with pytest.raises(ExecutorError, match="names no worker nodes"):
+        parse_nodes(spec)
+
+
+def test_parse_nodes_rejects_bad_multiplier():
+    with pytest.raises(ExecutorError, match="bad node multiplier"):
+        parse_nodes("localhost*lots")
+    with pytest.raises(ExecutorError, match="must be >= 1"):
+        parse_nodes("localhost*0")
+
+
+def test_parse_nodes_rejects_empty_host():
+    with pytest.raises(ExecutorError, match="empty host"):
+        parse_nodes("*3")
+
+
+# -- make_executor -------------------------------------------------------------
+
+
+def test_make_executor_defaults_to_auto():
+    assert make_executor(None) is None
+
+
+def test_make_executor_serial():
+    executor = make_executor("serial")
+    assert isinstance(executor, SerialExecutor)
+    executor.close()
+
+
+def test_make_executor_local_pool():
+    executor = make_executor("local", jobs=2)
+    assert isinstance(executor, LocalPoolExecutor)
+    executor.close()  # pool is lazy: close before it ever spawned
+
+
+def test_make_executor_nodes_alone_implies_multihost():
+    executor = make_executor(None, nodes="localhost,localhost")
+    assert isinstance(executor, MultiHostExecutor)
+    executor.close()
+
+
+def test_make_executor_multihost_without_nodes_is_an_error():
+    with pytest.raises(ExecutorError, match="--nodes"):
+        make_executor("multihost")
+
+
+def test_make_executor_rejects_unknown_backend():
+    with pytest.raises(ExecutorError, match="unknown executor"):
+        make_executor("quantum")
+
+
+def test_executor_names_cover_every_backend():
+    assert EXECUTOR_NAMES == ("serial", "local", "multihost")
+    for name in ("serial", "local"):
+        executor = make_executor(name)
+        assert executor is not None
+        executor.close()
+
+
+# -- SerialExecutor ------------------------------------------------------------
+
+
+@pytest.fixture
+def square_cells(monkeypatch):
+    """Register a trivial in-process cell kind so executor mechanics can
+    be tested without running real workloads."""
+    monkeypatch.setitem(parallel._CELL_RUNNERS, "square", lambda n: n ** 2)
+    return [("square", (n,)) for n in range(7)]
+
+
+def test_serial_executor_streams_in_plan_order(square_cells):
+    with SerialExecutor() as executor:
+        executor.submit(square_cells)
+        pairs = list(executor.stream())
+    assert pairs == [(n, n * n) for n in range(7)]
+
+
+def test_serial_executor_run_reassembles(square_cells):
+    with SerialExecutor() as executor:
+        assert executor.run(square_cells) == [n * n for n in range(7)]
+
+
+def test_serial_executor_serves_multiple_rounds(square_cells):
+    with SerialExecutor() as executor:
+        assert executor.run(square_cells[:3]) == [0, 1, 4]
+        assert executor.run(square_cells[3:]) == [9, 16, 25, 36]
+
+
+def test_serial_executor_close_mid_round_is_safe(square_cells):
+    executor = SerialExecutor()
+    executor.submit(square_cells)
+    next(executor.stream())
+    executor.close()
+    executor.close()  # idempotent
+
+
+def test_fan_out_uses_caller_executor(square_cells):
+    with SerialExecutor() as executor:
+        results = parallel.fan_out(square_cells, jobs=1, executor=executor)
+    assert results == [n * n for n in range(7)]
+
+
+# -- wire codec ----------------------------------------------------------------
+
+
+def test_blob_roundtrip_preserves_tuples():
+    # Chaos payloads nest tuples; JSON alone would degrade them to
+    # lists and break content-addressed cell keys.
+    payload = [("chaos", ("gzip", (0, 1, 2), 0.1, 25_000.0, None))]
+    assert decode_blob(encode_blob(payload)) == payload
+    assert isinstance(decode_blob(encode_blob(payload))[0][1][1], tuple)
+
+
+# -- multihost scheduler helpers ----------------------------------------------
+
+
+def test_batch_size_targets_steal_factor():
+    # 64 cells on 2 nodes -> 64 // (2*4) = 8 per batch.
+    assert _batch_size(64, 2) == 8
+    # Never exceeds MAX_BATCH even for huge rounds.
+    assert _batch_size(10_000, 2) == 8
+    # Small rounds degrade to single-cell batches.
+    assert _batch_size(3, 2) == 1
+    assert _batch_size(0, 2) == 1
+
+
+def test_warm_list_collects_distinct_workloads():
+    cells = [
+        ("table1", ("gzip",)),
+        ("chaos", ("bzip2", (0, 1), 0.1, 25_000.0, None)),
+        ("mutation", ("baseline", ("gzip", "apache"))),
+        ("table1", ("gzip",)),
+    ]
+    assert _warm_list(cells) == ["gzip", "bzip2", "apache"]
+
+
+def test_multihost_constructor_validates():
+    with pytest.raises(ExecutorError, match="at least one node"):
+        MultiHostExecutor([])
+    with pytest.raises(ExecutorError, match="window"):
+        MultiHostExecutor(["localhost"], window=0)
