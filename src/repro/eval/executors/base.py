@@ -125,6 +125,13 @@ def make_executor(
         return None
     if spec is None:
         spec = "multihost"  # --nodes alone implies the multihost backend
+    if nodes is not None and spec != "multihost":
+        # Silently ignoring --nodes would run a "distributed" sweep on
+        # one machine without a word of warning.
+        raise ExecutorError(
+            f"--nodes only applies to the multihost executor, "
+            f"not --executor {spec}"
+        )
     if spec == "serial":
         return _serial()
     if spec == "local":

@@ -15,10 +15,15 @@ same job abstraction as the local one.  The moving parts:
   and pulls the next one when it reports a result.  Fast nodes
   therefore drain the queue while slow ones finish what they hold: no
   static partitioning, no stragglers.
-* **Heartbeats + dead-node detection** — nodes heartbeat every couple
-  of seconds; a node whose pipe closes, whose process exits, or that
-  stays silent past ``heartbeat_timeout`` is declared dead.  Its
-  in-flight batches go back on the queue and other nodes pick them up.
+* **Heartbeats + dead-node detection** — each node's heartbeat thread
+  runs from process start (before cache warm-up, so a cold cache never
+  reads as death), and the parent records liveness as frames *arrive*
+  on the reader thread, so an unpumped stream() cannot starve it.  A
+  node whose pipe closes, whose process exits, that stays silent past
+  ``heartbeat_timeout`` (not-yet-ready nodes get ``STARTUP_GRACE`` for
+  slow SSH connects), or that returns a truncated result frame is
+  declared dead.  Its in-flight batches go back on the queue and other
+  nodes pick them up.
   Cells are pure functions of their spec, so a re-dispatched cell
   reproduces the lost result exactly and the report stays
   byte-identical — node loss costs time, never output.  Losing *every*
@@ -56,6 +61,14 @@ STEAL_FACTOR = 4
 MAX_BATCH = 8
 
 DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+# Nodes that have not yet answered ``ready`` get this much grace on
+# top of the heartbeat timeout: an SSH node's heartbeat thread only
+# starts once the connection is up and python is running, and slow
+# connects must not read as death.  (Once the process is up its
+# heartbeat thread runs from the very start, before cache warm-up, so
+# ready nodes never need the grace.)
+STARTUP_GRACE = 120.0
 
 
 def _batch_size(cells: int, nodes: int) -> int:
@@ -197,6 +210,12 @@ class MultiHostExecutor(CellExecutor):
                 msg = json.loads(line)
             except ValueError:
                 continue  # noise on the pipe (ssh banners etc.)
+            # Liveness is recorded here, as frames *arrive*, not when
+            # stream() consumes them: a caller that pauses between
+            # yields (or an executor idling between rounds) must not
+            # see queued-but-unread heartbeats as silence.  A plain
+            # monotonic-float write is safe cross-thread.
+            node.last_seen = time.monotonic()
             self._events.put((node.index, msg))
         self._events.put((node.index, {"op": "eof"}))
 
@@ -254,6 +273,11 @@ class MultiHostExecutor(CellExecutor):
         node.alive = False
         node.ready = False
         if node.proc is not None:
+            # For an SSH node this kills the local ssh client; the
+            # remote worker is not signalled but self-terminates
+            # quickly: its stdin hits EOF and its next protocol write
+            # (heartbeat within 2s, or the in-flight batch's result)
+            # dies on EPIPE.  See docs/DISTRIBUTED.md.
             try:
                 node.proc.kill()
             except OSError:
@@ -285,8 +309,15 @@ class MultiHostExecutor(CellExecutor):
                 continue
             if node.proc is not None and node.proc.poll() is not None:
                 self._on_dead(node, f"exit code {node.proc.returncode}")
-            elif now - node.last_seen > self._heartbeat_timeout:
-                self._on_dead(node, "heartbeat timeout")
+                continue
+            timeout = self._heartbeat_timeout
+            if not node.ready:
+                timeout = max(timeout, STARTUP_GRACE)
+            if now - node.last_seen > timeout:
+                self._on_dead(
+                    node,
+                    "heartbeat timeout" if node.ready else "startup timeout",
+                )
 
     def stream(self) -> Iterator[Tuple[int, object]]:
         for node in self._nodes:
@@ -298,19 +329,30 @@ class MultiHostExecutor(CellExecutor):
             except queue.Empty:
                 continue
             node = self._nodes[node_index]
-            node.last_seen = time.monotonic()
             op = msg.get("op")
             if op == "ready":
                 node.ready = True
                 self._feed(node)
             elif op == "heartbeat":
-                pass
+                pass  # the reader thread already refreshed last_seen
             elif op == "result":
                 batch = node.inflight.pop(msg["batch"], None)
                 if batch is None:
                     continue  # a batch this node was already declared dead for
-                node.completed_batches += 1
                 results = decode_blob(msg["data"])
+                if len(results) != len(batch):
+                    # A short frame would otherwise drop cells silently
+                    # (zip truncates) and hang the round forever with
+                    # _round_pending never reaching 0.  Treat it like
+                    # node death: re-dispatch the whole batch.
+                    node.inflight[msg["batch"]] = batch
+                    self._on_dead(
+                        node,
+                        f"truncated result frame: {len(results)} "
+                        f"result(s) for {len(batch)} cell(s)",
+                    )
+                    continue
+                node.completed_batches += 1
                 self._feed(node)
                 for (index, _cell), result in zip(batch, results):
                     self._round_pending -= 1

@@ -30,9 +30,12 @@ initializer) and **warms the on-disk artifact cache**: every workload
 the sweep will touch is instrumented once up front, so cells hit a
 warm cache even on a node with a cold disk.
 
-The heartbeat thread keeps the parent's dead-node detector fed while a
-long cell computes.  Anything a cell prints to stdout is redirected to
-stderr so the protocol stream cannot be corrupted.
+The heartbeat thread starts the moment the process does — before
+``hello`` is even read — so the parent's dead-node detector stays fed
+through cache warm-up (the expensive step, and the exact cold-cache
+scenario warm-up exists for) just as it does while a long cell
+computes.  Anything a cell prints to stdout is redirected to stderr so
+the protocol stream cannot be corrupted.
 """
 
 from __future__ import annotations
@@ -102,6 +105,13 @@ def main(argv: Optional[list] = None) -> int:
             except (BrokenPipeError, ValueError, OSError):
                 return  # parent is gone; the main loop will exit on EOF
 
+    # Heartbeats must flow before hello is handled: cache warm-up
+    # instruments every workload in the sweep and can take far longer
+    # than the parent's heartbeat timeout on a cold cache.
+    threading.Thread(
+        target=heartbeat, name="node-heartbeat", daemon=True
+    ).start()
+
     for line in stdin:
         line = line.strip()
         if not line:
@@ -116,9 +126,6 @@ def main(argv: Optional[list] = None) -> int:
         if op == "hello":
             _configure(msg)
             _warm(msg.get("warm"))
-            threading.Thread(
-                target=heartbeat, name="node-heartbeat", daemon=True
-            ).start()
             emit({"op": "ready", "pid": os.getpid()})
         elif op == "run":
             from repro.eval.parallel import run_cell

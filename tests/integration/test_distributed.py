@@ -7,6 +7,11 @@ here are localhost subprocesses, the same machinery CI exercises with
 ``--nodes localhost,localhost``.
 """
 
+import json
+import select
+import subprocess
+import time
+
 import pytest
 
 from repro.eval.executors import (
@@ -51,6 +56,45 @@ def test_multihost_executor_serves_multiple_rounds(serial_text):
     with MultiHostExecutor(["localhost"]) as executor:
         first = run_chaos(names=NAMES, seeds=SEEDS, executor=executor)
         second = run_chaos(names=NAMES, seeds=SEEDS, executor=executor)
+    assert _render(first) == serial_text
+    assert _render(second) == serial_text
+
+
+def test_node_heartbeats_before_hello_is_handled():
+    """The node's heartbeat thread starts with the process, not after
+    warm-up: the parent must see liveness while a cold cache warms,
+    which can take far longer than the heartbeat timeout."""
+    from repro.eval.executors.multihost import _node_command, _node_env
+
+    proc = subprocess.Popen(
+        _node_command("localhost"),
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        env=_node_env(), text=True,
+    )
+    try:
+        # No hello is ever sent, so nothing configures or warms the
+        # node — the first frame can only come from the heartbeat
+        # thread (2s interval; 20s allows for a slow interpreter start).
+        readable, _, _ = select.select([proc.stdout], [], [], 20.0)
+        assert readable, "node sent no frame within 20s of starting"
+        frame = json.loads(proc.stdout.readline())
+        assert frame["op"] == "heartbeat"
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+def test_idle_executor_between_rounds_keeps_nodes_alive(serial_text):
+    """Liveness is recorded as heartbeats arrive on the reader thread,
+    not when stream() consumes them — so an executor idling between
+    rounds longer than heartbeat_timeout (a lifecycle the contract
+    explicitly supports) must not declare its healthy nodes dead."""
+    with MultiHostExecutor(["localhost"], heartbeat_timeout=4.0) as executor:
+        first = run_chaos(names=NAMES, seeds=SEEDS, executor=executor)
+        time.sleep(6.0)  # > heartbeat_timeout with no stream() pumping
+        node = executor._nodes[0]
+        second = run_chaos(names=NAMES, seeds=SEEDS, executor=executor)
+        assert node.alive
     assert _render(first) == serial_text
     assert _render(second) == serial_text
 

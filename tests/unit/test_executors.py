@@ -6,6 +6,8 @@ surface: node-spec parsing, executor selection, serial streaming, the
 wire blob codec and the pure helpers of the multihost scheduler.
 """
 
+import time
+
 import pytest
 
 from repro.eval import parallel
@@ -91,6 +93,14 @@ def test_make_executor_multihost_without_nodes_is_an_error():
 def test_make_executor_rejects_unknown_backend():
     with pytest.raises(ExecutorError, match="unknown executor"):
         make_executor("quantum")
+
+
+@pytest.mark.parametrize("spec", ["serial", "local"])
+def test_make_executor_rejects_nodes_with_single_host_backend(spec):
+    # Silently ignoring --nodes would run a "distributed" sweep on one
+    # machine without a word of warning.
+    with pytest.raises(ExecutorError, match="only applies to the multihost"):
+        make_executor(spec, nodes="localhost,localhost")
 
 
 def test_executor_names_cover_every_backend():
@@ -183,3 +193,36 @@ def test_multihost_constructor_validates():
         MultiHostExecutor([])
     with pytest.raises(ExecutorError, match="window"):
         MultiHostExecutor(["localhost"], window=0)
+
+
+def test_truncated_result_frame_kills_node_and_redispatches():
+    """A result frame with fewer results than the batch had cells must
+    not silently drop the missing cells (zip truncation would hang the
+    round forever): the node is declared dead and the whole batch is
+    re-dispatched to a survivor."""
+    from repro.eval.executors.multihost import _Node
+
+    executor = MultiHostExecutor(["a", "b"])
+    node_a, node_b = _Node("a", 0), _Node("b", 1)
+    sent = []
+    for fake in (node_a, node_b):
+        fake.alive = fake.ready = True
+        fake.last_seen = time.monotonic()
+        fake.send = lambda msg: sent.append(msg)  # no real process
+    executor._nodes = [node_a, node_b]
+    batch = [(0, ("square", (2,))), (1, ("square", (3,)))]
+    node_a.inflight[7] = batch
+    executor._round_pending = 2
+    # Node a answers batch 7 with one result for two cells...
+    executor._events.put((0, {
+        "op": "result", "batch": 7, "data": encode_blob(["short"]),
+    }))
+    # ...and the re-dispatched batch (the executor assigns it batch
+    # id 0) comes back complete from node b.
+    executor._events.put((1, {
+        "op": "result", "batch": 0, "data": encode_blob([4, 9]),
+    }))
+    assert dict(executor.stream()) == {0: 4, 1: 9}
+    assert not node_a.alive
+    assert executor.redispatched_cells == 2
+    assert sent and sent[-1]["op"] == "run"
