@@ -4,17 +4,19 @@ Records (as ``extra_info`` in the pytest-benchmark JSON):
 
 * per-workload drive-loop timings for both backends over all 28
   registry workloads (min of ``REPS`` repetitions each) and the
-  geometric-mean speedup — the acceptance target is >= 2.6x with a
-  warm compile cache and the sink-relevance pass enabled;
+  geometric-mean speedup — the acceptance target is >= 3.2x with a
+  warm compile cache, the sink-relevance pass enabled and plans
+  pruned at instrumentation time;
 * the relevance off-switch's worst case: with the pass disabled the
   threaded backend may be slower, but on an all-sink-relevant workload
   (zero elision) enabling the pass must cost no more than 2% over the
   disabled configuration;
 * cold vs warm closure-compile timings through the module memo — a
   warm lookup must be at least 10x cheaper than compiling;
-* the profiler's off-path cost: with ``profile=False`` the only
-  residue of the profiling machinery is the backend dispatch in
-  ``Machine._run_thread``, and it must stay under 2% of drive time.
+* the profiler's off-path cost: with ``profile=False`` the driver
+  loop memoized by ``Machine._run_thread`` must *be* the plain
+  threaded loop (asserted structurally); the wall-clock delta against
+  a hand-bound loop is recorded for trend tracking.
 
 Timings exclude world construction and ``Machine`` setup: the paper's
 Figure 6 numbers are about executing instructions, so the clock starts
@@ -40,10 +42,9 @@ from repro.vos.kernel import Kernel
 from repro.vos.world import World
 from repro.workloads import ALL_WORKLOADS
 
-REPS = 7
-SPEEDUP_FLOOR = 2.6
+REPS = 15
+SPEEDUP_FLOOR = 3.2
 WARM_COMPILE_RATIO = 10.0
-PROFILER_OFF_PATH_CEILING = 0.02
 ZERO_ELISION_OVERHEAD_CEILING = 0.02
 
 
@@ -120,6 +121,7 @@ def test_threaded_dispatch_speedup(benchmark):
 
     benchmark.extra_info["workloads"] = len(rows)
     benchmark.extra_info["geomean_speedup"] = round(geomean, 3)
+    benchmark.extra_info["speedup_floor"] = SPEEDUP_FLOOR
     benchmark.extra_info["per_workload"] = {
         name: {
             "switch_ms": round(sw * 1000, 3),
@@ -173,37 +175,53 @@ def test_compile_cache_cold_vs_warm(benchmark):
 def test_profiler_off_path_overhead(benchmark):
     """With profiling off, the profiler must cost (almost) nothing.
 
-    The per-opcode histograms are ``None`` unless ``profile=True``, so
-    the only off-path residue is the ``_run_thread`` dispatch check.
-    Timing the normal path against a machine whose dispatch is shadowed
-    by the plain threaded loop isolates exactly that residue; summing
-    over every workload averages the per-run noise down.
+    The per-opcode histograms are ``None`` unless ``profile=True``, and
+    ``Machine._run_thread`` memoizes the selected driver loop as a
+    bound instance attribute on first use — so after the first event a
+    profile-off machine runs *exactly* the plain threaded loop, with
+    zero residual dispatch.  That makes the claim checkable
+    structurally (the memoized runner IS the plain loop, the same
+    object ``bind_direct`` installs by hand); the wall-clock comparison
+    is recorded as ``extra_info`` for trend tracking but not asserted,
+    since two identical code paths differ only by machine noise.
     """
+    from repro.interp.machine import Machine
+
     # Structural half of the claim: no per-opcode accounting happens
     # unless it was asked for.
     probe = _build(ALL_WORKLOADS[0], "threaded")
     _drive(probe)
     assert probe.stats.opcode_counts is None
     assert probe.stats.opcode_time is None
+    # The memoized driver loop is the plain threaded loop itself: the
+    # off path IS the direct path after the first event.
+    memoized = probe.__dict__.get("_run_thread")
+    assert memoized is not None, "driver loop was not memoized"
+    assert memoized.__func__ is Machine._run_thread_threaded, (
+        f"profile-off machine memoized {memoized.__func__.__qualname__}"
+    )
 
     profiled = _build(ALL_WORKLOADS[0], "threaded", profile=True)
     _drive(profiled)
     assert profiled.stats.opcode_counts
     assert sum(profiled.stats.opcode_counts.values()) > 0
-
-    direct_total = sum(
-        _time_drive(w, "threaded", bind_direct=True) for w in ALL_WORKLOADS
+    assert profiled.__dict__["_run_thread"].__func__ is (
+        Machine._run_thread_threaded_profiled
     )
 
+    direct_total = 0.0
     dispatched_total = 0.0
 
-    def dispatched_sweep():
-        nonlocal dispatched_total
-        dispatched_total = sum(
-            _time_drive(w, "threaded") for w in ALL_WORKLOADS
-        )
+    def interleaved_sweep():
+        # Adjacent per-workload timings (direct, then dispatched):
+        # machine drift between two full sweeps would otherwise swamp
+        # the sub-percent residue being measured.
+        nonlocal direct_total, dispatched_total
+        for w in ALL_WORKLOADS:
+            direct_total += _time_drive(w, "threaded", bind_direct=True)
+            dispatched_total += _time_drive(w, "threaded")
 
-    benchmark.pedantic(dispatched_sweep, rounds=1, iterations=1)
+    benchmark.pedantic(interleaved_sweep, rounds=1, iterations=1)
 
     overhead = (dispatched_total - direct_total) / direct_total
     benchmark.extra_info["direct_ms"] = round(direct_total * 1000, 3)
@@ -212,12 +230,7 @@ def test_profiler_off_path_overhead(benchmark):
     print(
         f"\ndirect {direct_total * 1000:.1f}ms  "
         f"dispatched {dispatched_total * 1000:.1f}ms  "
-        f"off-path overhead {overhead * 100:+.2f}%"
-    )
-
-    assert overhead < PROFILER_OFF_PATH_CEILING, (
-        f"profiler off-path overhead {overhead * 100:.2f}% exceeds the "
-        f"{PROFILER_OFF_PATH_CEILING * 100:.0f}% ceiling"
+        f"off-path delta {overhead * 100:+.2f}% (noise; not asserted)"
     )
 
 

@@ -89,7 +89,7 @@ class ProgramAnalysis:
         may_abort: bool,
         abort_reasons: Tuple[str, ...],
         annotations: Dict[str, Dict[int, str]],
-        relevance_functions: List[Tuple[str, int, int, int, int, int, int]],
+        relevance_functions: List[Tuple[str, int, int, int, int, int, int, int]],
         relevance_totals: Dict[str, int],
         relevant_syscall_sites: FrozenSet[Tuple[str, str]],
     ) -> None:
@@ -111,8 +111,8 @@ class ProgramAnalysis:
         self.annotations = annotations
         # Sink-relevance classification (analysis/relevance.py): one
         # (name, total, relevant, elidable, fusible, summarizable,
-        # regions) row per function, the module-wide totals, and the
-        # Syscall sites classified sink-relevant.
+        # regions, prunable) row per function, the module-wide totals,
+        # and the Syscall sites classified sink-relevant.
         self.relevance_functions = relevance_functions
         self.relevance_totals = relevance_totals
         self.relevant_syscall_sites = relevant_syscall_sites
@@ -209,7 +209,7 @@ def analyze_module(
     from repro.instrument.pipeline import instrument_module
 
     relevance = instrument_module(module).plan.relevance
-    relevance_functions: List[Tuple[str, int, int, int, int, int, int]] = []
+    relevance_functions: List[Tuple[str, int, int, int, int, int, int, int]] = []
     for fn_name in sorted(relevance.functions):
         fn_rel = relevance.functions[fn_name]
         relevance_functions.append(
@@ -221,6 +221,7 @@ def analyze_module(
                 len(fn_rel.fusible),
                 fn_rel.summarizable_instructions,
                 len(fn_rel.regions),
+                fn_rel.prunable_count,
             )
         )
     relevance_totals = {
@@ -230,6 +231,7 @@ def analyze_module(
         "fusible": relevance.fusible_count,
         "summarizable": relevance.summarizable_count,
         "regions": relevance.region_count,
+        "prunable_counter_updates": relevance.prunable_count,
     }
 
     summaries: List[Tuple[str, int, int]] = []
@@ -326,16 +328,18 @@ def render_analysis(
             f" instruction(s) sink-relevant, {totals['elidable']} elidable"
             f" ({100.0 * totals['elidable'] / total:.1f}%),"
             f" {totals['summarizable']} summarizable"
-            f" in {totals['regions']} region(s)"
+            f" in {totals['regions']} region(s),"
+            f" {totals.get('prunable_counter_updates', 0)} counter update(s)"
+            f" pruned at instrumentation"
         )
     if relevance:
         for row in analysis.relevance_functions:
-            fn_name, fn_total, n_rel, n_elid, n_fus, n_sum, n_reg = row
+            fn_name, fn_total, n_rel, n_elid, n_fus, n_sum, n_reg, n_pruned = row
             lines.append(
                 f"  fn {fn_name}: {fn_total} instrs,"
                 f" {n_rel} relevant, {n_elid} elidable,"
                 f" {n_fus} fusible, {n_sum} summarizable"
-                f" in {n_reg} region(s)"
+                f" in {n_reg} region(s), {n_pruned} pruned edge update(s)"
             )
 
     if analysis.thread_entries:

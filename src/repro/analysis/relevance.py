@@ -24,15 +24,36 @@ may-depend set of every sink.  The classification is deliberately a
 pure function of the IR module — no seed configuration — so it can ride
 the instrumentation plan through the artifact cache unchanged.
 
-Two consumers exist, and neither may change observables:
+Three consumers exist, and none may change observables:
 
+* the instrumenter (:mod:`repro.instrument.pipeline`) consults the
+  edge-level refinement below (:func:`prunable_counter_edges`) at
+  plan-construction time and replaces the ``CounterAdd`` runs on
+  **counter-elidable edges** with accounting-only ghosts, so both
+  backends execute pruned plans;
 * the threaded backend (:mod:`repro.interp.compile`) widens
   superinstruction fusion across the **fusible** set — instructions
   proven event-free whose plan edges are absent or pure folded
   ``CounterAdd`` runs — and batches each region's counter effect into
   one precomputed aggregate add per executed path;
-* reporting (``repro analyze --relevance``, Table 5's elision column,
-  ``repro profile``'s elided%) attributes the win.
+* reporting (``repro analyze --relevance``, Table 1's PrunedCnt and
+  Table 5's elision columns, ``repro profile``) attributes the win.
+
+**Counter-elidable edges.**  A counter value is observable only at an
+event boundary: every :class:`SyscallEvent` and :class:`BarrierEvent`
+snapshots the thread's *whole* counter stack.  A ``CounterAdd`` on edge
+``src -> dst`` is therefore unobservable exactly when no event can
+occur between crossing the edge and the death of the stack entry it
+mutates (the entry is popped by a scoped return, overwritten never —
+LoopSync resets are themselves barrier events — or discarded at thread
+end).  :func:`prunable_counter_edges` computes this as a backwards
+"observation tail" fixpoint: an instruction observes if it is a
+syscall, an indirect call, a direct call into ``may_reach_syscall``, or
+a return from a frame whose counter-scope survives it; an edge observes
+if it carries a barrier.  On top of that proof obligation, pruning is
+restricted to edges whose endpoints Algorithm 2 classified elidable, so
+the pruned set stays inside the classification the soundness oracle
+reasons about.
 
 The dynamic soundness contract: a causality detection can only ever
 fire at a *relevant* syscall site.  :class:`ModuleRelevance` exposes
@@ -46,7 +67,13 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.controldep import control_dependence
-from repro.instrument.plan import ModulePlan, fold_counter_adds
+from repro.cfg.graph import function_digraph
+from repro.instrument.plan import (
+    CounterAdd,
+    LoopSync,
+    ModulePlan,
+    fold_counter_adds,
+)
 from repro.ir import instructions as ins
 from repro.ir.function import IRFunction, IRModule
 from repro.ir.instructions import FuncRef
@@ -100,7 +127,10 @@ class RegionSummary:
 class FunctionRelevance:
     """Per-function classification of every instruction index."""
 
-    __slots__ = ("name", "total", "relevant", "elidable", "fusible", "regions")
+    __slots__ = (
+        "name", "total", "relevant", "elidable", "fusible", "regions",
+        "prunable_edges",
+    )
 
     def __init__(
         self,
@@ -110,6 +140,7 @@ class FunctionRelevance:
         elidable: FrozenSet[int],
         fusible: FrozenSet[int],
         regions: Tuple[RegionSummary, ...],
+        prunable_edges: Optional[Dict[Tuple[int, int], int]] = None,
     ) -> None:
         self.name = name
         self.total = total
@@ -117,10 +148,19 @@ class FunctionRelevance:
         self.elidable = elidable
         self.fusible = fusible
         self.regions = regions
+        # Counter-elidable edges: (src, dst) -> number of CounterAdd
+        # actions the instrumenter may prune there (proof: no event can
+        # sample the mutated stack entry before it dies).
+        self.prunable_edges = dict(prunable_edges or {})
 
     @property
     def summarizable_instructions(self) -> int:
         return sum(region.size for region in self.regions)
+
+    @property
+    def prunable_count(self) -> int:
+        """Counter updates on this function's counter-elidable edges."""
+        return sum(self.prunable_edges.values())
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -130,6 +170,10 @@ class FunctionRelevance:
             "elidable": len(self.elidable),
             "fusible": len(self.fusible),
             "regions": [region.as_dict() for region in self.regions],
+            "prunable_edges": [
+                [src, dst, count]
+                for (src, dst), count in sorted(self.prunable_edges.items())
+            ],
         }
 
 
@@ -170,6 +214,16 @@ class ModuleRelevance:
     def summarizable_count(self) -> int:
         return sum(f.summarizable_instructions for f in self.functions.values())
 
+    @property
+    def prunable_count(self) -> int:
+        """Total counter updates on counter-elidable edges, module-wide.
+
+        Purely derived from the classification, so it is identical
+        whether or not the instrumenter actually applied the pruning —
+        Table 1's PrunedCnt column relies on that invariance.
+        """
+        return sum(f.prunable_count for f in self.functions.values())
+
     def relevant_site(self, function: str, syscall: str) -> bool:
         """True when a syscall *name* at *function* is classified
         sink-relevant; dynamic detections must only ever land here."""
@@ -183,6 +237,7 @@ class ModuleRelevance:
             "fusible": self.fusible_count,
             "regions": self.region_count,
             "summarizable": self.summarizable_count,
+            "prunable_counter_updates": self.prunable_count,
             "functions": [
                 self.functions[name].as_dict()
                 for name in sorted(self.functions)
@@ -348,6 +403,133 @@ def _regions(
     return tuple(regions)
 
 
+def prunable_counter_edges(
+    module: IRModule,
+    plan: ModulePlan,
+    relevance: Optional["ModuleRelevance"] = None,
+) -> Dict[str, Dict[Tuple[int, int], int]]:
+    """Counter-elidable edges per function: ``{fname: {(src, dst): n}}``.
+
+    An edge qualifies when its plan actions are pure ``CounterAdd`` runs
+    and no event (syscall or barrier — the only points that snapshot the
+    counter stack) can occur after crossing it while the mutated stack
+    entry is still alive.  Aliveness ends at a *scoped* return (the
+    entry is popped) or at thread end (``main`` and thread-entry
+    functions return into nothing); an unscoped return continues under
+    the caller's entry, so the caller's observation tail is inherited
+    through a ``ret_observes`` interprocedural fixpoint.
+
+    The result is a pure function of (module, plan) — it does not
+    depend on whether pruning is enabled — so reporting built on it is
+    identical across both relevance settings.
+    """
+    functions = module.functions
+    may_reach = plan.may_reach_syscall
+    graphs = {name: function_digraph(fn) for name, fn in functions.items()}
+
+    # Direct call sites per callee, with their scoped-ness: a scoped
+    # call's counter entry dies at the return, so it never propagates
+    # the caller's tail.  Indirect calls are always scoped.
+    callsites: Dict[str, List[Tuple[str, int]]] = {name: [] for name in functions}
+    for gname, fn in functions.items():
+        scoped = plan.functions[gname].scoped_calls
+        for index, instr in enumerate(fn.instrs):
+            if (
+                type(instr) is ins.CallDirect
+                and instr.func in callsites
+                and index not in scoped
+            ):
+                callsites[instr.func].append((gname, index))
+
+    ret_observes: Dict[str, bool] = {name: False for name in functions}
+    observes: Dict[str, Dict[int, bool]] = {}
+
+    def recompute(fname: str) -> None:
+        fn = functions[fname]
+        graph = graphs[fname]
+        fplan = plan.functions[fname]
+        instrs = fn.instrs
+
+        def instr_observes(index: int) -> bool:
+            instr = instrs[index]
+            kind = type(instr)
+            if kind is ins.Syscall or kind is ins.CallIndirect:
+                return True
+            if kind is ins.CallDirect:
+                return instr.func in may_reach
+            if kind is ins.Ret:
+                return ret_observes[fname]
+            return False
+
+        def barrier_edge(src: int, dst: int) -> bool:
+            actions = fplan.actions.get((src, dst))
+            return bool(actions) and any(
+                type(action) is LoopSync for action in actions
+            )
+
+        tail = {node: False for node in graph.nodes}
+        changed = True
+        while changed:
+            changed = False
+            for node in graph.nodes:
+                if tail[node]:
+                    continue
+                succs = graph.succs(node)
+                # A terminal node (the exit nop every ret funnels into)
+                # is the function's return: it observes exactly when an
+                # unscoped caller's tail does.
+                if (
+                    instr_observes(node)
+                    or (not succs and ret_observes[fname])
+                    or any(
+                        barrier_edge(node, succ) or tail[succ]
+                        for succ in succs
+                    )
+                ):
+                    tail[node] = True
+                    changed = True
+        observes[fname] = tail
+
+    for name in functions:
+        recompute(name)
+    changed = True
+    while changed:
+        changed = False
+        for fname in functions:
+            if ret_observes[fname]:
+                continue
+            for gname, index in callsites[fname]:
+                # The call falls through; conservatively observe when
+                # the successor is unknown.
+                if observes[gname].get(index + 1, True):
+                    ret_observes[fname] = True
+                    changed = True
+                    for name in functions:
+                        recompute(name)
+                    break
+
+    if relevance is None:
+        relevance = getattr(plan, "relevance", None)
+    prunable: Dict[str, Dict[Tuple[int, int], int]] = {}
+    for fname, fplan in plan.functions.items():
+        fn_relevance = relevance.functions.get(fname) if relevance else None
+        edges: Dict[Tuple[int, int], int] = {}
+        for (src, dst), actions in fplan.actions.items():
+            if not all(type(action) is CounterAdd for action in actions):
+                continue  # barriers and loop bookkeeping stay untouched
+            if observes[fname].get(dst, True):
+                continue  # an event can still sample the entry
+            if fn_relevance is not None and (
+                src not in fn_relevance.elidable
+                or dst not in fn_relevance.elidable
+            ):
+                continue  # stay inside Algorithm 2's elidable set
+            edges[(src, dst)] = len(actions)
+        if edges:
+            prunable[fname] = edges
+    return prunable
+
+
 def compute_relevance(
     module: IRModule, plan: Optional[ModulePlan] = None
 ) -> ModuleRelevance:
@@ -507,4 +689,13 @@ def compute_relevance(
         for index in function.syscall_indices():
             if index in marked:
                 relevant_syscalls.add((fname, function.instrs[index].name))
-    return ModuleRelevance(module_functions, frozenset(relevant_syscalls))
+    result = ModuleRelevance(module_functions, frozenset(relevant_syscalls))
+    if plan is not None:
+        # Edge-level refinement: which counter updates the instrumenter
+        # may prune.  Attached to the classification (not the plan) so
+        # the counts are identical whether or not pruning is applied.
+        for fname, edges in prunable_counter_edges(
+            module, plan, relevance=result
+        ).items():
+            module_functions[fname].prunable_edges = dict(edges)
+    return result

@@ -60,19 +60,26 @@ from repro.ir import compile_source
 # Bump when InstrumentedModule / ModulePlan / IR pickle layout changes.
 # v2: payload embeds a SHA-256 digest of the pickled artifact.
 # v3: ModulePlan carries the sink-relevance classification.
-SCHEMA_TAG = "ldx-artifact-v3"
+# v4: instrumentation-time counter pruning — counter-elidable edges
+# carry ElidedAdd ghosts, FunctionRelevance carries prunable_edges, and
+# the pruning switch joins the content address (pruned and full plans
+# are distinct artifacts).
+SCHEMA_TAG = "ldx-artifact-v4"
 
 # Bump when ProgramAnalysis / Diagnostic pickle layout changes.
 # v3: ProgramAnalysis carries sink-relevance rows, totals and the
 # relevant-syscall-site oracle set.
-ANALYSIS_SCHEMA_TAG = "ldx-analysis-v3"
+# v4: relevance rows/totals carry prunable counter-update counts.
+ANALYSIS_SCHEMA_TAG = "ldx-analysis-v4"
 
 # Bump when the threaded-code compiler's closure layout / fusion rules
 # change.  Compiled modules are arrays of Python closures and cannot be
 # pickled, so this cache is memory-only — the tag still participates in
 # the content address to keep keys disjoint from other artifact kinds.
 # v2: relevance-guided widened regions with path-local register caching.
-COMPILED_SCHEMA_TAG = "ldx-threaded-v2"
+# v3: hoisted int-type guards + induction-variable specialization for
+# self-reentering regions; pruned plans fold ElidedAdd ghosts.
+COMPILED_SCHEMA_TAG = "ldx-threaded-v3"
 
 # Bump when the pickled result-row layout of any eval/chaos cell class
 # changes.  Shared by the columnar results store (repro.results): a tag
@@ -243,10 +250,21 @@ class ArtifactCache:
     def instrumented(
         self, source: str, config: Optional[Dict[str, object]] = None
     ) -> InstrumentedModule:
-        """The instrumented artifact for *source*, cached."""
+        """The instrumented artifact for *source*, cached.
+
+        Since the instrumenter consumes the relevance switch (pruned vs
+        full plans), the switch state joins the content address: a plan
+        cached with pruning on can never be served to a ``--no-relevance``
+        run, or vice versa.
+        """
+        from repro.interp.compile import relevance_enabled  # cycle-free local import
+
+        prune = relevance_enabled()
+        full_config = dict(config or {})
+        full_config["relevance_pruning"] = prune
         return self.lookup(
-            artifact_key(source, config, self.schema_tag),
-            lambda: instrument_module(compile_source(source)),
+            artifact_key(source, full_config, self.schema_tag),
+            lambda: instrument_module(compile_source(source), prune=prune),
         )
 
     def _remember(self, key: str, artifact):
@@ -421,10 +439,17 @@ def compiled_for(
     module), then through the per-module weak memo inside the compiler,
     so repeated lookups within one process never recompile.
     """
-    from repro.interp.compile import compiled_for_module  # cycle-free local import
+    from repro.interp.compile import (  # cycle-free local import
+        compiled_for_module,
+        relevance_enabled,
+    )
 
     full_config = dict(config or {})
     full_config["fuse"] = fuse
+    # The relevance switch selects both the plan variant (pruned/full)
+    # and the compilation mode (widened regions/syntactic chains), so it
+    # must join the key.
+    full_config["relevance_pruning"] = relevance_enabled()
     key = artifact_key(source, full_config, schema_tag=COMPILED_SCHEMA_TAG)
     instrumented = instrumented_for(source, config)
     return _COMPILED.lookup(

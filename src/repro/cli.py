@@ -376,12 +376,32 @@ def _cmd_profile(args) -> int:
         ("master", dual.master.stats),
         ("slave", dual.slave.stats),
     ]
+    relevance = instrumented.plan.relevance
+    pruned_by_function = {
+        name: fn_rel.prunable_count
+        for name, fn_rel in sorted(relevance.functions.items())
+        if fn_rel.prunable_count
+    }
     print(f"workload: {workload.name}  backend: {args.interp_backend}")
+    print(
+        f"pruned counter updates: {relevance.prunable_count}"
+        + (
+            " ("
+            + ", ".join(f"{n}: {c}" for n, c in pruned_by_function.items())
+            + ")"
+            if pruned_by_function
+            else ""
+        )
+    )
     print(render_profiles(sections, top=args.top))
     if args.json:
         payload = profiles_payload(
             sections, workload=workload.name, backend=args.interp_backend
         )
+        payload["pruned_edge_updates"] = {
+            "total": relevance.prunable_count,
+            "functions": pruned_by_function,
+        }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -502,6 +522,7 @@ def _cmd_analyze(args) -> int:
                                 "fusible": row[4],
                                 "summarizable": row[5],
                                 "regions": row[6],
+                                "pruned_edge_updates": row[7],
                             }
                             for row in analysis.relevance_functions
                         ],

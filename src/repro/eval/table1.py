@@ -32,6 +32,7 @@ class Table1Row:
         self.indirect = 0
         self.syscall_sites = 0
         self.max_static_counter = 0
+        self.pruned_counter_sites = 0
         self.dyn_avg_counter = 0.0
         self.dyn_max_counter = 0
         self.max_stack_depth = 0
@@ -48,6 +49,7 @@ class Table1Row:
             self.indirect,
             self.syscall_sites,
             self.max_static_counter,
+            self.pruned_counter_sites,
             f"{self.dyn_avg_counter:.1f}/{self.dyn_max_counter}",
             self.max_stack_depth,
             self.mutated_inputs,
@@ -64,6 +66,7 @@ HEADERS = [
     "FPTR",
     "Syscalls",
     "MaxCnt",
+    "PrunedCnt",
     "DynCnt(avg/max)",
     "StkDepth",
     "Mutated",
@@ -85,6 +88,7 @@ def measure_workload(name: str) -> Table1Row:
     row.indirect = stats["indirect_call_sites"]
     row.syscall_sites = stats["syscall_sites"]
     row.max_static_counter = stats["max_static_counter"]
+    row.pruned_counter_sites = stats["prunable_counter_sites"]
 
     result = run_dual(workload.instrumented, workload.build_world(1), workload.config())
     master_stats = result.master.stats

@@ -44,6 +44,7 @@ class Table5Row:
         self.static_total = 0
         self.elidable = 0
         self.instructions = 0
+        self.pruned_updates = 0
         self.may_abort = False
         self.races = 0
         self.ldx_leak = ""
@@ -92,6 +93,7 @@ class Table5Row:
             "static_total": self.static_total,
             "elidable": self.elidable,
             "instructions": self.instructions,
+            "pruned_updates": self.pruned_updates,
             "may_abort": self.may_abort,
             "static_verdict": self.static_verdict,
             "races": self.races,
@@ -125,6 +127,7 @@ def measure_workload(name: str) -> Table5Row:
     totals = leak_analysis.relevance_totals
     row.elidable = totals.get("elidable", 0)
     row.instructions = totals.get("instructions", 0)
+    row.pruned_updates = totals.get("prunable_counter_updates", 0)
     row.may_abort = leak_analysis.may_abort
     row.races = len(leak_analysis.races)
 
@@ -209,6 +212,11 @@ def _precision_summary(rows: List[Table5Row]) -> List[str]:
             f"proven outcome-irrelevant "
             f"({100.0 * elidable / instructions:.1f}%)"
         )
+    pruned = sum(row.pruned_updates for row in rows)
+    lines.append(
+        f"instrumentation pruning: {pruned} counter update(s) dropped from "
+        f"plans on counter-elidable edges"
+    )
     return lines
 
 

@@ -10,6 +10,7 @@ from repro.instrument.pipeline import (
 from repro.instrument.plan import (
     CounterAdd,
     EdgeAction,
+    ElidedAdd,
     FunctionPlan,
     LoopSync,
     ModulePlan,
@@ -25,6 +26,7 @@ __all__ = [
     "instrument_module",
     "CounterAdd",
     "EdgeAction",
+    "ElidedAdd",
     "FunctionPlan",
     "LoopSync",
     "ModulePlan",

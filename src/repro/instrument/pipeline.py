@@ -7,7 +7,7 @@ planned, then derives static statistics (the left half of Table 1).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.cfg.callgraph import CallGraph
 from repro.instrument.loops import plan_function
@@ -74,6 +74,15 @@ class InstrumentedModule:
                 len(function.syscall_indices())
                 for function in self.module.functions.values()
             ),
+            # Counter updates on counter-elidable edges.  Derived from
+            # the relevance classification, never from what pruning
+            # physically did, so the value (and Table 1) is identical
+            # across both relevance settings.
+            "prunable_counter_sites": (
+                self.plan.relevance.prunable_count
+                if self.plan.relevance is not None
+                else 0
+            ),
         }
 
     def _recursive_direct_call_sites(self) -> int:
@@ -86,8 +95,18 @@ class InstrumentedModule:
         return count
 
 
-def instrument_module(module: IRModule) -> InstrumentedModule:
-    """Instrument every function of *module* (Algorithm 1's top level)."""
+def instrument_module(
+    module: IRModule, prune: Optional[bool] = None
+) -> InstrumentedModule:
+    """Instrument every function of *module* (Algorithm 1's top level).
+
+    *prune* selects instrumentation-time counter pruning: the plan's
+    counter-elidable edges (see ``analysis/relevance.py``) carry an
+    accounting-only ghost instead of their ``CounterAdd`` runs, so both
+    backends execute (and the artifact cache stores) smaller plans.
+    None follows the process-wide relevance switch; ``--no-relevance``
+    therefore still emits full plans.
+    """
     callgraph = CallGraph(module)
     plan = ModulePlan()
     plan.recursive_functions = set(callgraph.recursive_functions)
@@ -113,4 +132,11 @@ def instrument_module(module: IRModule) -> InstrumentedModule:
     from repro.analysis.relevance import compute_relevance
 
     plan.relevance = compute_relevance(module, plan)
+    if prune is None:
+        # Imported lazily: the interp package consumes this module.
+        from repro.interp.compile import relevance_enabled
+
+        prune = relevance_enabled()
+    if prune:
+        plan.prune_counter_adds()
     return InstrumentedModule(module, plan, callgraph)

@@ -37,6 +37,31 @@ class CounterAdd(EdgeAction):
         return isinstance(other, CounterAdd) and self.delta == other.delta
 
 
+class ElidedAdd(EdgeAction):
+    """Accounting ghost of *count* pruned counter updates.
+
+    The instrumenter emits this in place of a ``CounterAdd`` run on a
+    counter-elidable edge (analysis/relevance.py proves the deltas can
+    never be sampled by any event).  The virtual cost model is the
+    simulation's semantics, so the ghost still charges the clock and the
+    ``edge_actions`` stat exactly as the pruned adds would — what is
+    elided is the counter state machine itself.  This keeps every
+    observable (clocks, Figure 6 overheads, stats, event counters)
+    byte-identical between pruned and unpruned plans.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"cnt pruned x{self.count}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ElidedAdd) and self.count == other.count
+
+
 class LoopSync(EdgeAction):
     """Back-edge barrier: ``sync(); cnt = reset_to`` (Algorithm 3).
 
@@ -86,19 +111,26 @@ class LoopExit(EdgeAction):
 def fold_counter_adds(actions: List[EdgeAction]) -> Optional[Tuple[int, int]]:
     """Compile-time folding hook for pure counter edges.
 
-    When *actions* is a run of :class:`CounterAdd` only, return the
-    ``(total_delta, action_count)`` pair so a backend can apply the
-    whole edge as one integer add (the count is kept because the cost
-    model charges, and the stats count, per original action).  Edges
-    carrying barrier or loop bookkeeping return None — they must run
-    through the general action machinery.
+    When *actions* is a run of :class:`CounterAdd` (or pruned
+    :class:`ElidedAdd`) only, return the ``(total_delta, action_count)``
+    pair so a backend can apply the whole edge as one integer add (the
+    count is kept because the cost model charges, and the stats count,
+    per original action; an ``ElidedAdd`` contributes zero delta but its
+    full count).  Edges carrying barrier or loop bookkeeping return
+    None — they must run through the general action machinery.
     """
     total = 0
+    count = 0
     for action in actions:
-        if type(action) is not CounterAdd:
+        kind = type(action)
+        if kind is CounterAdd:
+            total += action.delta
+            count += 1
+        elif kind is ElidedAdd:
+            count += action.count
+        else:
             return None
-        total += action.delta
-    return total, len(actions)
+    return total, count
 
 
 class FunctionPlan:
@@ -160,22 +192,71 @@ class ModulePlan:
         self.may_reach_syscall: Set[str] = set()
         # Sink-relevance classification (analysis/relevance.py),
         # attached by the pipeline once planning is done.  Purely
-        # derived from the module + this plan; consumers (the threaded
-        # backend, reporting) decide whether to act on it.
+        # derived from the module + this plan; consumers (the
+        # instrumenter's pruning pass, the threaded backend, reporting)
+        # decide whether to act on it.
         self.relevance = None
+        # True once prune_counter_adds() rewrote counter-elidable edges
+        # (the --no-relevance path leaves full plans and this False).
+        self.pruned = False
 
     def plan_for(self, name: str) -> FunctionPlan:
         return self.functions[name]
+
+    def prune_counter_adds(self) -> int:
+        """Rewrite every counter-elidable edge's ``CounterAdd`` run into
+        one accounting-only :class:`ElidedAdd` ghost.
+
+        Consults the attached relevance classification (its
+        ``prunable_edges`` proof); barriers and sink-reaching edges are
+        untouched.  Returns the number of counter updates pruned.
+        """
+        if self.relevance is None:
+            return 0
+        pruned = 0
+        for name, plan in self.functions.items():
+            relevance = self.relevance.functions.get(name)
+            if relevance is None or not relevance.prunable_edges:
+                continue
+            for edge, count in relevance.prunable_edges.items():
+                actions = plan.actions.get(edge)
+                if not actions or not all(
+                    type(action) is CounterAdd for action in actions
+                ):
+                    continue  # defensive: the proof covers pure runs only
+                plan.actions[edge] = [ElidedAdd(len(actions))]
+                pruned += len(actions)
+        if pruned:
+            self.pruned = True
+        return pruned
 
     # -- static statistics for Table 1 ----------------------------------------
 
     @property
     def instrumented_instruction_count(self) -> int:
-        """Number of inserted counter-update/barrier sites."""
+        """Number of inserted counter-update/barrier sites.
+
+        Counts *logical* sites: a pruned edge's :class:`ElidedAdd` ghost
+        counts as the updates it replaced, so Table 1's Inst. column is
+        identical for pruned and unpruned plans (the PrunedCnt column —
+        from the classification — reports what pruning removes).
+        """
         return sum(
-            len(actions)
+            (action.count if type(action) is ElidedAdd else 1)
             for plan in self.functions.values()
             for actions in plan.actions.values()
+            for action in actions
+        )
+
+    @property
+    def pruned_site_count(self) -> int:
+        """Counter updates physically pruned from this plan."""
+        return sum(
+            action.count
+            for plan in self.functions.values()
+            for actions in plan.actions.values()
+            for action in actions
+            if type(action) is ElidedAdd
         )
 
     @property

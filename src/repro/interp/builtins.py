@@ -28,18 +28,22 @@ def _need(args, count, name):
 
 
 def _need_str(value, name):
-    if not isinstance(value, str):
-        raise InterpreterError(f"{name}() expects a string")
-    return value
+    if type(value) is str or isinstance(value, str):
+        return value
+    raise InterpreterError(f"{name}() expects a string")
 
 
 def _need_list(value, name):
-    if not isinstance(value, list):
-        raise InterpreterError(f"{name}() expects a list")
-    return value
+    if type(value) is list or isinstance(value, list):
+        return value
+    raise InterpreterError(f"{name}() expects a list")
 
 
 def _need_int(value, name):
+    # Exact-type fast path (bool is an int subclass, so `type is int`
+    # rejects it and the slow path coerces).
+    if type(value) is int:
+        return value
     if isinstance(value, bool):
         return int(value)
     if not isinstance(value, int):

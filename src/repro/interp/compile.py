@@ -51,10 +51,11 @@ and error surfaces stay single-sourced.
 
 from __future__ import annotations
 
+import os
 import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import LoweringError
+from repro.errors import LoweringError, ReproError
 from repro.instrument.plan import FunctionPlan, ModulePlan, fold_counter_adds
 from repro.interp.builtins import BUILTINS
 from repro.interp.events import SyscallEvent
@@ -80,9 +81,50 @@ CHAIN_CAP = 32
 # pass can execute), and the conservative instruction-budget bound per
 # pass derived from it (every path member at most once, plus the
 # terminator prologue).
-REGION_CAP = 192
-REGION_PATH_CAP = 48
+_REGION_CAP_DEFAULT = 320
+_REGION_PATH_CAP_DEFAULT = 80
+
+
+def _cap_from_env(name: str, default: int):
+    """Read a positive-int region cap override from the environment.
+
+    Caps only shape how much straight-line code one generated region
+    may cover — observables are byte-identical at any setting (the
+    instruction-budget pre-check falls back to single-stepping) — so
+    an operator may tune them per host without invalidating results.
+
+    Returns ``(value, error)``: an invalid override keeps the default
+    and defers the ``ReproError`` to the first compile, so the CLI can
+    render its usual one-line diagnosis instead of an import-time
+    traceback (this module loads with the ``repro`` package itself).
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default, None
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        return default, ReproError(
+            f"{name} must be a positive integer, got {raw!r}"
+        )
+    return value, None
+
+
+REGION_CAP, _REGION_CAP_ERROR = _cap_from_env(
+    "REPRO_REGION_CAP", _REGION_CAP_DEFAULT
+)
+REGION_PATH_CAP, _REGION_PATH_CAP_ERROR = _cap_from_env(
+    "REPRO_REGION_PATH_CAP", _REGION_PATH_CAP_DEFAULT
+)
 REGION_BOUND = REGION_PATH_CAP + 2
+
+
+def _check_region_caps() -> None:
+    error = _REGION_CAP_ERROR or _REGION_PATH_CAP_ERROR
+    if error is not None:
+        raise error
 
 # Binops whose Python operator IS the MiniC semantics when both
 # operands are plain ints (``type(x) is int`` — bools excluded); for
@@ -226,6 +268,7 @@ class _FunctionCompiler:
         global_names: frozenset,
         fuse: bool,
         relevance=None,
+        link: Optional[Dict[str, Tuple[Optional[FunctionPlan], List[Step]]]] = None,
     ) -> None:
         self.module = module
         self.function = function
@@ -235,6 +278,11 @@ class _FunctionCompiler:
         # FunctionRelevance (analysis/relevance.py) when relevance-
         # guided widening is on for this compilation, else None.
         self.relevance = relevance
+        # Module-wide callee registry, filled by compile_module after
+        # every function is compiled: name -> (FunctionPlan, steps).
+        # Direct-call steps use it to build callee frames without the
+        # machine's per-call plan/steps lookups.
+        self.link = link
 
     def compile(self) -> CompiledFunction:
         instrs = self.function.instrs
@@ -323,6 +371,17 @@ class _FunctionCompiler:
         if folded is not None:
             delta, count = folded
             if count == 1:
+                if delta == 0:
+                    # Pruned (ElidedAdd) edge: accounting only, no
+                    # counter math.
+                    def cross(machine, thread, frame, _dst=dst):
+                        thread.clock += machine.costs.edge_action
+                        machine.stats.edge_actions += 1
+                        frame.index = _dst
+                        return None
+
+                    return cross
+
                 def cross(machine, thread, frame, _dst=dst, _delta=delta):
                     thread.counter_stack[-1] += _delta
                     thread.clock += machine.costs.edge_action
@@ -713,14 +772,22 @@ class _FunctionCompiler:
         # counter scope, and the param <- arg binding list.
         scoped = self.plan is not None and index in self.plan.scoped_calls
         pairs = tuple(zip(target.params, instr.args))
+        # Deferred import: machine.py imports this module at load time.
+        from repro.interp.machine import Frame
 
         def step(
             machine, thread, frame,
             _instr=instr, _target=target, _dst=instr.dst,
-            _scoped=scoped, _pairs=pairs,
+            _scoped=scoped, _pairs=pairs, _link=self.link,
+            _fname=instr.func, _frame_cls=Frame,
         ):
+            # The callee's plan and step array are compile-time facts
+            # of this CompiledModule — one registry lookup replaces the
+            # machine's per-call _plan_for/_new_frame/steps_for chain.
+            callee_plan, callee_steps = _link[_fname]
+            callee = _frame_cls(_target, callee_plan, _dst, _scoped)
+            callee.code = callee_steps
             frame_locals = frame.locals
-            callee = machine._new_frame(_target, _dst, _scoped)
             callee_locals = callee.locals
             for param, arg in _pairs:
                 callee_locals[param] = frame_locals.get(arg)
@@ -747,14 +814,39 @@ class _FunctionCompiler:
         # Deferred import: machine.py imports this module at load time.
         from repro.interp.machine import WAIT_SYSCALL
 
+        arg_names = tuple(instr.args)
+        # Arg packing specialized by arity: a literal tuple build beats
+        # a generator-expression frame for the common 0-3 arg shapes.
+        if len(arg_names) == 0:
+            def pack(frame_locals):
+                return ()
+        elif len(arg_names) == 1:
+            def pack(frame_locals, _a0=arg_names[0]):
+                return (frame_locals.get(_a0),)
+        elif len(arg_names) == 2:
+            def pack(frame_locals, _a0=arg_names[0], _a1=arg_names[1]):
+                return (frame_locals.get(_a0), frame_locals.get(_a1))
+        elif len(arg_names) == 3:
+            def pack(
+                frame_locals,
+                _a0=arg_names[0], _a1=arg_names[1], _a2=arg_names[2],
+            ):
+                return (
+                    frame_locals.get(_a0),
+                    frame_locals.get(_a1),
+                    frame_locals.get(_a2),
+                )
+        else:
+            def pack(frame_locals, _args=arg_names):
+                return tuple(frame_locals.get(arg) for arg in _args)
+
         def step(
             machine, thread, frame,
-            _args=tuple(instr.args), _name=instr.name,
+            _pack=pack, _name=instr.name,
             _fname=self.function.name, _index=index,
             _event_cls=SyscallEvent, _wait=WAIT_SYSCALL,
         ):
-            frame_locals = frame.locals
-            args = tuple(frame_locals.get(arg) for arg in _args)
+            args = _pack(frame.locals)
             stats = machine.stats
             stats.syscalls += 1
             counter_stack = thread.counter_stack
@@ -1089,6 +1181,9 @@ class _FunctionCompiler:
         instr: ins.Instr,
         env: Dict[str, object],
         bindings: Dict[str, str],
+        types: Dict[str, Optional[str]],
+        hoist: frozenset,
+        rstate: Dict[str, object],
     ) -> Tuple[List[str], bool]:
         """Region-mode member emission with path-local register caching.
 
@@ -1099,26 +1194,64 @@ class _FunctionCompiler:
         always write ``fl`` through immediately (a region can spill or
         raise at any member), so re-entering the region top — where the
         emitted code reloads every temp it uses — is always safe.
+
+        *types* tracks what is provable about each local at this point
+        of the path ("int"/"bool"/"str"/"list"/None): constants seed
+        it, arithmetic on proven ints propagates it, and proven shapes
+        emit **unguarded** operations (no per-iteration ``type(x) is
+        int`` checks).  Names in *hoist* are assumed int at region
+        entry — the region prologue checks them once; any write that
+        cannot be proven to keep a hoisted name int is recorded in
+        ``rstate["violations"]`` so the caller's fixpoint can drop the
+        name.  Unknown-typed operands that *would* profit from an int
+        assumption are recorded in ``rstate["candidates"]``.
         """
         lines: List[str] = []
 
         def rd(name: str) -> str:
             temp = bindings.get(name)
             if temp is None:
+                # Live-in on this path (read before any write): these
+                # are the loop-carried register candidates.
+                rstate["reads"].add(name)
                 temp = f"g{pos}_{len(lines)}"
                 lines.append(f"{temp} = fl.get({name!r})")
                 bindings[name] = temp
             return temp
+
+        def wr(name: str, t: Optional[str]) -> None:
+            # "any" marks written-but-unproven: unlike a missing entry
+            # (never touched on this path), the value no longer comes
+            # from region entry, so an entry guard can't help it.
+            types[name] = t if t is not None else "any"
+            if t != "int" and name in hoist:
+                rstate["violations"].add(name)
+
+        def want_int(name: str) -> None:
+            # Only live-in names nothing is known about: the entry
+            # guard checks entry values, so a name already written on
+            # this path (or of known non-int shape) gains nothing and
+            # would turn the guard into a certain miss.
+            if types.get(name) is None:
+                rstate["candidates"].add(name)
 
         kind = type(instr)
         if kind is ins.Nop or kind is ins.Jump:
             return [], False
         if kind is ins.Const:
             env[f"v{pos}"] = instr.value
+            value = instr.value
+            vt = type(value)
+            const_type = (
+                "int" if vt is int else
+                "bool" if vt is bool else
+                "str" if vt is str else None
+            )
             if self._is_local(instr.dst):
                 # env names are never reassigned: the constant itself
                 # doubles as the binding.
                 bindings[instr.dst] = f"v{pos}"
+                wr(instr.dst, const_type)
                 return [f"fl[{instr.dst!r}] = v{pos}"], False
             env[f"w{pos}"] = self._writer(instr.dst)
             return [f"w{pos}(machine, frame, v{pos})"], False
@@ -1127,9 +1260,15 @@ class _FunctionCompiler:
                 src = rd(instr.src)
                 lines.append(f"fl[{instr.dst!r}] = {src}")
                 bindings[instr.dst] = src
+                wr(instr.dst, types.get(instr.src))
                 return lines, False
             env[f"r{pos}"] = self._reader(instr.src)
             env[f"w{pos}"] = self._writer(instr.dst)
+            if self._is_local(instr.dst):
+                # The write bypasses the register cache: drop any
+                # binding so later reads reload from the frame.
+                bindings.pop(instr.dst, None)
+                wr(instr.dst, None)
             return [f"w{pos}(machine, frame, r{pos}(machine, frame))"], False
         xv = f"xv{pos}"
         if kind is ins.Binop:
@@ -1140,8 +1279,31 @@ class _FunctionCompiler:
                 and self._is_local(instr.right)
             ):
                 xl, xr = rd(instr.left), rd(instr.right)
+                tl, tr = types.get(instr.left), types.get(instr.right)
                 fast = _INT_FAST_BINOPS.get(instr.op)
                 if fast is not None:
+                    both_int = tl == "int" and tr == "int"
+                    both_str = tl == "str" and tr == "str"
+                    if both_int or (both_str and instr.op in ("==", "!=")):
+                        # Shapes proven (entry guard or dominating
+                        # writes on this straight-line path): the bare
+                        # Python operator IS the semantics.
+                        lines.append(
+                            f"fl[{instr.dst!r}] = ({xv} := {xl} {fast} {xr})"
+                        )
+                        bindings[instr.dst] = xv
+                        wr(
+                            instr.dst,
+                            "int" if instr.op in ("+", "-", "*") else "bool",
+                        )
+                        return lines, False
+                    if instr.op not in ("==", "!="):
+                        # Equality is type-agnostic — assuming int for
+                        # its operands buys little and risks guard
+                        # misses; arithmetic and order comparisons are
+                        # the induction-variable workhorses.
+                        want_int(instr.left)
+                        want_int(instr.right)
                     guard = f"type({xl}) is int and type({xr}) is int"
                     if instr.op in ("==", "!="):
                         guard = (
@@ -1157,10 +1319,14 @@ class _FunctionCompiler:
                         f"fl[{instr.dst!r}] = ({xv} := b{pos}({xl}, {xr}))"
                     )
                 bindings[instr.dst] = xv
+                wr(instr.dst, None)
                 return lines, False
             env[f"rl{pos}"] = self._reader(instr.left)
             env[f"rr{pos}"] = self._reader(instr.right)
             env[f"w{pos}"] = self._writer(instr.dst)
+            if self._is_local(instr.dst):
+                bindings.pop(instr.dst, None)
+                wr(instr.dst, None)
             return [
                 f"w{pos}(machine, frame, b{pos}"
                 f"(rl{pos}(machine, frame), rr{pos}(machine, frame)))"
@@ -1169,12 +1335,24 @@ class _FunctionCompiler:
             env[f"u{pos}"] = UNOP_FUNCS[instr.op]
             if self._is_local(instr.dst) and self._is_local(instr.operand):
                 xo = rd(instr.operand)
+                to = types.get(instr.operand)
                 if instr.op == "-":
+                    if to == "int":
+                        lines.append(f"fl[{instr.dst!r}] = ({xv} := -{xo})")
+                        bindings[instr.dst] = xv
+                        wr(instr.dst, "int")
+                        return lines, False
+                    want_int(instr.operand)
                     lines.append(
                         f"fl[{instr.dst!r}] = ({xv} := -{xo} "
                         f"if type({xo}) is int else u{pos}({xo}))"
                     )
                 elif instr.op == "not":
+                    if to == "bool":
+                        lines.append(f"fl[{instr.dst!r}] = ({xv} := not {xo})")
+                        bindings[instr.dst] = xv
+                        wr(instr.dst, "bool")
+                        return lines, False
                     lines.append(
                         f"fl[{instr.dst!r}] = ({xv} := (not {xo}) "
                         f"if {xo} is True or {xo} is False else u{pos}({xo}))"
@@ -1182,9 +1360,13 @@ class _FunctionCompiler:
                 else:
                     lines.append(f"fl[{instr.dst!r}] = ({xv} := u{pos}({xo}))")
                 bindings[instr.dst] = xv
+                wr(instr.dst, None)
                 return lines, False
             env[f"r{pos}"] = self._reader(instr.operand)
             env[f"w{pos}"] = self._writer(instr.dst)
+            if self._is_local(instr.dst):
+                bindings.pop(instr.dst, None)
+                wr(instr.dst, None)
             return [
                 f"w{pos}(machine, frame, u{pos}(r{pos}(machine, frame)))"
             ], False
@@ -1192,15 +1374,29 @@ class _FunctionCompiler:
             env[f"h{pos}"] = BUILTINS[instr.name]
             if instr.name == "len" and len(instr.args) == 1:
                 xa = rd(instr.args[0])
-                lines.append(
-                    f"fl[{instr.dst!r}] = ({xv} := len({xa}) "
-                    f"if type({xa}) is str or type({xa}) is list "
-                    f"else h{pos}([{xa}]))"
-                )
+                ta = types.get(instr.args[0])
+                if ta == "str" or ta == "list":
+                    lines.append(f"fl[{instr.dst!r}] = ({xv} := len({xa}))")
+                else:
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := len({xa}) "
+                        f"if type({xa}) is str or type({xa}) is list "
+                        f"else h{pos}([{xa}]))"
+                    )
                 bindings[instr.dst] = xv
+                # The builtin returns an int or raises: int either way.
+                wr(instr.dst, "int")
                 return lines, False
             if instr.name == "push" and len(instr.args) == 2:
                 xa, val = rd(instr.args[0]), rd(instr.args[1])
+                if types.get(instr.args[0]) == "list":
+                    lines.extend([
+                        f"{xa}.append({val})",
+                        f"fl[{instr.dst!r}] = ({xv} := {xa})",
+                    ])
+                    bindings[instr.dst] = xv
+                    wr(instr.dst, "list")
+                    return lines, False
                 lines.extend([
                     f"if type({xa}) is list:",
                     f"    {xa}.append({val})",
@@ -1210,18 +1406,27 @@ class _FunctionCompiler:
                     f"fl[{instr.dst!r}] = {xv}",
                 ])
                 bindings[instr.dst] = xv
+                wr(instr.dst, None)
                 return lines, False
             if instr.name == "pop" and len(instr.args) == 1:
                 xa = rd(instr.args[0])
-                lines.append(
-                    f"fl[{instr.dst!r}] = ({xv} := {xa}.pop() "
-                    f"if type({xa}) is list and {xa} else h{pos}([{xa}]))"
-                )
+                if types.get(instr.args[0]) == "list":
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := {xa}.pop() "
+                        f"if {xa} else h{pos}([{xa}]))"
+                    )
+                else:
+                    lines.append(
+                        f"fl[{instr.dst!r}] = ({xv} := {xa}.pop() "
+                        f"if type({xa}) is list and {xa} else h{pos}([{xa}]))"
+                    )
                 bindings[instr.dst] = xv
+                wr(instr.dst, None)
                 return lines, False
             args = ", ".join(rd(arg) for arg in instr.args)
             lines.append(f"fl[{instr.dst!r}] = ({xv} := h{pos}([{args}]))")
             bindings[instr.dst] = xv
+            wr(instr.dst, None)
             return lines, False
         if kind is ins.LoadIndex:
             env[f"i{pos}"] = instr
@@ -1231,9 +1436,19 @@ class _FunctionCompiler:
                 and self._is_local(instr.index)
             ):
                 xb, xi = rd(instr.base), rd(instr.index)
+                tb, ti = types.get(instr.base), types.get(instr.index)
+                if ti != "int":
+                    want_int(instr.index)
+                if (tb == "list" or tb == "str") and ti == "int":
+                    # Shapes proven: only the bounds check remains.
+                    check = f"0 <= {xi} < len({xb})"
+                else:
+                    check = (
+                        f"(type({xb}) is list or type({xb}) is str) "
+                        f"and type({xi}) is int and 0 <= {xi} < len({xb})"
+                    )
                 lines.extend([
-                    f"if (type({xb}) is list or type({xb}) is str) "
-                    f"and type({xi}) is int and 0 <= {xi} < len({xb}):",
+                    f"if {check}:",
                     f"    fl[{instr.dst!r}] = ({xv} := {xb}[{xi}])",
                     "else:",
                     f"    frame.index = {index}",
@@ -1241,9 +1456,11 @@ class _FunctionCompiler:
                     f"machine._load_index(thread, frame, i{pos}))",
                 ])
                 bindings[instr.dst] = xv
+                wr(instr.dst, None)
                 return lines, False
             if self._is_local(instr.dst):
                 bindings[instr.dst] = xv
+                wr(instr.dst, None)
                 return [
                     f"fl[{instr.dst!r}] = ({xv} := "
                     f"machine._load_index(thread, frame, i{pos}))"
@@ -1261,9 +1478,18 @@ class _FunctionCompiler:
                 and self._is_local(instr.src)
             ):
                 xb, xi, src = rd(instr.base), rd(instr.index), rd(instr.src)
+                tb, ti = types.get(instr.base), types.get(instr.index)
+                if ti != "int":
+                    want_int(instr.index)
+                if tb == "list" and ti == "int":
+                    check = f"0 <= {xi} < len({xb})"
+                else:
+                    check = (
+                        f"type({xb}) is list "
+                        f"and type({xi}) is int and 0 <= {xi} < len({xb})"
+                    )
                 lines.extend([
-                    f"if type({xb}) is list "
-                    f"and type({xi}) is int and 0 <= {xi} < len({xb}):",
+                    f"if {check}:",
                     f"    {xb}[{xi}] = {src}",
                     "else:",
                     f"    frame.index = {index}",
@@ -1283,6 +1509,7 @@ class _FunctionCompiler:
             if self._is_local(instr.dst):
                 lines.append(f"fl[{instr.dst!r}] = ({xv} := [{items}])")
                 bindings[instr.dst] = xv
+                wr(instr.dst, "list")
                 return lines, False
             env[f"w{pos}"] = self._writer(instr.dst)
             return [f"w{pos}(machine, frame, [{items}])"], False
@@ -1494,9 +1721,72 @@ class _FunctionCompiler:
         elif self._region_successor(start, first_instr) is None:
             return self._compile_run(start, base)
 
+        # Pass 1: generic emission (no entry assumptions).  Its
+        # candidate set records which locals would shed per-iteration
+        # int guards if proven int at entry, and its read set records
+        # which locals the region loads from the frame.
+        env, body, state = self._emit_region_parts(start, base, frozenset())
+        carried = ()
+        if state["loop"] and state["reads"]:
+            # Self-reentering region: keep every local the body reads
+            # in a Python register, loaded once at region entry and
+            # reconciled at each back-edge, so iterations never reload
+            # from the locals dict.  (Writes still go through ``fl``
+            # eagerly, so any exit sees a consistent frame.)
+            carried = tuple(sorted(state["reads"]))
+            env, body, state = self._emit_region_parts(
+                start, base, frozenset(), carried
+            )
+        generic = self._assemble_region(start, env, body, state, (), None, carried)
+        if not (state["loop"] and state["candidates"]):
+            return generic
+
+        # Pass 2 (self-reentering regions only): hoist-set fixpoint.
+        # Assume every candidate is int at entry, re-emit, and drop any
+        # name some write cannot be proven to keep int; repeat until
+        # the surviving set is self-consistent (`i = i + 1` survives
+        # because its write is int *given* the assumption).
+        trial = frozenset(state["candidates"])
+        emission = None
+        while trial:
+            env_h, body_h, state_h = self._emit_region_parts(
+                start, base, trial, carried
+            )
+            bad = state_h["violations"]
+            if not bad:
+                emission = (env_h, body_h, state_h)
+                break
+            trial = trial - bad
+        if emission is None or not trial:
+            return generic
+        env_h, body_h, state_h = emission
+        # The specialized variant checks the hoisted registers once at
+        # region entry; a miss (a genuinely non-int loop) dispatches to
+        # the generic variant — the exact code running today — so the
+        # slow path replays with byte-identical observables.
+        return self._assemble_region(
+            start, env_h, body_h, state_h, tuple(sorted(trial)), generic, carried
+        )
+
+    def _emit_region_parts(
+        self,
+        start: int,
+        base: List[Step],
+        hoist: frozenset,
+        carried: Tuple[str, ...] = (),
+    ) -> Tuple[Dict[str, object], List[Tuple[int, str]], Dict[str, object]]:
+        instrs = self.function.instrs
+        fusible = self.relevance.fusible
         env: Dict[str, object] = {"s0": base[start]}
         body: List[Tuple[int, str]] = []
-        state = {"emitted": 0, "loop": False, "ec": False, "cs": False}
+        state: Dict[str, object] = {
+            "emitted": 0, "loop": False, "ec": False, "cs": False,
+            "candidates": set(), "violations": set(), "reads": set(),
+        }
+        # Loop-carried registers: ``lcK`` holds local *name* across
+        # iterations (loaded in the region prologue; each back-edge
+        # reconciles the register with the path's current binding).
+        creg = {name: f"lc{k}" for k, name in enumerate(carried)}
 
         def emit(depth: int, text: str) -> None:
             body.append((depth, text))
@@ -1527,7 +1817,9 @@ class _FunctionCompiler:
             env[f"t{target}"] = base[target]
             emit(depth, f"return t{target}(machine, thread, frame)")
 
-        def emit_reenter(depth: int, cum: Tuple[int, int]) -> None:
+        def emit_reenter(
+            depth: int, cum: Tuple[int, int], bindings: Dict[str, str]
+        ) -> None:
             emit_flush(depth, cum)
             state["loop"] = True
             # The next iteration may overflow the budget: hand back to
@@ -1540,6 +1832,27 @@ class _FunctionCompiler:
             emit(depth + 1, "return None")
             emit(depth, "n += 1")
             emit(depth, "clock += icost")
+            # Reconcile the carried registers with this path's current
+            # values before jumping back to the region top (whose code
+            # reads the entry registers).  One tuple assignment: the
+            # copies are parallel (a register may feed another, as in
+            # ``prev = cur`` loops), so sources must all be read
+            # before any register is written.
+            targets, sources = [], []
+            for name in carried:
+                reg = creg[name]
+                cur = bindings.get(name)
+                if cur is None:
+                    targets.append(reg)
+                    sources.append("fl.get(%r)" % name)
+                elif cur != reg:
+                    targets.append(reg)
+                    sources.append(cur)
+            if targets:
+                emit(
+                    depth,
+                    ", ".join(targets) + " = " + ", ".join(sources),
+                )
             emit(depth, "continue")
 
         def charge_edge(
@@ -1561,12 +1874,13 @@ class _FunctionCompiler:
             visited: frozenset,
             first: bool,
             bindings: Dict[str, str],
+            types: Dict[str, Optional[str]],
         ) -> None:
             path_len = len(visited)
             while True:
                 if not first:
                     if index == start:
-                        emit_reenter(depth, cum)
+                        emit_reenter(depth, cum, bindings)
                         return
                     if index not in fusible:
                         emit_term(depth, index, cum)
@@ -1600,9 +1914,12 @@ class _FunctionCompiler:
                 if kind is ins.CJump:
                     pos = state["emitted"]
                     env["truthy"] = truthy
+                    cond_bool = False
                     if self._is_local(instr.cond):
+                        cond_bool = types.get(instr.cond) == "bool"
                         xc = bindings.get(instr.cond)
                         if xc is None:
+                            state["reads"].add(instr.cond)
                             xc = f"xc{pos}"
                             emit(depth, f"{xc} = fl.get({instr.cond!r})")
                             bindings[instr.cond] = xc
@@ -1612,15 +1929,22 @@ class _FunctionCompiler:
                         emit(depth, f"{xc} = rc{pos}(machine, frame)")
                     # Comparison results are Python bools: test those
                     # by identity, call truthy() only for other types.
-                    cond = (
-                        f"{xc} is True or "
-                        f"({xc} is not False and truthy({xc}))"
-                    )
+                    # A condition *proven* bool (e.g. computed by an
+                    # unguarded comparison on this path) tests bare.
+                    if cond_bool:
+                        cond = xc
+                    else:
+                        cond = (
+                            f"{xc} is True or "
+                            f"({xc} is not False and truthy({xc}))"
+                        )
                     on_true, on_false = instr.true_target, instr.false_target
                     if on_true == on_false:
                         # Degenerate branch: the condition still
-                        # evaluates (its type errors must surface).
-                        emit(depth, f"truthy({xc})")
+                        # evaluates (its type errors must surface —
+                        # unless proven bool, where truthy() is total).
+                        if not cond_bool:
+                            emit(depth, f"truthy({xc})")
                         cum = charge_edge(depth, index, on_true, cum)
                         index = on_true
                         continue
@@ -1628,17 +1952,18 @@ class _FunctionCompiler:
                     walk(
                         on_true, depth + 1,
                         charge_edge(depth + 1, index, on_true, cum),
-                        visited, False, dict(bindings),
+                        visited, False, dict(bindings), dict(types),
                     )
                     emit(depth, "else:")
                     walk(
                         on_false, depth + 1,
                         charge_edge(depth + 1, index, on_false, cum),
-                        visited, False, dict(bindings),
+                        visited, False, dict(bindings), dict(types),
                     )
                     return
                 member_lines, needs_index = self._emit_member_cached(
-                    state["emitted"], index, instr, env, bindings
+                    state["emitted"], index, instr, env, bindings,
+                    types, hoist, state,
                 )
                 if needs_index:
                     emit(depth, f"frame.index = {index}")
@@ -1647,8 +1972,22 @@ class _FunctionCompiler:
                 cum = charge_edge(depth, index, succ, cum)
                 index = succ
 
-        walk(start, 0, (0, 0), frozenset(), True, {})
+        walk(
+            start, 0, (0, 0), frozenset(), True, dict(creg),
+            {name: "int" for name in hoist},
+        )
+        return env, body, state
 
+    def _assemble_region(
+        self,
+        start: int,
+        env: Dict[str, object],
+        body: List[Tuple[int, str]],
+        state: Dict[str, object],
+        hoisted: Tuple[str, ...],
+        generic: Optional[Step],
+        carried: Tuple[str, ...] = (),
+    ) -> Step:
         prologue = [
             "st = machine.stats",
             "n = st.instructions",
@@ -1657,10 +1996,29 @@ class _FunctionCompiler:
             # the single base step keeps the overflow state exact.
             f"if n + {REGION_BOUND} > limit:",
             "    return s0(machine, thread, frame)",
-            "icost = machine.costs.instruction",
-            "clock = thread.clock",
             "fl = frame.locals",
         ]
+        creg = {name: f"lc{k}" for k, name in enumerate(carried)}
+        for name in carried:
+            # Loop-carried entry loads: the body reads these registers
+            # instead of the locals dict (back-edges keep them fresh).
+            prologue.append(f"{creg[name]} = fl.get({name!r})")
+        if hoisted:
+            # Hoisted int guards, checked ONCE per region entry (the
+            # `while True` re-entry never re-checks: every write to a
+            # hoisted register inside the region provably keeps it
+            # int).  A miss runs the generic variant instead.
+            env["generic"] = generic
+            holders = [
+                creg.get(name) or "fl.get(%r)" % name for name in hoisted
+            ]
+            guard = " and ".join(
+                f"type({holder}) is int" for holder in holders
+            )
+            prologue.append(f"if not ({guard}):")
+            prologue.append("    return generic(machine, thread, frame)")
+        prologue.append("icost = machine.costs.instruction")
+        prologue.append("clock = thread.clock")
         if state["ec"]:
             prologue.append("ec = machine.costs.edge_action")
         if state["cs"]:
@@ -1700,6 +2058,10 @@ def compile_module(
     use_relevance = fuse and module_relevance is not None
     global_names = frozenset(module.global_values)
     functions: Dict[str, CompiledFunction] = {}
+    # Callee registry shared by every direct-call step of this
+    # compilation; filled below once each function's steps exist (call
+    # steps only read it at run time, so order doesn't matter).
+    link: Dict[str, Tuple[Optional[FunctionPlan], List[Step]]] = {}
     for name, function in module.functions.items():
         function_plan = plan.functions.get(name) if plan is not None else None
         function_relevance = (
@@ -1707,8 +2069,11 @@ def compile_module(
         )
         functions[name] = _FunctionCompiler(
             module, function, function_plan, global_names, fuse,
-            function_relevance,
+            function_relevance, link,
         ).compile()
+    for name, compiled in functions.items():
+        function_plan = plan.functions.get(name) if plan is not None else None
+        link[name] = (function_plan, compiled.steps)
     return CompiledModule(functions, module, plan, fuse, use_relevance)
 
 
@@ -1733,6 +2098,7 @@ def compiled_for_module(
     relevance: Optional[bool] = None,
 ) -> CompiledModule:
     """Compile (or reuse the memoized compilation of) *module*."""
+    _check_region_caps()
     if relevance is None:
         relevance = _RELEVANCE_ENABLED
     per_module = _MEMO.get(module)

@@ -47,7 +47,13 @@ class SyscallEvent(Event):
         name: str,
         args: tuple,
     ) -> None:
-        super().__init__(machine, thread_id, function, index, counter)
+        # Flattened (no super().__init__): events are constructed once
+        # per syscall on the hot driver path.
+        self.machine = machine
+        self.thread_id = thread_id
+        self.function = function
+        self.index = index
+        self.counter = counter
         self.name = name
         self.args = args
 
@@ -79,7 +85,11 @@ class BarrierEvent(Event):
         reset_to: int,
         iteration: int = 0,
     ) -> None:
-        super().__init__(machine, thread_id, function, index, counter)
+        self.machine = machine
+        self.thread_id = thread_id
+        self.function = function
+        self.index = index
+        self.counter = counter
         self.loop_head = loop_head
         self.reset_to = reset_to
         self.iteration = iteration

@@ -19,6 +19,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 from repro.errors import BudgetExceededError, FaultInjected, InterpreterError
 from repro.instrument.plan import (
     CounterAdd,
+    ElidedAdd,
     FunctionPlan,
     LoopExit,
     LoopSync,
@@ -175,8 +176,10 @@ class Machine:
         # Scheduling jitter source — models racy thread interleavings.
         self._sched_rng = DeterministicRng(schedule_seed * 7919 + 17)
         # Optional per-instruction hook: hook(thread, frame, instr).
-        # Used by the taint and DualEx baselines.
-        self.instr_hook: Optional[Callable[[ThreadState, Frame, ins.Instr], None]] = None
+        # Used by the taint and DualEx baselines.  Stored behind a
+        # property: assigning a hook invalidates the cached driver
+        # loop (which must switch to the hook-aware switch driver).
+        self._instr_hook: Optional[Callable[[ThreadState, Frame, ins.Instr], None]] = None
         # Events raised while servicing a driver call (e.g. a barrier on
         # the edge just past a completed syscall); drained first.
         self._deferred_events: List[Event] = []
@@ -291,11 +294,36 @@ class Machine:
                 if status in (WAIT_SYSCALL, WAIT_BARRIER):
                     return None
                 raise InterpreterError(f"{self.name}: thread deadlock")
-            self._wake_joiners()
+            # One fused pass over the threads collects the runnable set
+            # (and its least clock) and notices waiting joiners — the
+            # same work _wake_joiners + runnable_threads + _pick_thread
+            # did in three passes, with identical RNG draws.
+            runnable = None
+            least = 0.0
+            have_joiner = False
+            for t in threads:
+                status = t.status
+                if status == RUNNABLE:
+                    clock = t.clock
+                    if runnable is None:
+                        runnable = [t]
+                        least = clock
+                    else:
+                        runnable.append(t)
+                        if clock < least:
+                            least = clock
+                elif status == WAIT_JOIN:
+                    have_joiner = True
+            if have_joiner:
+                woke = self._wake_joiners()
+                if self._deferred_events:
+                    return self._deferred_events.pop(0)
+                if woke:
+                    # Woken joiners changed the runnable set; recompute.
+                    continue
             if self._deferred_events:
                 return self._deferred_events.pop(0)
-            runnable = self.runnable_threads()
-            if not runnable:
+            if runnable is None:
                 if all(t.done for t in self.threads):
                     self.finished = True
                     return None
@@ -308,7 +336,19 @@ class Machine:
                     # The driver owes us a resolution; yield control.
                     return None
                 raise InterpreterError(f"{self.name}: thread deadlock")
-            thread = self._pick_thread(runnable)
+            if len(runnable) == 1:
+                thread = runnable[0]
+            else:
+                # Discrete-event choice: least virtual time first; ties
+                # broken by seeded jitter (the source of racy
+                # interleavings).  Identical to _pick_thread: the RNG
+                # draws only on ties between >= 2 candidates.
+                bound = least + 1e-9
+                candidates = [t for t in runnable if t.clock <= bound]
+                if len(candidates) == 1:
+                    thread = candidates[0]
+                else:
+                    thread = candidates[self._sched_rng.next_int(len(candidates))]
             event = self._run_thread(thread)
             if event is not None:
                 return event
@@ -324,18 +364,39 @@ class Machine:
         return candidates[self._sched_rng.next_int(len(candidates))]
 
     def complete_syscall(self, event: SyscallEvent, value: object) -> None:
-        """Deliver a syscall result and resume the thread."""
+        """Deliver a syscall result and resume the thread.
+
+        Runs once per syscall in every execution, coupled or not, so
+        ``_write``/``_single_successor``/``_advance`` are inlined here
+        (identical semantics; the edge-action path still routes through
+        ``_apply_actions``).
+        """
         thread = self.threads[event.thread_id]
         if thread.pending_event is not event:
             raise InterpreterError(f"{self.name}: stale syscall completion")
         frame = thread.frames[-1]
-        instr = frame.function.instrs[frame.index]
-        self._write(thread, frame, instr.dst, value)
+        function = frame.function
+        index = frame.index
+        name = function.instrs[index].dst
+        locals_ = frame.locals
+        if name in self.globals and name not in locals_:
+            self.globals[name] = value
+        else:
+            locals_[name] = value
         thread.pending_event = None
         thread.status = RUNNABLE
-        deferred = self._advance(thread, frame, frame.index, self._single_successor(frame))
-        if deferred is not None:
-            self._deferred_events.append(deferred)
+        succs = function.successors(index)
+        if len(succs) != 1:  # pragma: no cover - syscalls fall through
+            raise InterpreterError("expected a unique successor")
+        dst = succs[0]
+        plan = frame.plan
+        actions = plan.actions_for(index, dst) if plan is not None else None
+        if actions:
+            deferred = self._apply_actions(thread, frame, dst, list(actions))
+            if deferred is not None:
+                self._deferred_events.append(deferred)
+        else:
+            frame.index = dst
 
     def complete_barrier(self, event: BarrierEvent) -> None:
         """Release a thread blocked at a loop back-edge barrier."""
@@ -550,7 +611,8 @@ class Machine:
             thread.waiting_mutex = None
             self.complete_syscall(event, 0)
 
-    def _wake_joiners(self) -> None:
+    def _wake_joiners(self) -> bool:
+        woke = False
         for thread in self.threads:
             if thread.status == WAIT_JOIN:
                 target = self.threads[thread.join_target]
@@ -558,6 +620,8 @@ class Machine:
                     event = thread.pending_event
                     thread.join_target = None
                     self.complete_syscall(event, target.result)
+                    woke = True
+        return woke
 
     # -- interpretation ----------------------------------------------------------------
 
@@ -567,6 +631,19 @@ class Machine:
             f"({self.max_instructions})"
         )
 
+    @property
+    def instr_hook(self) -> Optional[Callable[["ThreadState", "Frame", ins.Instr], None]]:
+        return self._instr_hook
+
+    @instr_hook.setter
+    def instr_hook(
+        self, hook: Optional[Callable[["ThreadState", "Frame", ins.Instr], None]]
+    ) -> None:
+        self._instr_hook = hook
+        # Drop the memoized driver loop: a hook forces the switch
+        # driver (and removing one re-enables the threaded driver).
+        self.__dict__.pop("_run_thread", None)
+
     def _run_thread(self, thread: ThreadState) -> Optional[Event]:
         """Run one thread until it produces an event, blocks or ends.
 
@@ -574,15 +651,21 @@ class Machine:
         {plain, profiled}.  Per-instruction hooks (the taint/DualEx
         baselines) need the original instruction objects, so a machine
         with ``instr_hook`` always takes the switch loop regardless of
-        backend.
+        backend.  The choice is fixed for a given configuration, so
+        the bound loop is memoized as an instance attribute — later
+        ``self._run_thread(...)`` calls skip this dispatch entirely.
         """
-        if self._code is not None and self.instr_hook is None:
+        if self._code is not None and self._instr_hook is None:
             if self._profile:
-                return self._run_thread_threaded_profiled(thread)
-            return self._run_thread_threaded(thread)
-        if self._profile:
-            return self._run_thread_switch_profiled(thread)
-        return self._run_thread_switch(thread)
+                runner = self._run_thread_threaded_profiled
+            else:
+                runner = self._run_thread_threaded
+        elif self._profile:
+            runner = self._run_thread_switch_profiled
+        else:
+            runner = self._run_thread_switch
+        self.__dict__["_run_thread"] = runner
+        return runner(thread)
 
     def _run_thread_switch(self, thread: ThreadState) -> Optional[Event]:
         costs = self.costs
@@ -598,8 +681,8 @@ class Machine:
             if self.stats.instructions > self.max_instructions:
                 self._budget_exceeded()
             thread.clock += costs.instruction
-            if self.instr_hook is not None:
-                self.instr_hook(thread, frame, instr)
+            if self._instr_hook is not None:
+                self._instr_hook(thread, frame, instr)
             event = self._execute(thread, frame, instr)
             if event is not None:
                 return event
@@ -649,8 +732,8 @@ class Machine:
             if self.stats.instructions > self.max_instructions:
                 self._budget_exceeded()
             thread.clock += costs.instruction
-            if self.instr_hook is not None:
-                self.instr_hook(thread, frame, instr)
+            if self._instr_hook is not None:
+                self._instr_hook(thread, frame, instr)
             event = self._execute(thread, frame, instr)
             counts[opname] += 1
             times[opname] += thread.clock - before
@@ -867,6 +950,14 @@ class Machine:
                 thread.counter_stack[-1] += action.delta
                 thread.clock += costs.edge_action
                 self.stats.edge_actions += 1
+            elif isinstance(action, ElidedAdd):
+                # Pruned counter updates: accounting only.  The clock is
+                # charged per original action (sequential float adds, so
+                # pruned and unpruned plans stay bit-identical).
+                edge_cost = costs.edge_action
+                for _ in range(action.count):
+                    thread.clock += edge_cost
+                self.stats.edge_actions += action.count
             elif isinstance(action, LoopExit):
                 self._pop_loop_record(thread, frame, action.head)
             elif isinstance(action, LoopSync):

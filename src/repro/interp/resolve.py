@@ -17,13 +17,21 @@ from repro.vos.syscalls import THREAD_SYSCALLS
 
 def resolve_syscall_locally(machine: Machine, event: SyscallEvent) -> None:
     """Execute one syscall on the machine's own kernel/thread services."""
-    if event.name in THREAD_SYSCALLS:
+    name = event.name
+    if name in THREAD_SYSCALLS:
         machine.charge(event.thread_id, machine.costs.thread_op + machine.jitter_units())
         _resolve_thread_syscall(machine, event)
         return
-    machine.charge(event.thread_id, machine.syscall_cost())
+    machine.threads[event.thread_id].clock += machine.syscall_cost()
+    kernel = machine.kernel
     try:
-        value = machine.execute_syscall(event)
+        if kernel.faults is None:
+            # Fault-free fast path: exactly Machine.execute_syscall
+            # without the wrapper (this runs once per syscall in every
+            # uncoupled execution).
+            value = kernel.execute(name, event.args)
+        else:
+            value = machine.execute_syscall(event)
     except ProgramExit as program_exit:
         machine.terminate(program_exit.code)
         return
@@ -56,7 +64,7 @@ def _resolve_thread_syscall(machine: Machine, event: SyscallEvent) -> None:
 
 def resolve_event_locally(machine: Machine, event) -> None:
     """Resolve any event type for an uncoupled execution."""
-    if isinstance(event, SyscallEvent):
+    if type(event) is SyscallEvent or isinstance(event, SyscallEvent):
         resolve_syscall_locally(machine, event)
     elif isinstance(event, BarrierEvent):
         # No peer: barriers are free passes.

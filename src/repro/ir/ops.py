@@ -152,15 +152,18 @@ def apply_unop(op: str, operand):
 
 
 def _stringify(value) -> str:
+    # Exact-type dispatch, most common shapes first (bool before int:
+    # bool subclasses int, and `type` checks are exact).
+    vt = type(value)
+    if vt is str:
+        return value
+    if vt is int:
+        return str(value)
+    if vt is bool:
+        return "true" if value else "false"
     if value is None:
         return "nil"
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, str):
-        return value
-    if isinstance(value, int):
-        return str(value)
-    if isinstance(value, list):
+    if vt is list:
         return "[" + ",".join(_stringify(v) for v in value) + "]"
     if isinstance(value, FuncRef):
         return f"<fn {value.name}>"

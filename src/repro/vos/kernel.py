@@ -11,7 +11,7 @@ resource tainting — and logs output syscalls for sink comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import FaultInjected, ReproError
 from repro.ir.ops import stringify
@@ -47,6 +47,9 @@ class Kernel:
     STDOUT = 1
     STDERR = 2
 
+    # Lazily-built per-class syscall dispatch table (see __init__).
+    _handlers: Optional[Dict[str, Callable]] = None
+
     def __init__(self, world: World, faults: Optional[FaultPlan] = None) -> None:
         self.world = world
         # Optional transient-fault schedule (the chaos layer).  None =
@@ -66,6 +69,17 @@ class Kernel:
         self.allocations: List[Tuple[int, int]] = []
         self._next_alloc = world.heap_base
         self.syscall_count = 0
+        # name -> unbound handler, resolved once per class: both the
+        # per-syscall f-string + getattr dispatch and a per-instance
+        # dir() scan are measurable on the event path (kernels are
+        # constructed per execution).
+        cls = type(self)
+        if cls._handlers is None:
+            cls._handlers = {
+                attr[len("_sys_"):]: getattr(cls, attr)
+                for attr in dir(cls)
+                if attr.startswith("_sys_")
+            }
 
     # -- dispatch --------------------------------------------------------------
 
@@ -79,7 +93,7 @@ class Kernel:
         completes them with ``inject=False`` continuation calls).
         """
         self.syscall_count += 1
-        handler = getattr(self, f"_sys_{name}", None)
+        handler = self._handlers.get(name)
         if handler is None:
             raise ReproError(f"kernel has no handler for syscall {name!r}")
         if inject and self.faults is not None:
@@ -89,7 +103,7 @@ class Kernel:
                     args = (args[0], max(1, args[1] // 2))
                 else:
                     raise FaultInjected(fault)
-        return handler(*args)
+        return handler(self, *args)
 
     def resource_of(self, name: str, args: tuple) -> Optional[str]:
         """Resource identity a syscall touches (for tainting)."""

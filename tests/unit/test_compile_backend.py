@@ -227,3 +227,66 @@ def test_profile_histograms_identical_across_backends():
     assert dict(switch.stats.opcode_counts) == dict(threaded.stats.opcode_counts)
     assert dict(switch.stats.opcode_time) == dict(threaded.stats.opcode_time)
     assert switch.time == threaded.time
+
+
+# -- region cap env overrides ---------------------------------------------------
+
+
+def test_region_caps_default_without_env(monkeypatch):
+    from repro.interp import compile as compile_mod
+
+    monkeypatch.delenv("REPRO_REGION_CAP", raising=False)
+    assert compile_mod._cap_from_env("REPRO_REGION_CAP", 320) == (320, None)
+
+
+def test_region_caps_read_from_env(monkeypatch):
+    from repro.interp import compile as compile_mod
+
+    monkeypatch.setenv("REPRO_REGION_CAP", "64")
+    assert compile_mod._cap_from_env("REPRO_REGION_CAP", 320) == (64, None)
+
+
+@pytest.mark.parametrize("bad", ["0", "-3", "ten", "1.5", ""])
+def test_region_caps_reject_invalid_env(monkeypatch, bad):
+    from repro.errors import ReproError
+    from repro.interp import compile as compile_mod
+
+    monkeypatch.setenv("REPRO_REGION_PATH_CAP", bad)
+    value, error = compile_mod._cap_from_env("REPRO_REGION_PATH_CAP", 80)
+    assert value == 80  # invalid override keeps the default
+    assert isinstance(error, ReproError)
+    assert "REPRO_REGION_PATH_CAP" in str(error)
+
+
+def test_invalid_region_cap_raises_at_first_compile(monkeypatch):
+    # The deferred error surfaces as a ReproError from compiled_for_module
+    # (which the CLI turns into a one-line diagnosis), never as an
+    # import-time traceback.
+    from repro.errors import ReproError
+    from repro.interp import compile as compile_mod
+
+    bad = ReproError("REPRO_REGION_CAP must be a positive integer, got 'x'")
+    monkeypatch.setattr(compile_mod, "_REGION_CAP_ERROR", bad)
+    module = compile_source(LOOP)
+    with pytest.raises(ReproError, match="REPRO_REGION_CAP"):
+        compile_mod.compiled_for_module(module)
+
+
+def test_small_region_caps_stay_byte_identical(monkeypatch):
+    # Any cap setting is byte-safe: a tiny region budget only shrinks
+    # how much code fuses, never what the program observes.
+    from repro.interp import compile as compile_mod
+
+    module = compile_source(LOOP)
+    baseline = run_native(compile_source(LOOP), World(), backend="threaded")
+    monkeypatch.setattr(compile_mod, "REGION_CAP", 2)
+    monkeypatch.setattr(compile_mod, "REGION_PATH_CAP", 4)
+    monkeypatch.setattr(compile_mod, "REGION_BOUND", 6)
+    clear_compile_memo()
+    try:
+        capped = run_native(module, World(), backend="threaded")
+    finally:
+        clear_compile_memo()
+    assert capped.stdout == baseline.stdout
+    assert capped.time == baseline.time
+    assert capped.stats.instructions == baseline.stats.instructions

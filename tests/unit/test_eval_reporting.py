@@ -52,7 +52,7 @@ def test_table1_row_fields():
     assert row.loc > 0
     assert row.instrumented_sites > 0
     assert row.dyn_max_counter <= row.max_static_counter
-    assert len(row.as_list()) == 12
+    assert len(row.as_list()) == 13
 
 
 def test_table2_row_for_two_sided_workload():
